@@ -1,0 +1,101 @@
+// Figure 6: normalized performance (total IPC) of the five main
+// configurations across the SPEC2017/GAPBS suite, normalized to the
+// Intel-TDX-like baseline (64-ary counter tree + counter-mode encryption).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness.h"
+
+using namespace secddr;
+using bench::BenchOptions;
+using secmem::SecurityParams;
+
+int main() {
+  bench::print_header(
+      "Figure 6: normalized IPC vs Intel-TDX-like baseline (tree64+ctr)");
+  const BenchOptions opt = BenchOptions::from_env();
+
+  const std::vector<std::pair<std::string, SecurityParams>> configs = {
+      {"IntegrityTree64", SecurityParams::baseline_tree_ctr()},
+      {"SecDDR+CTR", SecurityParams::secddr_ctr()},
+      {"Encrypt-only,CTR", SecurityParams::encrypt_only_ctr()},
+      {"SecDDR+XTS", SecurityParams::secddr_xts()},
+      {"Encrypt-only,XTS", SecurityParams::encrypt_only_xts()},
+  };
+
+  TablePrinter table({"workload", "tree64 (base)", "secddr+ctr", "enc-ctr",
+                      "secddr+xts", "enc-xts"});
+  std::map<std::string, std::vector<double>> normalized;  // config -> values
+  std::map<std::string, std::vector<double>> normalized_mi;
+  std::map<std::string, double> anecdotes;  // secddr+ctr speedup per workload
+
+  for (const auto& w : workloads::suite()) {
+    if (!opt.selected(w.name)) continue;
+    std::vector<double> ipc;
+    for (const auto& [name, sec] : configs)
+      ipc.push_back(bench::run_ipc(w, sec, opt));
+    const double base = ipc[0];
+
+    std::vector<std::string> row = {w.name, "1.000"};
+    for (std::size_t i = 1; i < ipc.size(); ++i) {
+      const double norm = ipc[i] / base;
+      row.push_back(TablePrinter::num(norm, 3));
+      normalized[configs[i].first].push_back(norm);
+      if (w.memory_intensive)
+        normalized_mi[configs[i].first].push_back(norm);
+    }
+    anecdotes[w.name] = ipc[1] / base - 1.0;
+    table.add_row(row);
+    std::fflush(stdout);
+  }
+
+  // Geomean rows.
+  std::vector<std::string> gm_all = {"gmean - all", "1.000"};
+  std::vector<std::string> gm_mi = {"gmean - mem. int.", "1.000"};
+  for (std::size_t i = 1; i < configs.size(); ++i) {
+    gm_all.push_back(TablePrinter::num(geomean(normalized[configs[i].first]), 3));
+    gm_mi.push_back(TablePrinter::num(geomean(normalized_mi[configs[i].first]), 3));
+  }
+  table.add_row(gm_mi);
+  table.add_row(gm_all);
+  table.print();
+
+  std::printf("\nHeadline comparisons (paper Section V-A):\n");
+  std::printf("  SecDDR+CTR vs tree64 (gmean, all):     measured %+.1f%%   "
+              "paper +9.6%%\n",
+              (geomean(normalized["SecDDR+CTR"]) - 1.0) * 100);
+  std::printf("  SecDDR+CTR vs tree64 (mem-intensive):  measured %+.1f%%   "
+              "paper +18.0%%\n",
+              (geomean(normalized_mi["SecDDR+CTR"]) - 1.0) * 100);
+  std::printf("  SecDDR+XTS vs tree64 (gmean, all):     measured %+.1f%%   "
+              "paper +18.8%%\n",
+              (geomean(normalized["SecDDR+XTS"]) - 1.0) * 100);
+  std::printf("  SecDDR+XTS vs tree64 (mem-intensive):  measured %+.1f%%   "
+              "paper +37.7%%\n",
+              (geomean(normalized_mi["SecDDR+XTS"]) - 1.0) * 100);
+  const double ctr_gap = geomean(normalized["SecDDR+CTR"]) /
+                         geomean(normalized["Encrypt-only,CTR"]);
+  const double xts_gap = geomean(normalized["SecDDR+XTS"]) /
+                         geomean(normalized["Encrypt-only,XTS"]);
+  std::printf("  SecDDR+CTR vs encrypt-only CTR:        measured %+.1f%%   "
+              "paper within 3%%\n",
+              (ctr_gap - 1.0) * 100);
+  std::printf("  SecDDR+XTS vs encrypt-only XTS:        measured %+.1f%%   "
+              "paper within 1%%\n",
+              (xts_gap - 1.0) * 100);
+
+  std::printf("\nPer-workload SecDDR+CTR speedups the paper calls out:\n");
+  const std::map<std::string, double> paper = {
+      {"pr", 0.647}, {"bc", 0.512}, {"sssp", 0.494},
+      {"omnetpp", 0.359}, {"xz", 0.215}, {"lbm", -0.016}};
+  for (const auto& [name, pval] : paper) {
+    if (anecdotes.count(name))
+      std::printf("  %-8s measured %+6.1f%%   paper %+6.1f%%\n", name.c_str(),
+                  anecdotes[name] * 100, pval * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 7: metadata cache behaviour under the tree64+ctr baseline —
+// LLC MPKI and metadata-cache miss rate per workload. Doubles as the
+// calibration check for the synthetic workload suite.
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness.h"
+
+using namespace secddr;
+using bench::BenchOptions;
+
+int main() {
+  bench::print_header("Figure 7: metadata cache behaviour (baseline config)");
+  const BenchOptions opt = BenchOptions::from_env();
+
+  TablePrinter table({"workload", "LLC MPKI (measured)", "MPKI (target)",
+                      "metadata miss rate", "metadata accesses"});
+  for (const auto& w : workloads::suite()) {
+    if (!opt.selected(w.name)) continue;
+    const auto r = bench::run_workload(
+        w, secmem::SecurityParams::baseline_tree_ctr(), opt);
+    table.add_row({w.name, TablePrinter::num(r.llc_mpki, 1),
+                   TablePrinter::num(w.mpki, 1),
+                   percent(r.metadata_miss_rate),
+                   std::to_string(r.metadata_accesses)});
+    std::fflush(stdout);
+  }
+  table.print();
+
+  std::printf("\nPaper reference: random-access workloads (mcf, omnetpp, "
+              "xz, graph kernels) show high metadata miss rates; callouts "
+              "mcf 150.1, lbm 56.7, sssp 50.5 MPKI.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared harness for the figure/table reproduction binaries.
+//
+// Environment knobs (all optional):
+//   SECDDR_INSTR   measured instructions per core   (default 150000)
+//   SECDDR_WARMUP  warmup instructions per core     (default 75000)
+//   SECDDR_CORES   simulated cores                  (default 4, Table I)
+//   SECDDR_FILTER  comma-free substring filter on workload names
+//
+// Every binary prints an aligned text table with the same rows/series as
+// the paper's figure, plus the paper's headline numbers for comparison.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "secmem/params.h"
+#include "sim/system.h"
+#include "workloads/generator.h"
+#include "workloads/workload.h"
+
+namespace secddr::bench {
+
+struct BenchOptions {
+  std::uint64_t instructions = 150000;
+  std::uint64_t warmup = 75000;
+  unsigned cores = 4;
+  std::string filter;
+
+  static BenchOptions from_env() {
+    BenchOptions o;
+    if (const char* s = std::getenv("SECDDR_INSTR")) o.instructions = std::strtoull(s, nullptr, 10);
+    if (const char* s = std::getenv("SECDDR_WARMUP")) o.warmup = std::strtoull(s, nullptr, 10);
+    if (const char* s = std::getenv("SECDDR_CORES")) o.cores = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+    if (const char* s = std::getenv("SECDDR_FILTER")) o.filter = s;
+    return o;
+  }
+
+  bool selected(const std::string& name) const {
+    return filter.empty() || name.find(filter) != std::string::npos;
+  }
+};
+
+/// Runs one workload (replicated rate-style across cores) under one
+/// security configuration and returns the full result.
+inline sim::RunResult run_workload(const workloads::WorkloadDesc& desc,
+                                   const secmem::SecurityParams& sec,
+                                   const BenchOptions& opt,
+                                   dram::Timings timings =
+                                       dram::Timings::ddr4_3200()) {
+  std::vector<std::unique_ptr<workloads::SyntheticTrace>> traces;
+  std::vector<sim::TraceSource*> ptrs;
+  for (unsigned c = 0; c < opt.cores; ++c) {
+    traces.push_back(std::make_unique<workloads::SyntheticTrace>(desc, c));
+    ptrs.push_back(traces.back().get());
+  }
+  sim::SystemConfig cfg;
+  cfg.mem.cores = opt.cores;
+  cfg.security = sec;
+  cfg.timings = timings;
+  cfg.data_bytes = 8ull << 30;
+  sim::System sys(cfg, ptrs);
+  return sys.run(opt.instructions, 4'000'000'000ull, opt.warmup);
+}
+
+/// Total-IPC convenience wrapper.
+inline double run_ipc(const workloads::WorkloadDesc& desc,
+                      const secmem::SecurityParams& sec,
+                      const BenchOptions& opt,
+                      dram::Timings timings = dram::Timings::ddr4_3200()) {
+  return run_workload(desc, sec, opt, timings).total_ipc;
+}
+
+inline void print_header(const char* what) {
+  std::printf("=== %s ===\n", what);
+  const BenchOptions o = BenchOptions::from_env();
+  std::printf(
+      "(4-core rate traces; %llu measured + %llu warmup instructions/core;"
+      " override via SECDDR_INSTR/SECDDR_WARMUP/SECDDR_CORES)\n\n",
+      static_cast<unsigned long long>(o.instructions),
+      static_cast<unsigned long long>(o.warmup));
+}
+
+}  // namespace secddr::bench

@@ -1,0 +1,80 @@
+// Microbenchmarks of the simulation substrates (google-benchmark):
+// DRAM-model command throughput and the functional SecDDR protocol.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/session.h"
+#include "dram/system.h"
+#include "secmem/model.h"
+
+using namespace secddr;
+
+static void BM_DramRandomReads(benchmark::State& state) {
+  dram::Geometry g;
+  dram::DramSystem sys(g, dram::Timings::ddr4_3200(), 3200.0);
+  Xoshiro256 rng(1);
+  std::uint64_t tag = 0, completed = 0;
+  for (auto _ : state) {
+    if (sys.can_accept_read())
+      sys.enqueue(line_base(rng.next() % g.capacity_bytes()), false, ++tag);
+    sys.tick_core_cycle();
+    completed += sys.drain_completions().size();
+  }
+  state.counters["reads/Mcycle"] = benchmark::Counter(
+      static_cast<double>(completed) * 1e6 /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DramRandomReads)->Unit(benchmark::kMicrosecond);
+
+static void BM_DramRowBufferStream(benchmark::State& state) {
+  dram::Geometry g;
+  dram::DramSystem sys(g, dram::Timings::ddr4_3200(), 3200.0);
+  Addr a = 0;
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    if (sys.can_accept_read()) sys.enqueue(a += 64, false, ++tag);
+    sys.tick_core_cycle();
+    benchmark::DoNotOptimize(sys.drain_completions());
+  }
+}
+BENCHMARK(BM_DramRowBufferStream)->Unit(benchmark::kMicrosecond);
+
+static void BM_SecurityEngineTreeRead(benchmark::State& state) {
+  const auto params = secmem::SecurityParams::baseline_tree_ctr();
+  const secmem::MetadataLayout layout(params, 1ull << 30);
+  dram::Geometry g;
+  g.rows_per_bank = 1 << 14;
+  dram::DramSystem dramsys(g, dram::Timings::ddr4_3200(), 3200.0);
+  secmem::SecurityEngine engine(params, layout, dramsys);
+  Xoshiro256 rng(3);
+  Cycle now = 0;
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    if (engine.outstanding() < 32)
+      engine.start_read(line_base(rng.next() % (1ull << 30)), ++tag, now);
+    ++now;
+    dramsys.tick_core_cycle();
+    engine.tick(now);
+    engine.ready().clear();
+  }
+}
+BENCHMARK(BM_SecurityEngineTreeRead)->Unit(benchmark::kMicrosecond);
+
+static void BM_FunctionalSecureWriteRead(benchmark::State& state) {
+  core::SessionConfig cfg;
+  cfg.dimm.geometry.ranks = 1;
+  cfg.dimm.geometry.bank_groups = 2;
+  cfg.dimm.geometry.banks_per_group = 2;
+  cfg.dimm.geometry.rows_per_bank = 64;
+  cfg.dimm.geometry.columns_per_row = 32;
+  auto session = core::SecureMemorySession::create(cfg);
+  Xoshiro256 rng(4);
+  const CacheLine line = CacheLine::filled(0xAB);
+  for (auto _ : state) {
+    const Addr a = line_base(rng.next() % session->capacity());
+    session->write(a, line);
+    benchmark::DoNotOptimize(session->read(a));
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * kLineSize);
+}
+BENCHMARK(BM_FunctionalSecureWriteRead)->Unit(benchmark::kMicrosecond);

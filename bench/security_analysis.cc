@@ -1,0 +1,44 @@
+// §III-B/III-C quantitative security analysis: encrypted-eWCRC brute
+// force, counter lifetime, and DIMM-substitution odds.
+#include <cstdio>
+
+#include "analysis/security.h"
+#include "common/table.h"
+
+using namespace secddr;
+
+int main() {
+  std::printf("=== Security analysis of the encrypted eWCRC (paper "
+              "Section III-B) ===\n\n");
+
+  const analysis::EwcrcSecurityModel base;  // JEDEC worst-case BER 1e-16
+  TablePrinter table({"BER", "Natural CCCA error interval",
+                      "Brute-force attempts (p=50%)",
+                      "Attack duration (1 channel)",
+                      "Parallel: 1000 nodes x 16 ch"});
+  for (const double ber : {1e-16, 1e-21, 1e-22}) {
+    const auto m = base.with_ber(ber);
+    char ber_s[32], days_s[48], att_s[32], yrs_s[48], par_s[48];
+    std::snprintf(ber_s, sizeof ber_s, "%.0e", ber);
+    std::snprintf(days_s, sizeof days_s, "%.2f days", m.error_interval_days());
+    std::snprintf(att_s, sizeof att_s, "%.3g", m.bruteforce_attempts(0.5));
+    std::snprintf(yrs_s, sizeof yrs_s, "%.4g years", m.bruteforce_years(0.5));
+    std::snprintf(par_s, sizeof par_s, "%.4g years",
+                  m.parallel_attack_years(0.5, 1000, 16));
+    table.add_row({ber_s, days_s, att_s, yrs_s, par_s});
+  }
+  table.print();
+
+  std::printf("\nPaper reference: one CCCA error per 11.13 days at BER "
+              "1e-16; 4.5e4 attempts for 50%%; 1,385 years at 1e-16; 138M "
+              "years at 1e-21; >86,000 years for the parallel attack.\n\n");
+
+  std::printf("Transaction-counter lifetime (Section III-C): %.0f years to "
+              "overflow a 64-bit counter at 1 transaction/ns (paper: >500 "
+              "years).\n",
+              analysis::counter_overflow_years(1e9));
+  std::printf("DIMM-substitution counter-match probability: %.3g "
+              "(paper: 1/2^64).\n",
+              analysis::substitution_counter_match_probability());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Performance study: a compact version of the paper's evaluation that a
+// user can run in under a minute — one memory-intensive graph workload
+// (pr) and one compute-bound workload (povray) under all five main
+// configurations, with the metadata-traffic breakdown that explains WHY
+// the integrity tree loses (paper Section V-A).
+//
+//   $ ./performance_study            # defaults
+//   $ SECDDR_INSTR=500000 ./performance_study
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "../bench/harness.h"
+
+using namespace secddr;
+using bench::BenchOptions;
+using secmem::SecurityParams;
+
+int main() {
+  BenchOptions opt = BenchOptions::from_env();
+  // Keep the interactive default snappy.
+  if (!std::getenv("SECDDR_INSTR")) opt.instructions = 100000;
+  if (!std::getenv("SECDDR_WARMUP")) opt.warmup = 100000;
+
+  std::printf("SecDDR performance study (%u cores, %llu instructions/core)\n\n",
+              opt.cores,
+              static_cast<unsigned long long>(opt.instructions));
+
+  const std::vector<std::pair<std::string, SecurityParams>> configs = {
+      {"integrity tree (64-ary, CTR)", SecurityParams::baseline_tree_ctr()},
+      {"SecDDR + CTR", SecurityParams::secddr_ctr()},
+      {"encrypt-only CTR", SecurityParams::encrypt_only_ctr()},
+      {"SecDDR + XTS", SecurityParams::secddr_xts()},
+      {"encrypt-only XTS", SecurityParams::encrypt_only_xts()},
+  };
+
+  for (const char* wname : {"pr", "povray"}) {
+    const auto* w = workloads::find(wname);
+    std::printf("--- workload: %s (%s, target MPKI %.1f) ---\n", w->name.c_str(),
+                w->memory_intensive ? "memory-intensive" : "compute-bound",
+                w->mpki);
+    TablePrinter table({"config", "IPC", "vs tree", "LLC MPKI",
+                        "metadata reads / data read", "DRAM row-hit"});
+    double base_ipc = 0;
+    for (const auto& [name, sec] : configs) {
+      const auto r = bench::run_workload(*w, sec, opt);
+      if (base_ipc == 0) base_ipc = r.total_ipc;
+      const double meta_per_data =
+          r.engine.data_reads
+              ? static_cast<double>(r.engine.meta_reads()) /
+                    static_cast<double>(r.engine.data_reads)
+              : 0.0;
+      table.add_row({name, TablePrinter::num(r.total_ipc, 2),
+                     TablePrinter::num(r.total_ipc / base_ipc, 3),
+                     TablePrinter::num(r.llc_mpki, 1),
+                     TablePrinter::num(meta_per_data, 2),
+                     percent(r.dram.row_hit_rate())});
+      std::fflush(stdout);
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading the table: the tree turns every metadata-cache miss into\n"
+      "extra DRAM reads (the 'metadata reads' column) which random-access\n"
+      "workloads pay on nearly every access; SecDDR's E-MAC channel adds\n"
+      "zero metadata traffic, so it tracks the encrypt-only upper bound.\n"
+      "Compute-bound workloads barely notice any of it.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: bring up a SecDDR-protected memory system and use it.
+//
+//   $ ./quickstart
+//
+// Demonstrates the three-line happy path of the public API — create a
+// session (which provisions the DIMM, runs the §III-F attestation on
+// every rank, and establishes the per-rank E-MAC channels), then read and
+// write cache lines with full replay-attack protection.
+#include <cstdio>
+#include <cstring>
+
+#include "core/session.h"
+
+using namespace secddr;
+using namespace secddr::core;
+
+int main() {
+  // Configure a small module so the demo runs instantly; defaults follow
+  // a 2-rank DDR4 DIMM organization.
+  SessionConfig config;
+  config.dimm.geometry.rows_per_bank = 64;
+  config.dimm.geometry.columns_per_row = 32;
+  config.encryption = DataEncryption::kXts;  // TME/SEV-style, no counters
+  config.module_id = "dimm:quickstart-0001";
+
+  std::string failure;
+  auto session = SecureMemorySession::create(config, &failure);
+  if (!session) {
+    std::fprintf(stderr, "attestation failed: %s\n", failure.c_str());
+    return 1;
+  }
+  std::printf("Attested module '%s': %llu bytes of replay-protected "
+              "memory.\n",
+              config.module_id.c_str(),
+              static_cast<unsigned long long>(session->capacity()));
+
+  // Write a secret, read it back.
+  CacheLine secret{};
+  std::memcpy(secret.bytes.data(), "attack at dawn", 15);
+  const Addr addr = 0x1000;
+  if (session->write(addr, secret) != Violation::kNone) {
+    std::fprintf(stderr, "unexpected write alert\n");
+    return 1;
+  }
+  const auto r = session->read(addr);
+  if (!r.ok()) {
+    std::fprintf(stderr, "unexpected violation: %s\n",
+                 to_string(r.violation));
+    return 1;
+  }
+  std::printf("Read back: \"%s\"\n",
+              reinterpret_cast<const char*>(r.data.bytes.data()));
+
+  // What actually rests in DRAM is ciphertext plus an (unencrypted) MAC;
+  // the MAC only ever crosses the bus XORed with the one-time pad.
+  CacheLine at_rest;
+  std::uint64_t stored_mac = 0;
+  const auto d = session->controller().mapping().decode(addr);
+  const std::uint64_t key =
+      ((d.bank_group * config.dimm.geometry.banks_per_group + d.bank) *
+           config.dimm.geometry.rows_per_bank +
+       d.row) *
+          config.dimm.geometry.columns_per_row +
+      d.column;
+  session->dimm().peek_line(d.rank, key, &at_rest, &stored_mac);
+  std::printf("At rest: ciphertext starts %02x %02x %02x %02x..., "
+              "MAC=%016llx\n",
+              at_rest[0], at_rest[1], at_rest[2], at_rest[3],
+              static_cast<unsigned long long>(stored_mac));
+
+  std::printf("Channel counters in lockstep: processor=%llu, device=%llu\n",
+              static_cast<unsigned long long>(
+                  session->controller().transaction_counter(0)),
+              static_cast<unsigned long long>(
+                  session->dimm().transaction_counter(0)));
+  std::printf("OK\n");
+  return 0;
+}

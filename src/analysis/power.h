@@ -1,0 +1,70 @@
+// AES-engine area/power model reproducing Table II (paper §V-B).
+//
+// Methodology (following the paper, which follows [14], [58]): the 45nm
+// composite-field AES engine of Mathew et al. [33] delivers 53Gbps at
+// 2.1GHz; power scales linearly with frequency (DRAM core: 500MHz) and
+// quadratically with voltage (1.2V DDR4 / 1.1V DDR5). The number of
+// engines per ECC chip is set by the chip's transfer rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secddr::analysis {
+
+/// One row of Table II (plus the DDR5 discussion row).
+struct PowerRow {
+  std::string config;        ///< e.g. "x4 4Gb DDR4-3200"
+  unsigned aes_units = 0;    ///< engines per ECC chip
+  double chip_rate_gbps = 0; ///< device transfer rate to cover
+  double aes_power_mw = 0;   ///< total engine power per ECC chip
+  double dram_chip_power_mw = 0;
+  double rank_power_mw = 0;  ///< half of the dual-rank DIMM's power
+  unsigned ecc_chips_per_rank = 0;
+  double overhead_per_rank = 0;  ///< engines / rank power
+};
+
+struct AesEngineSpec {
+  double throughput_gbps = 53.0;  ///< at reference frequency [33]
+  double ref_ghz = 2.1;
+  double power_mw_at_ref = 148.68;  ///< per engine at 2.1GHz, 1.2V
+  double ref_volt = 1.2;
+};
+
+class AesPowerModel {
+ public:
+  explicit AesPowerModel(const AesEngineSpec& spec = {});
+
+  /// Engines needed to sustain `chip_rate_gbps` at `dram_core_ghz`.
+  unsigned engines_needed(double chip_rate_gbps, double dram_core_ghz) const;
+
+  /// Per-engine power at the given operating point.
+  double engine_power_mw(double dram_core_ghz, double volt) const;
+
+  /// Builds one table row.
+  PowerRow row(const std::string& config, double bits_per_pin,
+               double data_rate_mtps, double dram_core_ghz, double volt,
+               double dram_chip_power_mw, double dimm_power_mw,
+               unsigned ecc_chips_per_rank) const;
+
+  /// The three configurations of Table II / §V-B.
+  std::vector<PowerRow> table2() const;
+
+  /// Attestation-logic area/power (EC multiplier + SHA-256, §V-B).
+  struct AttestationLogic {
+    double multiplier_mm2 = 0.0209;
+    double sha_mm2 = 0.0625;
+    double multiplier_mw_at_500mhz = 14.2;
+    double sha_mw_at_500mhz = 21.0;
+  };
+  static AttestationLogic attestation_logic() { return {}; }
+
+  /// Total SecDDR die-area estimate (paper: < 1.5mm^2 at 45nm).
+  double total_area_mm2(unsigned aes_units) const;
+
+ private:
+  AesEngineSpec spec_;
+};
+
+}  // namespace secddr::analysis

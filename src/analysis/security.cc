@@ -1,0 +1,52 @@
+#include "analysis/security.h"
+
+#include <cmath>
+
+namespace secddr::analysis {
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kDaysPerYear = 365.25;
+}  // namespace
+
+EwcrcSecurityModel::EwcrcSecurityModel(const EwcrcSecurityParams& params)
+    : params_(params) {}
+
+double EwcrcSecurityModel::error_interval_days() const {
+  const double bits_per_second = params_.signals * params_.data_rate_mtps *
+                                 1e6 * params_.signal_rate_fraction;
+  const double errors_per_second = bits_per_second * params_.ber;
+  return 1.0 / errors_per_second / kSecondsPerDay;
+}
+
+double EwcrcSecurityModel::bruteforce_attempts(double success_prob) const {
+  const double p = std::pow(2.0, -static_cast<double>(params_.crc_bits));
+  return std::log1p(-success_prob) / std::log1p(-p);
+}
+
+double EwcrcSecurityModel::bruteforce_years(double success_prob) const {
+  return bruteforce_attempts(success_prob) * error_interval_days() /
+         kDaysPerYear;
+}
+
+double EwcrcSecurityModel::parallel_attack_years(
+    double success_prob, unsigned nodes, unsigned channels_per_node) const {
+  return bruteforce_years(success_prob) /
+         (static_cast<double>(nodes) * channels_per_node);
+}
+
+EwcrcSecurityModel EwcrcSecurityModel::with_ber(double ber) const {
+  EwcrcSecurityParams p = params_;
+  p.ber = ber;
+  return EwcrcSecurityModel(p);
+}
+
+double counter_overflow_years(double transactions_per_second) {
+  return std::pow(2.0, 64) / transactions_per_second / kSecondsPerDay /
+         kDaysPerYear;
+}
+
+double substitution_counter_match_probability() {
+  return std::pow(2.0, -64);
+}
+
+}  // namespace secddr::analysis

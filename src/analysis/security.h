@@ -1,0 +1,63 @@
+// Quantitative security analysis of the encrypted eWCRC (paper §III-B).
+//
+// The eWCRC is a 16-bit non-cryptographic code, but because it is
+// encrypted with an address-bound pad, the attacker can only brute-force:
+// each attempt is a corrupted CCCA transaction that fails the check with
+// probability 1 - 2^-16, and failed attempts look like channel errors.
+// Natural CCCA errors are rare (JEDEC worst-case BER 1e-16), so an
+// attacker who must stay under the natural error rate to avoid detection
+// needs millennia.
+#pragma once
+
+#include <cstdint>
+
+namespace secddr::analysis {
+
+struct EwcrcSecurityParams {
+  double ber = 1e-16;          ///< bit error rate on CCCA signals
+  unsigned signals = 26;       ///< CCCA + data signals, x8 device
+  double data_rate_mtps = 3200.0;
+  /// Effective per-signal toggle rate as a fraction of the data rate.
+  /// 1/8 reproduces the paper's 11.13-day error interval at BER 1e-16
+  /// (the CCCA bus runs at half the data rate and the paper's arithmetic
+  /// further de-rates by the burst length).
+  double signal_rate_fraction = 0.125;
+  unsigned crc_bits = 16;
+};
+
+class EwcrcSecurityModel {
+ public:
+  explicit EwcrcSecurityModel(const EwcrcSecurityParams& params = {});
+
+  /// Mean time between natural CCCA errors on one channel, in days.
+  double error_interval_days() const;
+
+  /// Attempts to reach `success_prob` of one forged eWCRC passing.
+  double bruteforce_attempts(double success_prob) const;
+
+  /// Years to perform those attempts while hiding under the natural error
+  /// rate (one attempt per expected natural error).
+  double bruteforce_years(double success_prob) const;
+
+  /// Same attack parallelized over `nodes * channels_per_node` channels.
+  double parallel_attack_years(double success_prob, unsigned nodes,
+                               unsigned channels_per_node) const;
+
+  /// Copy with a different BER (the paper quotes 1e-16, 1e-21, 1e-22).
+  EwcrcSecurityModel with_ber(double ber) const;
+
+  const EwcrcSecurityParams& params() const { return params_; }
+
+ private:
+  EwcrcSecurityParams params_;
+};
+
+/// Transaction-counter lifetime (§III-C): years until a 64-bit counter
+/// overflows at `transactions_per_second` per rank.
+double counter_overflow_years(double transactions_per_second);
+
+/// DIMM-substitution detection: probability that a snapshot counter
+/// happens to match the live one (2^-64 for random counters).
+double substitution_counter_match_probability();
+
+}  // namespace secddr::analysis

@@ -1,0 +1,37 @@
+#include "analysis/tree_geometry.h"
+
+#include "common/bitops.h"
+#include "common/types.h"
+
+namespace secddr::analysis {
+
+std::uint64_t TreeGeometry::leaf_lines() const {
+  const std::uint64_t data_lines = data_bytes / kLineSize;
+  return hash_tree_over_macs ? ceil_div(data_lines, 8)
+                             : ceil_div(data_lines, counters_per_line);
+}
+
+std::vector<std::uint64_t> TreeGeometry::levels() const {
+  std::vector<std::uint64_t> out;
+  std::uint64_t count = leaf_lines();
+  for (;;) {
+    count = ceil_div(count, arity);
+    if (count <= 1) break;  // single node = on-chip root
+    out.push_back(count);
+  }
+  return out;
+}
+
+std::uint64_t TreeGeometry::metadata_bytes() const {
+  std::uint64_t total = leaf_lines() * kLineSize;
+  for (const std::uint64_t n : levels()) total += n * kLineSize;
+  return total;
+}
+
+std::uint64_t TreeGeometry::leaf_reach_bytes() const {
+  return hash_tree_over_macs
+             ? 8ull * kLineSize
+             : static_cast<std::uint64_t>(counters_per_line) * kLineSize;
+}
+
+}  // namespace secddr::analysis

@@ -1,0 +1,32 @@
+// Integrity-tree geometry calculator.
+//
+// Answers the scalability questions of §II-D / Fig. 8 analytically: for a
+// protected capacity, counter packing, and arity, how many levels must a
+// miss walk, and how much metadata exists per level. Cross-checked in
+// tests against secmem::MetadataLayout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace secddr::analysis {
+
+struct TreeGeometry {
+  std::uint64_t data_bytes = 0;
+  unsigned counters_per_line = 64;
+  unsigned arity = 64;
+  bool hash_tree_over_macs = false;  ///< leaves are MAC lines (8 MACs/line)
+
+  std::uint64_t leaf_lines() const;
+  /// Nodes per stored level, bottom-up (excludes the on-chip root).
+  std::vector<std::uint64_t> levels() const;
+  /// Stored levels a worst-case (cold) verification walk touches.
+  unsigned walk_depth() const { return static_cast<unsigned>(levels().size()); }
+  /// Total metadata bytes (leaves + stored levels).
+  std::uint64_t metadata_bytes() const;
+  /// Data bytes covered by one 64B leaf line (the "reach" of a cached
+  /// counter line).
+  std::uint64_t leaf_reach_bytes() const;
+};
+
+}  // namespace secddr::analysis

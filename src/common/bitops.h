@@ -1,0 +1,34 @@
+// Small bit-manipulation helpers used by address mapping and crypto.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace secddr {
+
+/// Floor of log2(x); x must be non-zero.
+constexpr unsigned ilog2(std::uint64_t x) {
+  assert(x != 0);
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// True iff x is a power of two (and non-zero).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Extracts `count` bits of `v` starting at bit `pos` (LSB = 0).
+constexpr std::uint64_t bits(std::uint64_t v, unsigned pos, unsigned count) {
+  return (v >> pos) & ((count >= 64) ? ~0ull : ((1ull << count) - 1));
+}
+
+/// Rounds `v` up to the next multiple of `align` (align must be pow2).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Integer ceiling division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace secddr

@@ -1,0 +1,108 @@
+#include "common/cache.h"
+
+#include <cassert>
+
+#include "common/bitops.h"
+
+namespace secddr {
+
+SetAssocCache::SetAssocCache(std::uint64_t size_bytes, unsigned assoc)
+    : sets_count_(size_bytes / (static_cast<std::uint64_t>(assoc) * kLineSize)),
+      assoc_(assoc),
+      ways_(sets_count_ * assoc) {
+  assert(sets_count_ > 0);
+  assert(size_bytes % (static_cast<std::uint64_t>(assoc) * kLineSize) == 0);
+}
+
+SetAssocCache::Way* SetAssocCache::find(Addr addr) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &ways_[set * assoc_];
+  for (unsigned w = 0; w < assoc_; ++w)
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  return nullptr;
+}
+
+const SetAssocCache::Way* SetAssocCache::find(Addr addr) const {
+  return const_cast<SetAssocCache*>(this)->find(addr);
+}
+
+bool SetAssocCache::probe(Addr addr) const { return find(addr) != nullptr; }
+
+SetAssocCache::Result SetAssocCache::fill(Addr addr, bool dirty) {
+  const std::uint64_t set = set_of(addr);
+  Way* base = &ways_[set * assoc_];
+  Way* victim = &base[0];
+  for (unsigned w = 0; w < assoc_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  Result r;
+  if (victim->valid) {
+    r.evicted = true;
+    r.victim_addr = addr_of(set, victim->tag);
+    r.victim_dirty = victim->dirty;
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirty_evictions;
+  }
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->tag = tag_of(addr);
+  victim->lru = ++lru_clock_;
+  return r;
+}
+
+SetAssocCache::Result SetAssocCache::access(Addr addr, bool mark_dirty) {
+  ++stats_.accesses;
+  if (Way* w = find(addr)) {
+    w->lru = ++lru_clock_;
+    w->dirty = w->dirty || mark_dirty;
+    Result r;
+    r.hit = true;
+    return r;
+  }
+  ++stats_.misses;
+  return fill(addr, mark_dirty);
+}
+
+SetAssocCache::Result SetAssocCache::install(Addr addr, bool dirty) {
+  if (Way* w = find(addr)) {
+    w->lru = ++lru_clock_;
+    w->dirty = w->dirty || dirty;
+    Result r;
+    r.hit = true;
+    return r;
+  }
+  return fill(addr, dirty);
+}
+
+bool SetAssocCache::touch(Addr addr, bool mark_dirty) {
+  if (Way* w = find(addr)) {
+    w->lru = ++lru_clock_;
+    w->dirty = w->dirty || mark_dirty;
+    return true;
+  }
+  return false;
+}
+
+bool SetAssocCache::invalidate(Addr addr) {
+  if (Way* w = find(addr)) {
+    const bool dirty = w->dirty;
+    w->valid = false;
+    w->dirty = false;
+    return dirty;
+  }
+  return false;
+}
+
+void SetAssocCache::flush_all() {
+  for (auto& w : ways_) {
+    w.valid = false;
+    w.dirty = false;
+  }
+}
+
+}  // namespace secddr

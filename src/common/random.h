@@ -1,0 +1,35 @@
+// Deterministic, fast PRNG (xoshiro256**) used by workload generators,
+// property tests, and nonce generation in the functional crypto stack.
+#pragma once
+
+#include <cstdint>
+
+namespace secddr {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Deterministic across platforms; never use std::rand in this codebase.
+class Xoshiro256 {
+ public:
+  /// Seeds the state via SplitMix64 so that any 64-bit seed is acceptable.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound); bound must be non-zero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Geometric-ish positive integer with the given mean (>= 1).
+  std::uint64_t next_geometric(double mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace secddr

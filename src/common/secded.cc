@@ -1,0 +1,80 @@
+#include "common/secded.h"
+
+#include <bit>
+
+namespace secddr {
+namespace {
+
+// Code word layout: positions 1..71; power-of-two positions hold the
+// Hamming check bits, the rest hold the 64 data bits in order. Position 0
+// (bit 7 of the check byte) holds the overall parity for DED.
+
+constexpr bool is_pow2_pos(unsigned p) { return (p & (p - 1)) == 0; }
+
+// Data bit index (0..63) for each non-power-of-two position 3..71.
+constexpr int data_index_of_position(unsigned pos) {
+  int idx = 0;
+  for (unsigned p = 3; p < pos; ++p)
+    if (!is_pow2_pos(p)) ++idx;
+  return idx;
+}
+
+// Hamming syndrome over the code word with data bits placed.
+std::uint8_t hamming_bits(std::uint64_t data) {
+  std::uint8_t syndrome = 0;
+  for (unsigned pos = 3; pos <= 71; ++pos) {
+    if (is_pow2_pos(pos)) continue;
+    const int idx = data_index_of_position(pos);
+    if ((data >> idx) & 1) syndrome ^= static_cast<std::uint8_t>(pos);
+  }
+  return syndrome;  // bits 0..6 = check bits c1,c2,c4,...,c64
+}
+
+}  // namespace
+
+std::uint8_t secded_encode(std::uint64_t data) {
+  const std::uint8_t hamming = hamming_bits(data) & 0x7F;
+  // Overall parity covers data + the 7 hamming bits.
+  const unsigned ones =
+      static_cast<unsigned>(std::popcount(data)) +
+      static_cast<unsigned>(std::popcount(static_cast<unsigned>(hamming)));
+  const std::uint8_t parity = static_cast<std::uint8_t>(ones & 1);
+  return static_cast<std::uint8_t>(hamming | (parity << 7));
+}
+
+SecdedStatus secded_decode(std::uint64_t& data, std::uint8_t& check) {
+  const std::uint8_t stored_hamming = check & 0x7F;
+  const std::uint8_t stored_parity = static_cast<std::uint8_t>(check >> 7);
+  const std::uint8_t computed_hamming = hamming_bits(data) & 0x7F;
+  const std::uint8_t syndrome = stored_hamming ^ computed_hamming;
+
+  const unsigned ones =
+      static_cast<unsigned>(std::popcount(data)) +
+      static_cast<unsigned>(std::popcount(static_cast<unsigned>(stored_hamming)));
+  const bool parity_ok = (ones & 1) == stored_parity;
+
+  if (syndrome == 0 && parity_ok) return SecdedStatus::kOk;
+
+  if (!parity_ok) {
+    // Odd number of flipped bits: single-bit error, correctable.
+    if (syndrome == 0) {
+      // The overall parity bit itself flipped.
+      check ^= 0x80;
+      return SecdedStatus::kCorrected;
+    }
+    if (is_pow2_pos(syndrome)) {
+      // A Hamming check bit flipped.
+      check ^= syndrome;
+      return SecdedStatus::kCorrected;
+    }
+    if (syndrome >= 3 && syndrome <= 71) {
+      data ^= 1ull << data_index_of_position(syndrome);
+      return SecdedStatus::kCorrected;
+    }
+    return SecdedStatus::kUncorrectable;  // syndrome out of range
+  }
+  // Parity consistent but syndrome non-zero: even number of flips.
+  return SecdedStatus::kUncorrectable;
+}
+
+}  // namespace secddr

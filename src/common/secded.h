@@ -1,0 +1,27 @@
+// Hamming SEC-DED (single-error-correct, double-error-detect) code for
+// 64-bit words — the rank-level ECC whose storage the paper's baseline
+// (TDX/SafeGuard style) shares with the MACs in the ECC chips.
+//
+// The functional DIMM can apply this code to stored data so that natural
+// single-bit faults are corrected transparently *before* MAC
+// verification: reliability and integrity protection coexist, which is
+// the premise of placing MACs in the ECC chips at all (§II-B).
+#pragma once
+
+#include <cstdint>
+
+namespace secddr {
+
+/// Check byte for a 64-bit word: 7 Hamming bits + 1 overall parity.
+std::uint8_t secded_encode(std::uint64_t data);
+
+enum class SecdedStatus {
+  kOk,             ///< no error
+  kCorrected,      ///< single-bit error corrected (data or check bit)
+  kUncorrectable,  ///< double-bit error detected
+};
+
+/// Checks and corrects `data` (and `check`) in place.
+SecdedStatus secded_decode(std::uint64_t& data, std::uint8_t& check);
+
+}  // namespace secddr

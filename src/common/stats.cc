@@ -1,0 +1,52 @@
+#include "common/stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace secddr {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) {
+    assert(x > 0.0);
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::string percent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+}  // namespace secddr

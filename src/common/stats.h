@@ -1,0 +1,38 @@
+// Aggregation helpers for benchmark harnesses and simulator statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secddr {
+
+/// Arithmetic mean of `v`; 0 for empty input.
+double mean(const std::vector<double>& v);
+
+/// Geometric mean of `v`; all entries must be positive. 0 for empty input.
+double geomean(const std::vector<double>& v);
+
+/// Welford running mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ratio as a percentage string with one decimal, e.g. "18.8%".
+std::string percent(double ratio);
+
+}  // namespace secddr

@@ -1,0 +1,34 @@
+// Console table printer used by the bench harnesses so that every figure
+// and table of the paper prints as an aligned, diffable text table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace secddr {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// `headers` defines the column count; every row must match it.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row. Cells beyond the header count are dropped; missing
+  /// cells render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `prec` decimals.
+  static std::string num(double v, int prec = 3);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string str() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace secddr

@@ -1,0 +1,16 @@
+#include "common/types.h"
+
+namespace secddr {
+
+std::string to_hex(const std::uint8_t* data, std::size_t n) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(kDigits[data[i] >> 4]);
+    s.push_back(kDigits[data[i] & 0xf]);
+  }
+  return s;
+}
+
+}  // namespace secddr

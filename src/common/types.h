@@ -1,0 +1,74 @@
+// Fundamental value types shared by every SecDDR subsystem.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace secddr {
+
+/// Physical byte address.
+using Addr = std::uint64_t;
+/// Simulation time in cycles (domain depends on the component).
+using Cycle = std::uint64_t;
+
+/// Cache line size used throughout the system (bytes).
+inline constexpr std::size_t kLineSize = 64;
+/// Bits needed to index a byte within a line.
+inline constexpr unsigned kLineBits = 6;
+
+/// Returns the line-aligned base address of `a`.
+constexpr Addr line_base(Addr a) { return a & ~static_cast<Addr>(kLineSize - 1); }
+/// Returns the line index (address divided by the line size).
+constexpr Addr line_index(Addr a) { return a >> kLineBits; }
+
+/// A 64-byte cache line as a value type. Used by the functional protocol
+/// stack where actual bytes flow between processor and DIMM.
+struct CacheLine {
+  std::array<std::uint8_t, kLineSize> bytes{};
+
+  CacheLine() = default;
+  /// Builds a line whose bytes are all `fill`.
+  static CacheLine filled(std::uint8_t fill) {
+    CacheLine l;
+    l.bytes.fill(fill);
+    return l;
+  }
+
+  std::uint8_t& operator[](std::size_t i) { return bytes[i]; }
+  const std::uint8_t& operator[](std::size_t i) const { return bytes[i]; }
+
+  friend bool operator==(const CacheLine& a, const CacheLine& b) {
+    return a.bytes == b.bytes;
+  }
+
+  /// XORs `other` into this line.
+  CacheLine& operator^=(const CacheLine& other) {
+    for (std::size_t i = 0; i < kLineSize; ++i) bytes[i] ^= other.bytes[i];
+    return *this;
+  }
+};
+
+/// Reads a little-endian 64-bit value from `p`.
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Writes a little-endian 64-bit value to `p`.
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+/// Hex string of a byte range (for diagnostics and tests).
+std::string to_hex(const std::uint8_t* data, std::size_t n);
+
+template <std::size_t N>
+std::string to_hex(const std::array<std::uint8_t, N>& a) {
+  return to_hex(a.data(), N);
+}
+
+}  // namespace secddr

@@ -1,0 +1,228 @@
+#include "core/attack.h"
+
+namespace secddr::core {
+namespace {
+
+std::uint64_t bank_key(unsigned rank, unsigned bg, unsigned bank) {
+  return (static_cast<std::uint64_t>(rank) << 16) |
+         (static_cast<std::uint64_t>(bg) << 8) | bank;
+}
+
+std::uint64_t pack_loc(unsigned rank, unsigned bg, unsigned bank,
+                       std::uint64_t row, unsigned col) {
+  return (bank_key(rank, bg, bank) << 40) | (row << 10) | col;
+}
+
+std::uint64_t pack_col_target(unsigned rank, unsigned bg, unsigned bank,
+                              unsigned col) {
+  return (bank_key(rank, bg, bank) << 10) | col;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Tracking
+
+bool TrackingInterposer::on_activate(ActivateCmd& cmd) {
+  open_rows_[bank_key(cmd.rank, cmd.bank_group, cmd.bank)] = cmd.row;
+  return true;
+}
+
+std::uint64_t TrackingInterposer::locate(unsigned rank, unsigned bg,
+                                         unsigned bank, unsigned col) const {
+  const auto it = open_rows_.find(bank_key(rank, bg, bank));
+  const std::uint64_t row = it == open_rows_.end() ? 0 : it->second;
+  return pack_loc(rank, bg, bank, row, col);
+}
+
+// ------------------------------------------------------------- Snooping
+
+bool SnoopInterposer::on_write(WriteCmd& cmd) {
+  history_[locate(cmd.rank, cmd.bank_group, cmd.bank, cmd.column)].push_back(
+      {cmd.data, cmd.emac, true});
+  return true;
+}
+
+void SnoopInterposer::on_read_resp(const ReadCmd& cmd, ReadResp& resp) {
+  history_[locate(cmd.rank, cmd.bank_group, cmd.bank, cmd.column)].push_back(
+      {resp.data, resp.emac, false});
+}
+
+const std::vector<SnoopInterposer::Observation>* SnoopInterposer::history_for(
+    unsigned rank, unsigned bg, unsigned bank, unsigned row,
+    unsigned col) const {
+  const auto it = history_.find(pack_loc(rank, bg, bank, row, col));
+  return it == history_.end() ? nullptr : &it->second;
+}
+
+// ------------------------------------------------------------- Replay
+
+void BusReplayInterposer::arm(unsigned rank, unsigned bg, unsigned bank,
+                              unsigned row, unsigned col, std::size_t index) {
+  target_ = pack_loc(rank, bg, bank, row, col);
+  index_ = index;
+}
+
+void BusReplayInterposer::on_read_resp(const ReadCmd& cmd, ReadResp& resp) {
+  const std::uint64_t loc =
+      locate(cmd.rank, cmd.bank_group, cmd.bank, cmd.column);
+  if (target_ && loc == *target_) {
+    const auto it = history_.find(loc);
+    if (it != history_.end() && index_ < it->second.size()) {
+      resp.data = it->second[index_].data;
+      resp.emac = it->second[index_].emac;
+      ++replays_;
+      target_.reset();
+      return;  // do not also record the forged response
+    }
+  }
+  SnoopInterposer::on_read_resp(cmd, resp);
+}
+
+// ------------------------------------------------------------- Redirects
+
+void RowRedirectInterposer::arm(unsigned rank, unsigned bg, unsigned bank,
+                                std::uint64_t from_row, std::uint64_t to_row) {
+  armed_ = true;
+  rank_ = rank;
+  bg_ = bg;
+  bank_ = bank;
+  from_row_ = from_row;
+  to_row_ = to_row;
+}
+
+bool RowRedirectInterposer::on_activate(ActivateCmd& cmd) {
+  if (armed_ && cmd.rank == rank_ && cmd.bank_group == bg_ &&
+      cmd.bank == bank_ && cmd.row == from_row_) {
+    cmd.row = to_row_;
+    armed_ = false;
+    ++redirects_;
+  }
+  return TrackingInterposer::on_activate(cmd);
+}
+
+void ColumnRedirectInterposer::arm(unsigned rank, unsigned bg, unsigned bank,
+                                   unsigned from_col, unsigned to_col) {
+  armed_ = true;
+  rank_ = rank;
+  bg_ = bg;
+  bank_ = bank;
+  from_col_ = from_col;
+  to_col_ = to_col;
+}
+
+bool ColumnRedirectInterposer::on_write(WriteCmd& cmd) {
+  if (armed_ && cmd.rank == rank_ && cmd.bank_group == bg_ &&
+      cmd.bank == bank_ && cmd.column == from_col_) {
+    cmd.column = to_col_;
+    armed_ = false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- Drop/convert
+
+void DropWriteInterposer::arm(unsigned rank, unsigned bg, unsigned bank,
+                              unsigned col) {
+  target_ = pack_col_target(rank, bg, bank, col);
+}
+
+bool DropWriteInterposer::on_write(WriteCmd& cmd) {
+  if (target_ && pack_col_target(cmd.rank, cmd.bank_group, cmd.bank,
+                                 cmd.column) == *target_) {
+    target_.reset();
+    ++drops_;
+    return false;
+  }
+  return true;
+}
+
+void WriteToReadInterposer::arm(unsigned rank, unsigned bg, unsigned bank,
+                                unsigned col) {
+  target_ = pack_col_target(rank, bg, bank, col);
+}
+
+bool WriteToReadInterposer::convert_write_to_read(const WriteCmd& cmd) {
+  if (target_ && pack_col_target(cmd.rank, cmd.bank_group, cmd.bank,
+                                 cmd.column) == *target_) {
+    target_.reset();
+    return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- Bit flips
+
+void BitFlipInterposer::arm(Field field, unsigned bit) {
+  field_ = field;
+  bit_ = bit;
+}
+
+bool BitFlipInterposer::on_write(WriteCmd& cmd) {
+  if (!field_) return true;
+  switch (*field_) {
+    case Field::kWriteData:
+      cmd.data[(bit_ / 8) % kLineSize] ^=
+          static_cast<std::uint8_t>(1u << (bit_ % 8));
+      break;
+    case Field::kWriteEmac:
+      cmd.emac ^= 1ull << (bit_ % 64);
+      break;
+    case Field::kWriteCrc:
+      cmd.ecc_crc ^= static_cast<std::uint16_t>(1u << (bit_ % 16));
+      break;
+    default:
+      return true;
+  }
+  field_.reset();
+  return true;
+}
+
+void BitFlipInterposer::on_read_resp(const ReadCmd&, ReadResp& resp) {
+  if (!field_) return;
+  switch (*field_) {
+    case Field::kReadData:
+      resp.data[(bit_ / 8) % kLineSize] ^=
+          static_cast<std::uint8_t>(1u << (bit_ % 8));
+      break;
+    case Field::kReadEmac:
+      resp.emac ^= 1ull << (bit_ % 64);
+      break;
+    default:
+      return;
+  }
+  field_.reset();
+}
+
+// ------------------------------------------------------------- On-DIMM
+
+void OnDimmReplayInterposer::arm(unsigned rank, std::uint64_t line_key) {
+  target_ = {rank, line_key};
+}
+
+void OnDimmReplayInterposer::on_inner_write(unsigned rank,
+                                            std::uint64_t line_key,
+                                            CacheLine& data,
+                                            std::uint64_t& mac) {
+  seen_[(static_cast<std::uint64_t>(rank) << 56) | line_key].push_back(
+      {data, mac});
+}
+
+void OnDimmReplayInterposer::on_inner_read(unsigned rank,
+                                           std::uint64_t line_key,
+                                           CacheLine& data,
+                                           std::uint64_t& mac) {
+  const std::uint64_t k = (static_cast<std::uint64_t>(rank) << 56) | line_key;
+  if (target_ && target_->first == rank && target_->second == line_key) {
+    const auto it = seen_.find(k);
+    if (it != seen_.end() && !it->second.empty()) {
+      data = it->second.front().data;
+      mac = it->second.front().mac;
+      ++replays_;
+      target_.reset();
+      return;
+    }
+  }
+  seen_[k].push_back({data, mac});
+}
+
+}  // namespace secddr::core

@@ -1,0 +1,175 @@
+// Attack framework: every adversary discussed in the paper, as bus- or
+// on-DIMM interposers (§II-A threat model, §III attack analysis).
+//
+// The attacker can observe all CCCA/data traffic (tracking open rows by
+// snooping ACTIVATEs, exactly as the paper assumes a precise adversary),
+// record (data, E-MAC) pairs, and tamper with or drop any command.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/bus.h"
+
+namespace secddr::core {
+
+/// Base for bus attackers: tracks per-bank open rows from ACTIVATEs so
+/// derived attacks can resolve column commands to full line locations.
+class TrackingInterposer : public BusInterposer {
+ public:
+  bool on_activate(ActivateCmd& cmd) override;
+
+ protected:
+  /// Location key (rank, bg, bank, row, col) for a column command; row is
+  /// the row this interposer observed being opened (0 if none).
+  std::uint64_t locate(unsigned rank, unsigned bg, unsigned bank,
+                       unsigned col) const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> open_rows_;
+};
+
+/// Records every (data, E-MAC) pair seen on the bus, per location.
+/// The "memoize changes to a specific location over time" step of a
+/// replay attack (§II-C1).
+class SnoopInterposer : public TrackingInterposer {
+ public:
+  struct Observation {
+    CacheLine data;
+    std::uint64_t emac;
+    bool from_write;
+  };
+
+  bool on_write(WriteCmd& cmd) override;
+  void on_read_resp(const ReadCmd& cmd, ReadResp& resp) override;
+
+  const std::vector<Observation>* history_for(unsigned rank, unsigned bg,
+                                              unsigned bank, unsigned row,
+                                              unsigned col) const;
+
+ protected:
+  std::unordered_map<std::uint64_t, std::vector<Observation>> history_;
+};
+
+/// Bus replay (data in motion, §II-C2): substitutes a previously captured
+/// (data, E-MAC) pair into a later read response for the same location.
+class BusReplayInterposer : public SnoopInterposer {
+ public:
+  /// Replays the `index`-th recorded observation on the next read of the
+  /// location (indices are in capture order; 0 = oldest).
+  void arm(unsigned rank, unsigned bg, unsigned bank, unsigned row,
+           unsigned col, std::size_t index = 0);
+
+  void on_read_resp(const ReadCmd& cmd, ReadResp& resp) override;
+
+  std::uint64_t replays_performed() const { return replays_; }
+
+ private:
+  std::optional<std::uint64_t> target_;
+  std::size_t index_ = 0;
+  std::uint64_t replays_ = 0;
+};
+
+/// The Fig. 3 attack: corrupts the row address of the next ACTIVATE to a
+/// given bank so a subsequent write lands in the wrong row, leaving the
+/// stale (data, MAC) pair in place.
+class RowRedirectInterposer : public TrackingInterposer {
+ public:
+  void arm(unsigned rank, unsigned bg, unsigned bank, std::uint64_t from_row,
+           std::uint64_t to_row);
+  bool on_activate(ActivateCmd& cmd) override;
+
+  std::uint64_t redirects_performed() const { return redirects_; }
+
+ private:
+  bool armed_ = false;
+  unsigned rank_ = 0, bg_ = 0, bank_ = 0;
+  std::uint64_t from_row_ = 0, to_row_ = 0;
+  std::uint64_t redirects_ = 0;
+};
+
+/// Column-address variant of the same attack: redirects the next write to
+/// a different column of the open row.
+class ColumnRedirectInterposer : public TrackingInterposer {
+ public:
+  void arm(unsigned rank, unsigned bg, unsigned bank, unsigned from_col,
+           unsigned to_col);
+  bool on_write(WriteCmd& cmd) override;
+
+ private:
+  bool armed_ = false;
+  unsigned rank_ = 0, bg_ = 0, bank_ = 0, from_col_ = 0, to_col_ = 0;
+};
+
+/// Drops the next write to a location (stale data via omission, §III-B).
+class DropWriteInterposer : public TrackingInterposer {
+ public:
+  void arm(unsigned rank, unsigned bg, unsigned bank, unsigned col);
+  bool on_write(WriteCmd& cmd) override;
+
+  std::uint64_t drops_performed() const { return drops_; }
+
+ private:
+  std::optional<std::uint64_t> target_;  // (rank,bg,bank,col) packed
+  std::uint64_t drops_ = 0;
+};
+
+/// Converts the next matching write into a read and swallows the
+/// response. Defeated only by the even/odd counter discipline (§III-B).
+class WriteToReadInterposer : public TrackingInterposer {
+ public:
+  void arm(unsigned rank, unsigned bg, unsigned bank, unsigned col);
+  bool convert_write_to_read(const WriteCmd& cmd) override;
+
+ private:
+  std::optional<std::uint64_t> target_;
+};
+
+/// Flips chosen bits on the wire (models both natural faults and crude
+/// active tampering).
+class BitFlipInterposer : public BusInterposer {
+ public:
+  enum class Field { kWriteData, kWriteEmac, kWriteCrc, kReadData, kReadEmac };
+  void arm(Field field, unsigned bit);
+
+  bool on_write(WriteCmd& cmd) override;
+  void on_read_resp(const ReadCmd& cmd, ReadResp& resp) override;
+
+ private:
+  std::optional<Field> field_;
+  unsigned bit_ = 0;
+};
+
+/// On-DIMM adversary (malicious DIMM / interconnect trojan): records and
+/// replays (data, MAC-lane) pairs *inside* the module, between the buffer
+/// chips and the DRAM chips. Against the untrusted-DIMM design the lane
+/// carries E-MACs and the replay is caught; against the trusted-DIMM
+/// design it carries plaintext MACs and the replay succeeds — the §VI-C
+/// argument for putting the logic in the ECC chip.
+class OnDimmReplayInterposer : public OnDimmInterposer {
+ public:
+  /// Replays the first recorded pair for `line_key` into later reads.
+  void arm(unsigned rank, std::uint64_t line_key);
+
+  void on_inner_write(unsigned rank, std::uint64_t line_key, CacheLine& data,
+                      std::uint64_t& mac) override;
+  void on_inner_read(unsigned rank, std::uint64_t line_key, CacheLine& data,
+                     std::uint64_t& mac) override;
+
+  std::uint64_t replays_performed() const { return replays_; }
+
+ private:
+  struct Pair {
+    CacheLine data;
+    std::uint64_t mac;
+  };
+  std::unordered_map<std::uint64_t, std::deque<Pair>> seen_;
+  std::optional<std::pair<unsigned, std::uint64_t>> target_;
+  std::uint64_t replays_ = 0;
+};
+
+}  // namespace secddr::core

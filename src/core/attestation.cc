@@ -1,0 +1,66 @@
+#include "core/attestation.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+#include "crypto/schnorr.h"
+
+namespace secddr::core {
+
+AttestationDriver::AttestationDriver(const crypto::DhGroup& group,
+                                     const crypto::CertificateAuthority& ca,
+                                     std::uint64_t seed, bool monotonic)
+    : group_(group), ca_(ca), rng_(seed), monotonic_(monotonic) {}
+
+AttestationResult AttestationDriver::attest_rank(Dimm& dimm, unsigned rank) {
+  AttestationResult result;
+
+  // 1. Certificate chain: CA signature + revocation + subject binding.
+  const crypto::Certificate& cert = dimm.certificate(rank);
+  if (!ca_.verify(cert)) {
+    result.failure = "certificate rejected by CA (forged or revoked)";
+    return result;
+  }
+  const std::string expected_subject =
+      dimm.module_id() + ":rank" + std::to_string(rank);
+  if (cert.subject != expected_subject) {
+    result.failure = "certificate subject does not match module/rank";
+    return result;
+  }
+
+  // 2. Signed Diffie-Hellman exchange.
+  const crypto::DhKeyPair eph = crypto::dh_generate(group_, rng_);
+  const Dimm::KxResponse resp = dimm.key_exchange(rank, eph.pub);
+  if (!crypto::dh_check_public(group_, resp.pub)) {
+    result.failure = "device DH public value out of range";
+    return result;
+  }
+  std::vector<std::uint8_t> transcript =
+      resp.pub.to_bytes_be(group_.byte_length);
+  const auto ppub = eph.pub.to_bytes_be(group_.byte_length);
+  transcript.insert(transcript.end(), ppub.begin(), ppub.end());
+  transcript.insert(transcript.end(), dimm.module_id().begin(),
+                    dimm.module_id().end());
+  transcript.push_back(static_cast<std::uint8_t>(rank));
+  if (!crypto::schnorr_verify(group_, cert.endorsement_pub, transcript,
+                              resp.sig)) {
+    result.failure = "endorsement signature invalid (man-in-the-middle?)";
+    return result;
+  }
+
+  // 3. Derive Kt identically to the device and install the counter.
+  const auto shared = crypto::dh_shared_secret(group_, eph.priv, resp.pub);
+  const auto okm = crypto::hkdf(
+      {}, shared, {'s', 'e', 'c', 'd', 'd', 'r', '-', 'k', 't'}, 16);
+  std::copy(okm.begin(), okm.end(), result.kt.begin());
+
+  // Even initial value: the channel keeps Ct even between transactions.
+  result.c0 = (monotonic_ ? monotonic_counter_++ * (1ull << 20) : rng_.next()) &
+              ~1ull;
+  dimm.set_transaction_counter(rank, result.c0);
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace secddr::core

@@ -1,0 +1,53 @@
+// Processor-side attestation driver (paper §III-F).
+//
+// At each power-up (or after a legitimate DIMM replacement) the processor:
+//   1. fetches the rank's certificate and validates it against the CA
+//      (including the revocation list),
+//   2. runs an endorsement-signed Diffie-Hellman exchange with the rank's
+//      ECC chip, authenticating the module and deriving the shared
+//      transaction key Kt,
+//   3. chooses the initial transaction counter C0 (random, or monotonic
+//      from a non-volatile register) and sends it in plaintext — tampering
+//      with it only causes a detectable counter mismatch,
+//   4. clears memory to rule out replay of pre-boot state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "core/dimm.h"
+#include "crypto/cert.h"
+#include "crypto/dh.h"
+
+namespace secddr::core {
+
+struct AttestationResult {
+  bool ok = false;
+  std::string failure;  ///< reason when !ok
+  crypto::Key128 kt{};
+  std::uint64_t c0 = 0;
+};
+
+class AttestationDriver {
+ public:
+  /// `monotonic` switches C0 from random to a monotonically increasing
+  /// processor-lifetime value (both are sound; §III-F).
+  AttestationDriver(const crypto::DhGroup& group,
+                    const crypto::CertificateAuthority& ca, std::uint64_t seed,
+                    bool monotonic = false);
+
+  /// Runs the full flow against one rank. On success the caller installs
+  /// `kt`/`c0` into its memory controller; the device side is installed by
+  /// the exchange itself.
+  AttestationResult attest_rank(Dimm& dimm, unsigned rank);
+
+ private:
+  const crypto::DhGroup& group_;
+  const crypto::CertificateAuthority& ca_;
+  Xoshiro256 rng_;
+  bool monotonic_;
+  std::uint64_t monotonic_counter_ = 1;
+};
+
+}  // namespace secddr::core

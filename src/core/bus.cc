@@ -1,0 +1,28 @@
+#include "core/bus.h"
+
+namespace secddr::core {
+
+std::optional<ActivateCmd> Bus::deliver(ActivateCmd cmd) {
+  if (interposer_ && !interposer_->on_activate(cmd)) return std::nullopt;
+  return cmd;
+}
+
+std::optional<WriteCmd> Bus::deliver(WriteCmd cmd) {
+  if (interposer_ && !interposer_->on_write(cmd)) return std::nullopt;
+  return cmd;
+}
+
+std::optional<ReadCmd> Bus::deliver(ReadCmd cmd) {
+  if (interposer_ && !interposer_->on_read(cmd)) return std::nullopt;
+  return cmd;
+}
+
+void Bus::deliver_resp(const ReadCmd& cmd, ReadResp& resp) {
+  if (interposer_) interposer_->on_read_resp(cmd, resp);
+}
+
+bool Bus::wants_write_to_read(const WriteCmd& cmd) {
+  return interposer_ && interposer_->convert_write_to_read(cmd);
+}
+
+}  // namespace secddr::core

@@ -1,0 +1,119 @@
+// The functional DDR command/data bus between the memory controller and
+// the DIMM, with interposer hooks for the attacker framework.
+//
+// The threat model (paper §II-A) lets the adversary tamper with anything
+// on the bus and on the DIMM's interconnects, but not inside packages.
+// Two hook positions model this:
+//   - BusInterposer: between processor and DIMM (the memory channel).
+//   - OnDimmInterposer: between the DIMM's buffer chips and the DRAM
+//     chips (a malicious DIMM / on-DIMM trojan). Whether the plaintext
+//     MAC is visible there depends on where the security logic sits
+//     (ECC chip = untrusted-DIMM design vs ECC data buffer = trusted-DIMM
+//     design, §III-E / §VI-C).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+#include "core/ewcrc.h"
+
+namespace secddr::core {
+
+/// ACTIVATE: opens `row` in (rank, bank_group, bank).
+struct ActivateCmd {
+  unsigned rank = 0;
+  unsigned bank_group = 0;
+  unsigned bank = 0;
+  std::uint64_t row = 0;
+};
+
+/// WRITE with full burst payload (BL10: data + CRC beats) and the E-MAC
+/// on the ECC lanes.
+struct WriteCmd {
+  unsigned rank = 0;
+  unsigned bank_group = 0;
+  unsigned bank = 0;
+  unsigned column = 0;
+  CacheLine data;          ///< ciphertext
+  std::uint64_t emac = 0;  ///< encrypted MAC (ECC chip slice)
+  std::array<std::uint16_t, kDataChips> data_crc{};  ///< plain eWCRCs
+  std::uint16_t ecc_crc = 0;  ///< ECC chip eWCRC, encrypted with OTPw
+};
+
+/// READ column command.
+struct ReadCmd {
+  unsigned rank = 0;
+  unsigned bank_group = 0;
+  unsigned bank = 0;
+  unsigned column = 0;
+};
+
+/// READ response burst.
+struct ReadResp {
+  CacheLine data;
+  std::uint64_t emac = 0;
+};
+
+/// Attacker hook on the memory channel. Default: faithful passthrough.
+/// Returning false from a command hook drops the command entirely.
+class BusInterposer {
+ public:
+  virtual ~BusInterposer() = default;
+  virtual bool on_activate(ActivateCmd&) { return true; }
+  virtual bool on_write(WriteCmd&) { return true; }
+  /// May convert a read into nothing (drop) — response is then lost.
+  virtual bool on_read(ReadCmd&) { return true; }
+  virtual void on_read_resp(const ReadCmd&, ReadResp&) {}
+  /// A write the attacker converts to a read (suppressing the response)
+  /// leaves memory unmodified without dropping a command slot (§III-B).
+  virtual bool convert_write_to_read(const WriteCmd&) { return false; }
+};
+
+/// Attacker hook on the DIMM-internal interconnect, after the buffer
+/// chips. `mac` is the value on the ECC lanes at that point: the E-MAC
+/// when the security logic is in the ECC chip (untrusted-DIMM design), or
+/// the *decrypted* MAC when it is in the ECC data buffer (trusted-DIMM
+/// design) — which is exactly why the trusted-DIMM placement cannot
+/// survive on-DIMM adversaries.
+class OnDimmInterposer {
+ public:
+  virtual ~OnDimmInterposer() = default;
+  virtual void on_inner_write(unsigned rank, std::uint64_t line_key,
+                              CacheLine& data, std::uint64_t& mac) {
+    (void)rank;
+    (void)line_key;
+    (void)data;
+    (void)mac;
+  }
+  virtual void on_inner_read(unsigned rank, std::uint64_t line_key,
+                             CacheLine& data, std::uint64_t& mac) {
+    (void)rank;
+    (void)line_key;
+    (void)data;
+    (void)mac;
+  }
+};
+
+/// The channel: forwards commands through the (optional) interposer.
+/// Owned by the session; the controller talks only to this.
+class Bus {
+ public:
+  void set_interposer(BusInterposer* interposer) { interposer_ = interposer; }
+  BusInterposer* interposer() const { return interposer_; }
+
+  /// Applies the hook; returns the possibly-mutated command, or nullopt
+  /// if the attacker dropped it.
+  std::optional<ActivateCmd> deliver(ActivateCmd cmd);
+  std::optional<WriteCmd> deliver(WriteCmd cmd);
+  std::optional<ReadCmd> deliver(ReadCmd cmd);
+  void deliver_resp(const ReadCmd& cmd, ReadResp& resp);
+  /// True if the attacker wants this write converted into a read.
+  bool wants_write_to_read(const WriteCmd& cmd);
+
+ private:
+  BusInterposer* interposer_ = nullptr;
+};
+
+}  // namespace secddr::core

@@ -1,0 +1,220 @@
+#include "core/controller.h"
+
+#include <cassert>
+
+#include "crypto/aes_ctr.h"
+
+namespace secddr::core {
+namespace {
+
+crypto::Key128 derive_key(Xoshiro256& rng) {
+  crypto::Key128 k;
+  for (auto& b : k) b = static_cast<std::uint8_t>(rng.next());
+  return k;
+}
+
+}  // namespace
+
+const char* to_string(Violation v) {
+  switch (v) {
+    case Violation::kNone:
+      return "none";
+    case Violation::kMacMismatch:
+      return "mac-mismatch";
+    case Violation::kWriteAlert:
+      return "write-alert";
+    case Violation::kDroppedResponse:
+      return "dropped-response";
+  }
+  return "?";
+}
+
+MemoryController::MemoryController(DataEncryption enc, Bus& bus, Dimm& dimm,
+                                   std::uint64_t seed, bool enable_ewcrc)
+    : enc_(enc),
+      bus_(bus),
+      dimm_(dimm),
+      ewcrc_enabled_(enable_ewcrc),
+      mapping_(dimm.config().geometry, /*xor_banks=*/false),
+      xts_([&] {
+        Xoshiro256 r(seed);
+        return crypto::AesXts(derive_key(r), derive_key(r));
+      }()),
+      ctr_aes_([&] {
+        Xoshiro256 r(seed + 1);
+        return crypto::Aes(derive_key(r));
+      }()),
+      mac_([&] {
+        Xoshiro256 r(seed + 2);
+        return MacEngine(derive_key(r));
+      }()),
+      rank_channels_(dimm.config().geometry.ranks),
+      open_row_mirror_(static_cast<std::size_t>(dimm.config().geometry.ranks) *
+                           dimm.config().geometry.bank_groups *
+                           dimm.config().geometry.banks_per_group,
+                       -1) {}
+
+void MemoryController::install_keys(unsigned rank, const crypto::Key128& kt,
+                                    std::uint64_t c0) {
+  rank_channels_[rank].emplace(kt, rank, c0);
+}
+
+bool MemoryController::rank_ready(unsigned rank) const {
+  return rank_channels_[rank].has_value();
+}
+
+std::uint64_t MemoryController::transaction_counter(unsigned rank) const {
+  assert(rank_channels_[rank].has_value());
+  return rank_channels_[rank]->counter();
+}
+
+void MemoryController::ensure_row_open(const dram::DecodedAddr& d) {
+  const auto& g = mapping_.geometry();
+  const std::size_t idx =
+      (static_cast<std::size_t>(d.rank) * g.bank_groups + d.bank_group) *
+          g.banks_per_group +
+      d.bank;
+  if (open_row_mirror_[idx] == static_cast<std::int64_t>(d.row)) return;
+  ++stats_.activates;
+  ActivateCmd act{d.rank, d.bank_group, d.bank, d.row};
+  if (dimm_.config().cca_obfuscation) {
+    // §VIII extension: only the (physical) rank select stays plaintext.
+    const std::uint64_t pad = rank_channels_[d.rank]->next_cmd_pad();
+    act.bank_group ^= static_cast<unsigned>(pad) & (g.bank_groups - 1);
+    act.bank ^= static_cast<unsigned>(pad >> 8) & (g.banks_per_group - 1);
+    act.row ^= (pad >> 16) & (g.rows_per_bank - 1);
+  }
+  // The controller believes its own command regardless of tampering.
+  open_row_mirror_[idx] = static_cast<std::int64_t>(d.row);
+  if (auto delivered = bus_.deliver(act)) dimm_.activate(*delivered);
+}
+
+void MemoryController::obfuscate_column_fields(unsigned rank, unsigned& bg,
+                                               unsigned& bank,
+                                               unsigned& column) {
+  if (!dimm_.config().cca_obfuscation) return;
+  const auto& g = mapping_.geometry();
+  const std::uint64_t pad = rank_channels_[rank]->next_cmd_pad();
+  bg ^= static_cast<unsigned>(pad) & (g.bank_groups - 1);
+  bank ^= static_cast<unsigned>(pad >> 8) & (g.banks_per_group - 1);
+  column ^= static_cast<unsigned>(pad >> 16) & (g.columns_per_row - 1);
+}
+
+CacheLine MemoryController::encrypt(Addr addr, const CacheLine& pt,
+                                    bool bump_counter) {
+  CacheLine ct = pt;
+  if (enc_ == DataEncryption::kXts) {
+    xts_.encrypt(line_index(addr), ct.bytes.data(), ct.bytes.size());
+  } else {
+    std::uint64_t& c = line_counters_[line_base(addr)];
+    if (bump_counter) ++c;
+    // Nonce binds (line, per-line write counter): temporal uniqueness.
+    crypto::Block nonce = crypto::make_nonce(line_index(addr), 'D', 0);
+    for (int i = 0; i < 4; ++i)
+      nonce[12 + i] = static_cast<std::uint8_t>(c >> (8 * i));
+    crypto::ctr_xcrypt(ctr_aes_, nonce, ct.bytes.data(), ct.bytes.size());
+  }
+  return ct;
+}
+
+CacheLine MemoryController::decrypt(Addr addr, const CacheLine& ct) const {
+  CacheLine pt = ct;
+  if (enc_ == DataEncryption::kXts) {
+    xts_.decrypt(line_index(addr), pt.bytes.data(), pt.bytes.size());
+  } else {
+    const auto it = line_counters_.find(line_base(addr));
+    const std::uint64_t c = it == line_counters_.end() ? 0 : it->second;
+    crypto::Block nonce = crypto::make_nonce(line_index(addr), 'D', 0);
+    for (int i = 0; i < 4; ++i)
+      nonce[12 + i] = static_cast<std::uint8_t>(c >> (8 * i));
+    crypto::ctr_xcrypt(ctr_aes_, nonce, pt.bytes.data(), pt.bytes.size());
+  }
+  return pt;
+}
+
+Violation MemoryController::write_line(Addr addr, const CacheLine& plaintext) {
+  assert(line_base(addr) == addr && "line-aligned addresses only");
+  assert(addr < capacity());
+  const dram::DecodedAddr d = mapping_.decode(addr);
+  assert(rank_channels_[d.rank].has_value() && "attestation first");
+  EmacEngine& chan = *rank_channels_[d.rank];
+  ++stats_.writes;
+
+  ensure_row_open(d);
+
+  const CacheLine ct = encrypt(addr, plaintext, /*bump_counter=*/true);
+  const std::uint64_t mac = mac_.compute(addr, ct);
+  const std::uint64_t c = chan.next_counter(Dir::kWrite);
+
+  WriteCmd cmd;
+  cmd.rank = d.rank;
+  cmd.bank_group = d.bank_group;
+  cmd.bank = d.bank;
+  cmd.column = d.column;
+  cmd.data = ct;
+  cmd.emac = chan.encrypt_mac(mac, c);
+  if (ewcrc_enabled_) {
+    const WriteAddress intended{d.rank, d.bank_group, d.bank, d.row, d.column};
+    cmd.data_crc = ewcrc_data_chips(intended, ct);
+    cmd.ecc_crc = static_cast<std::uint16_t>(ewcrc_ecc_chip(intended, mac) ^
+                                             chan.otp_w(c, intended.code()));
+  }
+  obfuscate_column_fields(d.rank, cmd.bank_group, cmd.bank, cmd.column);
+
+  if (bus_.wants_write_to_read(cmd)) {
+    // Attacker converted WR -> RD and swallowed the response. The device
+    // consumes a READ-parity counter; the controller consumed a write one.
+    // Without the even/odd discipline this would stay in sync (§III-B).
+    ReadCmd as_read{cmd.rank, cmd.bank_group, cmd.bank, cmd.column};
+    (void)dimm_.read(as_read);
+    return Violation::kNone;  // undetected *at this point*, by design
+  }
+
+  auto delivered = bus_.deliver(cmd);
+  if (!delivered) return Violation::kNone;  // dropped: detected on next read
+
+  const WriteStatus st = dimm_.write(*delivered);
+  if (st.alert) {
+    ++stats_.write_alerts;
+    return Violation::kWriteAlert;
+  }
+  return Violation::kNone;
+}
+
+MemoryController::ReadResult MemoryController::read_line(Addr addr) {
+  assert(line_base(addr) == addr && "line-aligned addresses only");
+  assert(addr < capacity());
+  const dram::DecodedAddr d = mapping_.decode(addr);
+  assert(rank_channels_[d.rank].has_value() && "attestation first");
+  EmacEngine& chan = *rank_channels_[d.rank];
+  ++stats_.reads;
+
+  ensure_row_open(d);
+
+  const std::uint64_t c = chan.next_counter(Dir::kRead);
+  ReadCmd cmd{d.rank, d.bank_group, d.bank, d.column};
+  obfuscate_column_fields(d.rank, cmd.bank_group, cmd.bank, cmd.column);
+
+  ReadResult result;
+  auto delivered = bus_.deliver(cmd);
+  std::optional<ReadResp> resp;
+  if (delivered) resp = dimm_.read(*delivered);
+  if (!resp) {
+    ++stats_.dropped_responses;
+    result.violation = Violation::kDroppedResponse;
+    return result;
+  }
+  bus_.deliver_resp(cmd, *resp);
+
+  const std::uint64_t mac = chan.decrypt_mac(resp->emac, c);
+  const std::uint64_t expected = mac_.compute(addr, resp->data);
+  if (mac != expected) {
+    ++stats_.mac_mismatches;
+    result.violation = Violation::kMacMismatch;
+    return result;
+  }
+  result.data = decrypt(addr, resp->data);
+  return result;
+}
+
+}  // namespace secddr::core

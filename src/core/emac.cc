@@ -1,0 +1,62 @@
+#include "core/emac.h"
+
+#include <cstring>
+
+namespace secddr::core {
+
+EmacEngine::EmacEngine(const crypto::Key128& kt, unsigned rank,
+                       std::uint64_t initial_counter)
+    : aes_(kt), rank_(rank),
+      ctr_(initial_counter + (initial_counter & 1)) {}
+
+std::uint64_t EmacEngine::peek_counter(Dir dir) const {
+  // ctr_ is kept even: reads use it directly, writes use the odd ctr_+1.
+  return dir == Dir::kRead ? ctr_ : ctr_ + 1;
+}
+
+std::uint64_t EmacEngine::next_counter(Dir dir) {
+  const std::uint64_t c = peek_counter(dir);
+  // Asymmetric advancement (see header): reads +2, writes +4.
+  ctr_ += dir == Dir::kRead ? 2 : 4;
+  return c;
+}
+
+std::uint64_t EmacEngine::otp(std::uint64_t c) const {
+  crypto::Block b{};
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(c >> (8 * i));
+  b[8] = static_cast<std::uint8_t>(rank_);
+  b[9] = 'T';  // domain tag: transaction pad
+  aes_.encrypt_block(b);
+  return load_le64(b.data());
+}
+
+std::uint16_t EmacEngine::otp_w(std::uint64_t c,
+                                std::uint64_t address_code) const {
+  crypto::Block b{};
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(c >> (8 * i));
+  b[8] = static_cast<std::uint8_t>(rank_);
+  b[9] = 'W';  // domain tag: write-CRC pad
+  for (int i = 0; i < 6; ++i)
+    b[10 + i] = static_cast<std::uint8_t>(address_code >> (8 * i));
+  aes_.encrypt_block(b);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint64_t EmacEngine::next_cmd_pad() {
+  crypto::Block b{};
+  const std::uint64_t c = cmd_ctr_++;
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(c >> (8 * i));
+  b[8] = static_cast<std::uint8_t>(rank_);
+  b[9] = 'C';  // domain tag: command-obfuscation pad
+  aes_.encrypt_block(b);
+  return load_le64(b.data());
+}
+
+std::uint64_t MacEngine::compute(Addr addr, const CacheLine& ciphertext) const {
+  std::uint8_t msg[8 + kLineSize];
+  store_le64(msg, addr);
+  std::memcpy(msg + 8, ciphertext.bytes.data(), kLineSize);
+  return cmac_.tag64(msg, sizeof msg);
+}
+
+}  // namespace secddr::core

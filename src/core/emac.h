@@ -1,0 +1,95 @@
+// E-MAC engine: the heart of SecDDR (paper §III-A).
+//
+// Data MACs protect data at rest; to also protect them in motion the MAC
+// is XORed with a one-time pad derived from the shared transaction key Kt
+// and a per-rank transaction counter Ct that both ends increment on every
+// transaction and never store on the bus. Reads consume even counter
+// values and writes odd ones (§III-B). We realize that rule with
+// asymmetric advancement — a read uses Ct and advances it by 2, a write
+// uses Ct+1 and advances it by 4 — so that converting a write command
+// into a read leaves the two ends permanently offset (a read consumed 2
+// where a write should have consumed 4) and every later read fails
+// verification. A symmetric "round up to the right parity" rule would
+// quietly re-synchronize one transaction later and never detect the
+// conversion.
+//
+// One engine instance lives in the processor's memory controller and one
+// in the ECC chip (or ECC data buffer, for trusted DIMMs) of each rank.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+
+namespace secddr::core {
+
+/// Direction of a transaction; determines counter parity.
+enum class Dir : std::uint8_t { kRead = 0, kWrite = 1 };
+
+class EmacEngine {
+ public:
+  /// `kt` is the transaction key agreed during attestation; `rank`
+  /// separates the pads of independent per-rank channels.
+  EmacEngine(const crypto::Key128& kt, unsigned rank,
+             std::uint64_t initial_counter = 0);
+
+  /// Consumes and returns the counter value for the next transaction in
+  /// the given direction (even for reads, odd for writes).
+  std::uint64_t next_counter(Dir dir);
+
+  /// The counter value next_counter(dir) would return, without consuming.
+  std::uint64_t peek_counter(Dir dir) const;
+
+  /// Raw counter state (for attestation / substitution analysis).
+  /// The stored counter is always even; set_counter normalizes.
+  std::uint64_t counter() const { return ctr_; }
+  void set_counter(std::uint64_t v) { ctr_ = v + (v & 1); }
+
+  /// 64-bit one-time pad for transaction counter `c`: AES_Kt(c, rank, 'T').
+  std::uint64_t otp(std::uint64_t c) const;
+
+  /// E-MAC = MAC xor OTPt. Encryption and decryption are the same XOR.
+  std::uint64_t encrypt_mac(std::uint64_t mac, std::uint64_t c) const {
+    return mac ^ otp(c);
+  }
+  std::uint64_t decrypt_mac(std::uint64_t emac, std::uint64_t c) const {
+    return emac ^ otp(c);
+  }
+
+  /// 16-bit pad for the ECC chip's encrypted eWCRC. Unlike OTPt it also
+  /// binds the write address, so a redirected Activate/column garbles the
+  /// decrypted CRC with overwhelming probability (§III-B).
+  std::uint16_t otp_w(std::uint64_t c, std::uint64_t address_code) const;
+
+  /// Pad for CCCA obfuscation (the paper's §VIII extension: "encrypt the
+  /// address and command for traffic obliviousness"). A separate command
+  /// counter advances once per DDR command on both ends; command/address
+  /// fields are XORed with this pad on the bus. A dropped or injected
+  /// command desynchronizes the stream and garbles every later decode.
+  std::uint64_t next_cmd_pad();
+  std::uint64_t cmd_counter() const { return cmd_ctr_; }
+
+  unsigned rank() const { return rank_; }
+
+ private:
+  crypto::Aes aes_;
+  unsigned rank_;
+  std::uint64_t ctr_;
+  std::uint64_t cmd_ctr_ = 0;
+};
+
+/// Processor-side data MAC: CMAC_Kmac(addr || ciphertext), truncated to
+/// 64 bits (the ECC-chip MAC budget). Only the processor ever verifies it.
+class MacEngine {
+ public:
+  explicit MacEngine(const crypto::Key128& kmac) : cmac_(kmac) {}
+
+  std::uint64_t compute(Addr addr, const CacheLine& ciphertext) const;
+
+ private:
+  crypto::Cmac cmac_;
+};
+
+}  // namespace secddr::core

@@ -1,0 +1,41 @@
+#include "core/ewcrc.h"
+
+#include "crypto/crc.h"
+
+namespace secddr::core {
+
+std::uint64_t WriteAddress::code() const {
+  // rank(2b) | bg(3b) | bank(3b) | column(10b) | row(30b): ample for the
+  // functional geometry and stable across both ends of the channel.
+  std::uint64_t v = rank & 0x3;
+  v = (v << 3) | (bank_group & 0x7);
+  v = (v << 3) | (bank & 0x7);
+  v = (v << 10) | (column & 0x3FF);
+  v = (v << 30) | (row & 0x3FFFFFFFull);
+  return v;
+}
+
+std::uint16_t ewcrc_slice(const WriteAddress& addr, const std::uint8_t* slice,
+                          std::size_t n) {
+  std::uint8_t code_bytes[8];
+  store_le64(code_bytes, addr.code());
+  std::uint16_t crc = crypto::crc16(code_bytes, sizeof code_bytes);
+  return crypto::crc16_update(crc, slice, n);
+}
+
+std::array<std::uint16_t, kDataChips> ewcrc_data_chips(
+    const WriteAddress& addr, const CacheLine& line) {
+  std::array<std::uint16_t, kDataChips> out{};
+  for (unsigned chip = 0; chip < kDataChips; ++chip)
+    out[chip] = ewcrc_slice(addr, line.bytes.data() + chip * kChipSliceBytes,
+                            kChipSliceBytes);
+  return out;
+}
+
+std::uint16_t ewcrc_ecc_chip(const WriteAddress& addr, std::uint64_t emac) {
+  std::uint8_t slice[8];
+  store_le64(slice, emac);
+  return ewcrc_slice(addr, slice, sizeof slice);
+}
+
+}  // namespace secddr::core

@@ -1,0 +1,53 @@
+// Extended write CRC (eWCRC) after AI-ECC [Kim et al., ISCA'16], §III-B.
+//
+// DDR4 write CRC protects each device's slice of the write burst; AI-ECC
+// extends the CRC input with the rank/bank-group/bank/row/column so a
+// device can detect a write whose command or address was corrupted in
+// flight. SecDDR additionally encrypts the ECC chip's eWCRC with a pad
+// that binds the address (EmacEngine::otp_w), because a plain CRC is not
+// cryptographic: an attacker who can see it could engineer a redirect
+// that still passes.
+//
+// Layout modeled here (x8 devices): the 64B line is sliced 8 bytes per
+// data chip; the ECC chip's slice is the 8-byte E-MAC. Each chip checks a
+// 16-bit CRC transmitted over the two extra burst beats (BL8 -> BL10).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace secddr::core {
+
+/// The address fields a write carries on the CCCA bus.
+struct WriteAddress {
+  unsigned rank = 0;
+  unsigned bank_group = 0;
+  unsigned bank = 0;
+  std::uint64_t row = 0;  ///< row currently open in the bank (from ACT)
+  unsigned column = 0;
+
+  /// Packs the fields into the code word fed to the CRC and to OTPw.
+  std::uint64_t code() const;
+
+  friend bool operator==(const WriteAddress&, const WriteAddress&) = default;
+};
+
+/// Number of x8 data chips per rank (the ECC chip is separate).
+inline constexpr unsigned kDataChips = 8;
+/// Bytes of the line carried by each data chip.
+inline constexpr unsigned kChipSliceBytes = kLineSize / kDataChips;
+
+/// eWCRC over one chip's slice: CRC-16(address code || slice bytes).
+std::uint16_t ewcrc_slice(const WriteAddress& addr, const std::uint8_t* slice,
+                          std::size_t n);
+
+/// Per-data-chip eWCRCs for a full line.
+std::array<std::uint16_t, kDataChips> ewcrc_data_chips(
+    const WriteAddress& addr, const CacheLine& line);
+
+/// The ECC chip's eWCRC: its slice is the 8-byte (encrypted) MAC.
+std::uint16_t ewcrc_ecc_chip(const WriteAddress& addr, std::uint64_t emac);
+
+}  // namespace secddr::core

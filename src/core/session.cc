@@ -1,0 +1,66 @@
+#include "core/session.h"
+
+#include <cassert>
+
+namespace secddr::core {
+
+std::unique_ptr<SecureMemorySession> SecureMemorySession::create(
+    const SessionConfig& config, std::string* failure) {
+  // Cannot use std::make_unique with the private constructor.
+  std::unique_ptr<SecureMemorySession> s(new SecureMemorySession());
+  s->config_ = config;
+  s->ca_ = std::make_unique<crypto::CertificateAuthority>(*config.group,
+                                                          config.seed ^ 0xCA);
+  s->dimm_ = std::make_unique<Dimm>(config.dimm, config.module_id,
+                                    *config.group, config.seed ^ 0xD1);
+  s->dimm_->provision(*s->ca_);
+  s->controller_ = std::make_unique<MemoryController>(
+      config.encryption, s->bus_, *s->dimm_, config.seed ^ 0xC0,
+      config.dimm.ewcrc_enabled);
+  s->attestation_ = std::make_unique<AttestationDriver>(
+      *config.group, *s->ca_, config.seed ^ 0xA7, config.monotonic_counters);
+
+  if (!s->attest_all(failure)) return nullptr;
+  if (config.clear_memory) s->clear_data_region();
+  return s;
+}
+
+bool SecureMemorySession::attest_all(std::string* failure) {
+  for (unsigned r = 0; r < config_.dimm.geometry.ranks; ++r) {
+    const AttestationResult res = attestation_->attest_rank(*dimm_, r);
+    if (!res.ok) {
+      if (failure) *failure = "rank " + std::to_string(r) + ": " + res.failure;
+      return false;
+    }
+    controller_->install_keys(r, res.kt, res.c0);
+  }
+  return true;
+}
+
+void SecureMemorySession::clear_data_region() {
+  const CacheLine zero{};
+  for (Addr a = 0; a < capacity(); a += kLineSize) {
+    const Violation v = controller_->write_line(a, zero);
+    assert(v == Violation::kNone);
+    (void)v;
+  }
+}
+
+Violation SecureMemorySession::write(Addr addr, const CacheLine& plaintext) {
+  assert(!asleep_ && "no traffic while suspended");
+  return controller_->write_line(addr, plaintext);
+}
+
+MemoryController::ReadResult SecureMemorySession::read(Addr addr) {
+  assert(!asleep_ && "no traffic while suspended");
+  return controller_->read_line(addr);
+}
+
+bool SecureMemorySession::reattest(bool clear_memory) {
+  std::string failure;
+  if (!attest_all(&failure)) return false;
+  if (clear_memory) clear_data_region();
+  return true;
+}
+
+}  // namespace secddr::core

@@ -1,0 +1,52 @@
+#include "crypto/aes_ctr.h"
+
+#include <cstring>
+
+namespace secddr::crypto {
+namespace {
+
+void increment_be32(Block& b) {
+  for (int i = 15; i >= 12; --i) {
+    if (++b[i] != 0) break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ctr_keystream(const Aes& aes, const Block& nonce,
+                                        std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  Block ctr = nonce;
+  std::size_t off = 0;
+  while (off < n) {
+    Block ks = aes.encrypt(ctr);
+    const std::size_t take = std::min<std::size_t>(16, n - off);
+    std::memcpy(out.data() + off, ks.data(), take);
+    off += take;
+    increment_be32(ctr);
+  }
+  return out;
+}
+
+void ctr_xcrypt(const Aes& aes, const Block& nonce, std::uint8_t* data,
+                std::size_t n) {
+  Block ctr = nonce;
+  std::size_t off = 0;
+  while (off < n) {
+    Block ks = aes.encrypt(ctr);
+    const std::size_t take = std::min<std::size_t>(16, n - off);
+    for (std::size_t i = 0; i < take; ++i) data[off + i] ^= ks[i];
+    off += take;
+    increment_be32(ctr);
+  }
+}
+
+Block make_nonce(std::uint64_t major, std::uint8_t domain, std::uint8_t field) {
+  Block b{};
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(major >> (8 * i));
+  b[8] = domain;
+  b[9] = field;
+  return b;
+}
+
+}  // namespace secddr::crypto

@@ -1,0 +1,33 @@
+// AES counter-mode keystream generation.
+//
+// Used for (a) counter-mode data encryption in the secure-memory model and
+// (b) the one-time pads (OTPt / OTPw) that encrypt MACs and eWCRCs on the
+// DDR bus in SecDDR. The pad is a pure function of (key, nonce), so both
+// ends of the channel derive identical pads from their synchronized
+// transaction counters without exchanging any state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes.h"
+
+namespace secddr::crypto {
+
+/// Generates `n` keystream bytes for the 16-byte `nonce` (the counter block
+/// is nonce with its last 4 bytes acting as the block counter, big-endian).
+std::vector<std::uint8_t> ctr_keystream(const Aes& aes, const Block& nonce,
+                                        std::size_t n);
+
+/// XORs the keystream for `nonce` into `data` (encrypt == decrypt).
+void ctr_xcrypt(const Aes& aes, const Block& nonce, std::uint8_t* data,
+                std::size_t n);
+
+/// Builds a counter block from a 64-bit major counter, a domain-separation
+/// tag, and a small field (e.g. rank id). Layout:
+///   bytes 0..7  = major (LE), 8 = domain, 9 = field, 10..11 = 0,
+///   bytes 12..15 = per-call block counter (zeroed here).
+Block make_nonce(std::uint64_t major, std::uint8_t domain, std::uint8_t field);
+
+}  // namespace secddr::crypto

@@ -1,0 +1,58 @@
+#include "crypto/aes_xts.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace secddr::crypto {
+namespace {
+
+// Multiplies the tweak by alpha in GF(2^128) with the XTS little-endian
+// convention (poly x^128 + x^7 + x^2 + x + 1).
+void gf_mul_alpha(Block& t) {
+  std::uint8_t carry = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint8_t next_carry = static_cast<std::uint8_t>(t[i] >> 7);
+    t[i] = static_cast<std::uint8_t>((t[i] << 1) | carry);
+    carry = next_carry;
+  }
+  if (carry) t[0] ^= 0x87;
+}
+
+}  // namespace
+
+AesXts::AesXts(const Key128& data_key, const Key128& tweak_key)
+    : data_aes_(data_key), tweak_aes_(tweak_key) {}
+
+void AesXts::xcrypt(std::uint64_t sector, std::uint8_t* data, std::size_t n,
+                    bool enc) const {
+  assert(n >= 16 && n % 16 == 0);
+  Block tweak{};
+  for (int i = 0; i < 8; ++i)
+    tweak[i] = static_cast<std::uint8_t>(sector >> (8 * i));
+  tweak_aes_.encrypt_block(tweak);
+
+  for (std::size_t off = 0; off < n; off += 16) {
+    Block b;
+    std::memcpy(b.data(), data + off, 16);
+    b = xor_blocks(b, tweak);
+    if (enc)
+      data_aes_.encrypt_block(b);
+    else
+      data_aes_.decrypt_block(b);
+    b = xor_blocks(b, tweak);
+    std::memcpy(data + off, b.data(), 16);
+    gf_mul_alpha(tweak);
+  }
+}
+
+void AesXts::encrypt(std::uint64_t sector, std::uint8_t* data,
+                     std::size_t n) const {
+  xcrypt(sector, data, n, true);
+}
+
+void AesXts::decrypt(std::uint64_t sector, std::uint8_t* data,
+                     std::size_t n) const {
+  xcrypt(sector, data, n, false);
+}
+
+}  // namespace secddr::crypto

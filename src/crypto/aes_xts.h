@@ -1,0 +1,36 @@
+// AES-XTS (IEEE 1619 / NIST SP 800-38E) for cache-line-sized data units.
+//
+// SecDDR's higher-performance variant (SecDDR+XTS) and the commercial
+// encrypt-only baselines (Intel TME, AMD SEV) use XEX-style tweakable
+// encryption keyed by the physical address, with no stored counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes.h"
+
+namespace secddr::crypto {
+
+/// XTS-AES context with two independent AES-128 keys (data key + tweak key).
+class AesXts {
+ public:
+  AesXts(const Key128& data_key, const Key128& tweak_key);
+
+  /// Encrypts `n` bytes in place; `n` must be a multiple of 16 and >= 16
+  /// (cache lines are 64 bytes, so ciphertext stealing is not needed).
+  /// `sector` is the data-unit number (SecDDR uses the line address).
+  void encrypt(std::uint64_t sector, std::uint8_t* data, std::size_t n) const;
+
+  /// Decrypts `n` bytes in place.
+  void decrypt(std::uint64_t sector, std::uint8_t* data, std::size_t n) const;
+
+ private:
+  void xcrypt(std::uint64_t sector, std::uint8_t* data, std::size_t n,
+              bool enc) const;
+
+  Aes data_aes_;
+  Aes tweak_aes_;
+};
+
+}  // namespace secddr::crypto

@@ -1,0 +1,47 @@
+#include "crypto/cert.h"
+
+#include <algorithm>
+
+namespace secddr::crypto {
+
+CertificateAuthority::CertificateAuthority(const DhGroup& group,
+                                           std::uint64_t seed)
+    : group_(group), rng_(seed), keys_(schnorr_generate(group, rng_)) {}
+
+std::vector<std::uint8_t> CertificateAuthority::message_for(
+    const DhGroup& group, const std::string& subject, const BigUInt& pub) {
+  std::vector<std::uint8_t> msg;
+  const std::string tag = "secddr-cert-v1";
+  msg.insert(msg.end(), tag.begin(), tag.end());
+  msg.push_back(0);
+  msg.insert(msg.end(), subject.begin(), subject.end());
+  msg.push_back(0);
+  const auto pub_bytes = pub.to_bytes_be(group.byte_length);
+  msg.insert(msg.end(), pub_bytes.begin(), pub_bytes.end());
+  return msg;
+}
+
+Certificate CertificateAuthority::issue(const std::string& subject,
+                                        const BigUInt& endorsement_pub) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.endorsement_pub = endorsement_pub;
+  cert.ca_sig = schnorr_sign(
+      group_, keys_.priv, message_for(group_, subject, endorsement_pub), rng_);
+  return cert;
+}
+
+void CertificateAuthority::revoke(const std::string& subject) {
+  revocation_list_.push_back(subject);
+}
+
+bool CertificateAuthority::verify(const Certificate& cert) const {
+  if (std::find(revocation_list_.begin(), revocation_list_.end(),
+                cert.subject) != revocation_list_.end())
+    return false;
+  return schnorr_verify(
+      group_, keys_.pub,
+      message_for(group_, cert.subject, cert.endorsement_pub), cert.ca_sig);
+}
+
+}  // namespace secddr::crypto

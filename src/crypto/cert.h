@@ -1,0 +1,54 @@
+// Minimal certificate chain for DIMM attestation.
+//
+// The memory vendor (or a third party) acts as the certificate authority:
+// it signs each module's endorsement public key EKp. The processor checks
+// the certificate against the CA's public key before trusting the module's
+// key-exchange signature (paper §III-F).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.h"
+
+namespace secddr::crypto {
+
+/// Certificate binding a module identity to its endorsement public key.
+struct Certificate {
+  std::string subject;     ///< e.g. "dimm-vendor:serial-0042:rank0"
+  BigUInt endorsement_pub; ///< EKp of the ECC chip
+  SchnorrSignature ca_sig; ///< CA's signature over (subject, EKp)
+  bool revoked = false;    ///< set when the CA revokes the module
+};
+
+/// Certificate authority: a Schnorr keypair plus a revocation list.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(const DhGroup& group, std::uint64_t seed);
+
+  /// Issues a certificate for the given endorsement public key.
+  Certificate issue(const std::string& subject, const BigUInt& endorsement_pub);
+
+  /// Marks a subject as revoked; subsequent verifications fail.
+  void revoke(const std::string& subject);
+
+  /// Verifies signature and revocation status.
+  bool verify(const Certificate& cert) const;
+
+  const BigUInt& public_key() const { return keys_.pub; }
+  const DhGroup& group() const { return group_; }
+
+  /// The byte string the CA signs for a certificate.
+  static std::vector<std::uint8_t> message_for(const DhGroup& group,
+                                               const std::string& subject,
+                                               const BigUInt& pub);
+
+ private:
+  const DhGroup& group_;
+  Xoshiro256 rng_;
+  SchnorrKeyPair keys_;
+  std::vector<std::string> revocation_list_;
+};
+
+}  // namespace secddr::crypto

@@ -1,0 +1,60 @@
+#include "crypto/cmac.h"
+
+#include <cstring>
+
+#include "common/types.h"
+
+namespace secddr::crypto {
+namespace {
+
+// Doubling in GF(2^128) with the CMAC big-endian convention (Rb = 0x87).
+Block dbl(const Block& in) {
+  Block out;
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    out[i] = static_cast<std::uint8_t>((in[i] << 1) | carry);
+    carry = static_cast<std::uint8_t>(in[i] >> 7);
+  }
+  if (carry) out[15] ^= 0x87;
+  return out;
+}
+
+}  // namespace
+
+Cmac::Cmac(const Key128& key) : aes_(key) {
+  Block l{};
+  aes_.encrypt_block(l);
+  k1_ = dbl(l);
+  k2_ = dbl(k1_);
+}
+
+Block Cmac::tag(const std::uint8_t* data, std::size_t n) const {
+  const std::size_t nblocks = n == 0 ? 1 : (n + 15) / 16;
+  const bool complete = n != 0 && n % 16 == 0;
+
+  Block x{};
+  for (std::size_t i = 0; i + 1 < nblocks; ++i) {
+    Block m;
+    std::memcpy(m.data(), data + 16 * i, 16);
+    x = aes_.encrypt(xor_blocks(x, m));
+  }
+
+  Block last{};
+  const std::size_t tail = n - 16 * (nblocks - 1);
+  if (complete) {
+    std::memcpy(last.data(), data + n - 16, 16);
+    last = xor_blocks(last, k1_);
+  } else {
+    if (tail > 0) std::memcpy(last.data(), data + 16 * (nblocks - 1), tail);
+    last[tail] = 0x80;
+    last = xor_blocks(last, k2_);
+  }
+  return aes_.encrypt(xor_blocks(x, last));
+}
+
+std::uint64_t Cmac::tag64(const std::uint8_t* data, std::size_t n) const {
+  const Block t = tag(data, n);
+  return load_le64(t.data());
+}
+
+}  // namespace secddr::crypto

@@ -1,0 +1,32 @@
+// AES-CMAC (RFC 4493 / NIST SP 800-38B).
+//
+// SecDDR's per-line data MAC is MAC = H_k(addr, ciphertext); we realize H
+// as AES-CMAC truncated to 64 bits, matching the 8-byte MAC budget the
+// paper stores in the ECC chips.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes.h"
+
+namespace secddr::crypto {
+
+/// CMAC context over AES-128.
+class Cmac {
+ public:
+  explicit Cmac(const Key128& key);
+
+  /// Full 128-bit tag of `data`.
+  Block tag(const std::uint8_t* data, std::size_t n) const;
+
+  /// Tag truncated to the first 8 bytes (the SecDDR MAC width).
+  std::uint64_t tag64(const std::uint8_t* data, std::size_t n) const;
+
+ private:
+  Aes aes_;
+  Block k1_{};
+  Block k2_{};
+};
+
+}  // namespace secddr::crypto

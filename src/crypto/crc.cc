@@ -1,0 +1,37 @@
+#include "crypto/crc.h"
+
+namespace secddr::crypto {
+
+std::uint16_t crc16_update(std::uint16_t crc, const std::uint8_t* data,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+    for (int b = 0; b < 8; ++b) {
+      if (crc & 0x8000)
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      else
+        crc = static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::uint16_t crc16(const std::uint8_t* data, std::size_t n) {
+  return crc16_update(0xFFFF, data, n);
+}
+
+std::uint8_t crc8(const std::uint8_t* data, std::size_t n) {
+  std::uint8_t crc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      if (crc & 0x80)
+        crc = static_cast<std::uint8_t>((crc << 1) ^ 0x07);
+      else
+        crc = static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+}  // namespace secddr::crypto

@@ -1,0 +1,24 @@
+// Cyclic redundancy codes used on the DDR interface.
+//
+// DDR4/5 devices protect write bursts with a per-device write CRC; AI-ECC's
+// eWCRC extends the CRC input with the write address. We provide CRC-16
+// (CCITT polynomial, the 16-bit WCRC an x8 device transmits over its two
+// extra burst beats) and the 8-bit ATM-HEC CRC that DDR4 uses per lane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace secddr::crypto {
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection, no xorout.
+std::uint16_t crc16(const std::uint8_t* data, std::size_t n);
+
+/// Continues a CRC-16 computation from a previous value.
+std::uint16_t crc16_update(std::uint16_t crc, const std::uint8_t* data,
+                           std::size_t n);
+
+/// CRC-8 with the DDR4 write-CRC polynomial x^8+x^2+x+1 (0x07), init 0.
+std::uint8_t crc8(const std::uint8_t* data, std::size_t n);
+
+}  // namespace secddr::crypto

@@ -1,0 +1,37 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HKDF derives the per-rank transaction key Kt from the Diffie-Hellman
+// shared secret during SecDDR attestation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace secddr::crypto {
+
+/// HMAC-SHA256 of `data` under `key`.
+Sha256Digest hmac_sha256(const std::uint8_t* key, std::size_t key_len,
+                         const std::uint8_t* data, std::size_t data_len);
+
+Sha256Digest hmac_sha256(const std::vector<std::uint8_t>& key,
+                         const std::vector<std::uint8_t>& data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(const std::vector<std::uint8_t>& salt,
+                          const std::vector<std::uint8_t>& ikm);
+
+/// HKDF-Expand: derives `out_len` bytes (out_len <= 255*32) from PRK/info.
+std::vector<std::uint8_t> hkdf_expand(const Sha256Digest& prk,
+                                      const std::vector<std::uint8_t>& info,
+                                      std::size_t out_len);
+
+/// One-shot HKDF (extract + expand).
+std::vector<std::uint8_t> hkdf(const std::vector<std::uint8_t>& salt,
+                               const std::vector<std::uint8_t>& ikm,
+                               const std::vector<std::uint8_t>& info,
+                               std::size_t out_len);
+
+}  // namespace secddr::crypto

@@ -1,0 +1,57 @@
+#include "crypto/schnorr.h"
+
+#include "crypto/sha256.h"
+
+namespace secddr::crypto {
+namespace {
+
+// e = SHA256(r_padded || msg) reduced mod q.
+BigUInt challenge(const DhGroup& group, const BigUInt& r,
+                  const std::vector<std::uint8_t>& msg) {
+  Sha256 h;
+  const auto r_bytes = r.to_bytes_be(group.byte_length);
+  h.update(r_bytes.data(), r_bytes.size());
+  h.update(msg.data(), msg.size());
+  const Sha256Digest d = h.finish();
+  return BigUInt::from_bytes_be(d.data(), d.size()) % group.q;
+}
+
+}  // namespace
+
+SchnorrKeyPair schnorr_generate(const DhGroup& group, Xoshiro256& rng) {
+  SchnorrKeyPair kp;
+  do {
+    kp.priv = BigUInt::random_below(rng, group.q);
+  } while (kp.priv.is_zero());
+  kp.pub = BigUInt::mod_exp(group.gq, kp.priv, group.p);
+  return kp;
+}
+
+SchnorrSignature schnorr_sign(const DhGroup& group, const BigUInt& priv,
+                              const std::vector<std::uint8_t>& msg,
+                              Xoshiro256& rng) {
+  SchnorrSignature sig;
+  BigUInt k;
+  do {
+    k = BigUInt::random_below(rng, group.q);
+  } while (k.is_zero());
+  const BigUInt r = BigUInt::mod_exp(group.gq, k, group.p);
+  sig.e = challenge(group, r, msg);
+  sig.s = (k + sig.e * priv) % group.q;
+  return sig;
+}
+
+bool schnorr_verify(const DhGroup& group, const BigUInt& pub,
+                    const std::vector<std::uint8_t>& msg,
+                    const SchnorrSignature& sig) {
+  if (sig.s >= group.q || sig.e >= group.q) return false;
+  if (!dh_check_public(group, pub)) return false;
+  // r' = gq^s * pub^(-e) = gq^s * pub^(q - e); pub has order q.
+  const BigUInt gs = BigUInt::mod_exp(group.gq, sig.s, group.p);
+  const BigUInt ye =
+      BigUInt::mod_exp(pub, (group.q - sig.e) % group.q, group.p);
+  const BigUInt r = BigUInt::mod_mul(gs, ye, group.p);
+  return challenge(group, r, msg) == sig.e;
+}
+
+}  // namespace secddr::crypto

@@ -1,0 +1,42 @@
+// Schnorr signatures over the order-q subgroup of an RFC 3526 group.
+//
+// Plays the role of the paper's endorsement-key signature: the memory
+// vendor embeds an endorsement keypair (EKp/EKs) in the ECC chip, and the
+// chip signs its key-exchange messages so the processor can authenticate
+// the module (paper §III-F).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "crypto/bignum.h"
+#include "crypto/dh.h"
+
+namespace secddr::crypto {
+
+/// Schnorr signature (e, s) with e = H(r || m) mod q and s = k + e*x mod q.
+struct SchnorrSignature {
+  BigUInt e;
+  BigUInt s;
+};
+
+/// Signing/verification keypair: private x in [1, q), public y = gq^x mod p.
+struct SchnorrKeyPair {
+  BigUInt priv;
+  BigUInt pub;
+};
+
+SchnorrKeyPair schnorr_generate(const DhGroup& group, Xoshiro256& rng);
+
+/// Signs `msg` with the private key.
+SchnorrSignature schnorr_sign(const DhGroup& group, const BigUInt& priv,
+                              const std::vector<std::uint8_t>& msg,
+                              Xoshiro256& rng);
+
+/// Verifies a signature against the public key.
+bool schnorr_verify(const DhGroup& group, const BigUInt& pub,
+                    const std::vector<std::uint8_t>& msg,
+                    const SchnorrSignature& sig);
+
+}  // namespace secddr::crypto

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4). Used by HMAC/HKDF key derivation and by the
+// Schnorr attestation signatures.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace secddr::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+  /// Absorbs `n` bytes.
+  void update(const std::uint8_t* data, std::size_t n);
+  void update(std::string_view s) {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  /// Finalizes and returns the digest; the object must not be reused.
+  Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* p);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// One-shot hash.
+Sha256Digest sha256(const std::uint8_t* data, std::size_t n);
+Sha256Digest sha256(std::string_view s);
+Sha256Digest sha256(const std::vector<std::uint8_t>& v);
+
+}  // namespace secddr::crypto

@@ -1,0 +1,49 @@
+// Physical address to DRAM coordinate mapping.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/timings.h"
+
+namespace secddr::dram {
+
+/// A decoded DRAM coordinate.
+struct DecodedAddr {
+  unsigned rank = 0;
+  unsigned bank_group = 0;
+  unsigned bank = 0;  ///< bank within its group
+  std::uint64_t row = 0;
+  unsigned column = 0;  ///< cache-line column within the row
+
+  /// Flat bank id within the channel: rank * banks_per_rank + bg * bpg + bank.
+  unsigned flat_bank(const Geometry& g) const {
+    return rank * g.banks_per_rank() + bank_group * g.banks_per_group + bank;
+  }
+
+  friend bool operator==(const DecodedAddr& a, const DecodedAddr& b) {
+    return a.rank == b.rank && a.bank_group == b.bank_group &&
+           a.bank == b.bank && a.row == b.row && a.column == b.column;
+  }
+};
+
+/// Row-interleaved mapping (low bits -> column, then bank group, bank, rank,
+/// row) with optional XOR-based bank permutation that spreads row-conflict
+/// streams across banks.
+class AddressMapping {
+ public:
+  explicit AddressMapping(const Geometry& geometry, bool xor_banks = true);
+
+  DecodedAddr decode(Addr byte_addr) const;
+  /// Inverse of decode (line-aligned address).
+  Addr encode(const DecodedAddr& d) const;
+
+  const Geometry& geometry() const { return geometry_; }
+
+ private:
+  Geometry geometry_;
+  bool xor_banks_;
+  unsigned col_bits_, bg_bits_, bank_bits_, rank_bits_;
+};
+
+}  // namespace secddr::dram

@@ -1,0 +1,7 @@
+// Bank is header-only; this translation unit anchors the module in the
+// build so the library always has at least the header's checks compiled.
+#include "dram/bank.h"
+
+namespace secddr::dram {
+static_assert(Bank::kClosed == -1);
+}  // namespace secddr::dram

@@ -1,0 +1,277 @@
+#include "dram/controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace secddr::dram {
+
+Controller::Controller(const Geometry& geometry, const Timings& timings,
+                       unsigned read_queue_size, unsigned write_queue_size,
+                       SchedulingPolicy policy)
+    : geometry_(geometry),
+      timings_(timings),
+      mapping_(geometry),
+      policy_(policy),
+      rq_size_(read_queue_size),
+      wq_size_(write_queue_size),
+      drain_low_(write_queue_size / 4),
+      drain_high_(write_queue_size * 3 / 4),
+      banks_(geometry.total_banks()),
+      ranks_(geometry.ranks) {
+  for (unsigned r = 0; r < geometry_.ranks; ++r) {
+    // Stagger refresh across ranks so they do not lock the channel together.
+    ranks_[r].next_refresh_due =
+        timings_.tREFI / (geometry_.ranks + 1) * (r + 1);
+  }
+}
+
+bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
+                         Cycle now) {
+  Entry e{addr, mapping_.decode(addr), tag, now, false};
+  if (is_write) {
+    if (write_q_.size() >= wq_size_) return false;
+    // Write merging: a newer write to the same line replaces the old one.
+    for (auto& w : write_q_) {
+      if (line_base(w.addr) == line_base(addr)) {
+        w.tag = tag;
+        completions_.push_back({tag, addr, true, now, now});
+        ++stats_.writes_enqueued;
+        ++stats_.writes_completed;
+        return true;
+      }
+    }
+    write_q_.push_back(e);
+    ++stats_.writes_enqueued;
+    return true;
+  }
+  if (read_q_.size() >= rq_size_) return false;
+  ++stats_.reads_enqueued;
+  // Write forwarding: serve the read from the pending write data.
+  for (const auto& w : write_q_) {
+    if (line_base(w.addr) == line_base(addr)) {
+      ++stats_.write_forwards;
+      ++stats_.reads_completed;
+      const Cycle finish = now + timings_.tCL;
+      stats_.total_read_latency += finish - now;
+      completions_.push_back({tag, addr, false, now, finish});
+      return true;
+    }
+  }
+  read_q_.push_back(e);
+  return true;
+}
+
+bool Controller::column_cmd_allowed(const Entry& e, bool is_write,
+                                    Cycle now) const {
+  const Bank& bank = banks_[e.d.flat_bank(geometry_)];
+  if (!bank.is_open() ||
+      bank.open_row != static_cast<std::int64_t>(e.d.row))
+    return false;
+  if (now < (is_write ? bank.next_write : bank.next_read)) return false;
+
+  // Column-to-column spacing (tCCD_S/tCCD_L).
+  if (have_last_col_) {
+    const bool same_bg =
+        last_col_bg_ == e.d.bank_group && last_col_rank_ == e.d.rank;
+    const unsigned ccd = same_bg ? timings_.tCCD_L : timings_.tCCD_S;
+    if (now < last_col_cmd_ + ccd) return false;
+  }
+
+  // Data-bus availability, including direction/rank turnaround.
+  const Cycle data_start =
+      now + (is_write ? timings_.tCWL : timings_.tCL);
+  Cycle bus_ready = bus_free_at_;
+  if (bus_free_at_ > 0 && (bus_last_was_write_ != is_write ||
+                           bus_last_rank_ != e.d.rank))
+    bus_ready += timings_.turnaround;
+  return data_start >= bus_ready;
+}
+
+bool Controller::act_allowed(const Entry& e, Cycle now) const {
+  const Bank& bank = banks_[e.d.flat_bank(geometry_)];
+  if (bank.is_open()) return false;
+  if (now < bank.next_activate) return false;
+  const RankState& rank = ranks_[e.d.rank];
+  if (rank.refresh_pending) return false;
+  if (rank.act_window.size() >= 4 &&
+      now < rank.act_window.front() + timings_.tFAW)
+    return false;
+  if (rank.have_last_act) {
+    const unsigned rrd = rank.last_act_bg == e.d.bank_group ? timings_.tRRD_L
+                                                            : timings_.tRRD_S;
+    if (now < rank.last_act + rrd) return false;
+  }
+  return true;
+}
+
+void Controller::apply_write_to_read_penalty(const Entry& e, Cycle data_end) {
+  // After write data ends, reads to the same rank must wait tWTR_S/L.
+  for (unsigned bg = 0; bg < geometry_.bank_groups; ++bg) {
+    const unsigned wtr =
+        bg == e.d.bank_group ? timings_.tWTR_L : timings_.tWTR_S;
+    for (unsigned b = 0; b < geometry_.banks_per_group; ++b) {
+      const unsigned idx = e.d.rank * geometry_.banks_per_rank() +
+                           bg * geometry_.banks_per_group + b;
+      banks_[idx].next_read = std::max(banks_[idx].next_read, data_end + wtr);
+    }
+  }
+}
+
+bool Controller::try_issue_column(std::deque<Entry>& q, bool is_write,
+                                  Cycle now) {
+  // FR-FCFS: oldest row-hit first; strict FCFS considers only the head.
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (policy_ == SchedulingPolicy::kFcfs && it != q.begin()) break;
+    if (!column_cmd_allowed(*it, is_write, now)) continue;
+    Entry e = *it;
+    q.erase(it);
+
+    Bank& bank = banks_[e.d.flat_bank(geometry_)];
+    if (e.activated_for)
+      ++stats_.row_misses;
+    else
+      ++stats_.row_hits;
+
+    const unsigned burst = is_write ? timings_.write_burst_cycles
+                                    : timings_.read_burst_cycles;
+    const Cycle data_start = now + (is_write ? timings_.tCWL : timings_.tCL);
+    const Cycle data_end = data_start + burst;
+    bus_free_at_ = data_end;
+    bus_last_was_write_ = is_write;
+    bus_last_rank_ = e.d.rank;
+    stats_.data_bus_busy_cycles += burst;
+    last_col_cmd_ = now;
+    have_last_col_ = true;
+    last_col_bg_ = e.d.bank_group;
+    last_col_rank_ = e.d.rank;
+
+    if (is_write) {
+      bank.next_precharge =
+          std::max(bank.next_precharge, data_end + timings_.tWR);
+      apply_write_to_read_penalty(e, data_end);
+      ++stats_.writes_completed;
+      completions_.push_back({e.tag, e.addr, true, e.arrival, data_end});
+    } else {
+      bank.next_precharge =
+          std::max(bank.next_precharge, now + timings_.tRTP);
+      inflight_reads_.push_back({e, data_end});
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Controller::try_issue_bank_prep(std::deque<Entry>& q, Cycle now) {
+  // Issue ACT or PRE for the oldest request whose bank is not ready.
+  std::size_t scanned = 0;
+  for (auto& e : q) {
+    if (policy_ == SchedulingPolicy::kFcfs && scanned++ > 0) break;
+    Bank& bank = banks_[e.d.flat_bank(geometry_)];
+    if (bank.is_open() &&
+        bank.open_row == static_cast<std::int64_t>(e.d.row))
+      continue;  // row hit waiting on timing only
+    if (!bank.is_open()) {
+      if (act_allowed(e, now)) {
+        bank.activate(e.d.row, now, timings_.tRCD, timings_.tRAS);
+        RankState& rank = ranks_[e.d.rank];
+        rank.act_window.push_back(now);
+        while (rank.act_window.size() > 4) rank.act_window.pop_front();
+        rank.last_act = now;
+        rank.have_last_act = true;
+        rank.last_act_bg = e.d.bank_group;
+        e.activated_for = true;
+        ++stats_.activates;
+        return true;
+      }
+    } else if (now >= bank.next_precharge) {
+      // Conflict: close the current row.
+      bank.precharge(now, timings_.tRP);
+      ++stats_.precharges;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Controller::handle_refresh(Cycle now) {
+  for (unsigned r = 0; r < geometry_.ranks; ++r) {
+    RankState& rank = ranks_[r];
+    if (!rank.refresh_pending) {
+      if (now >= rank.next_refresh_due) rank.refresh_pending = true;
+      continue;
+    }
+    // Precharge all open banks in the rank, then refresh.
+    bool all_closed = true;
+    for (unsigned b = 0; b < geometry_.banks_per_rank(); ++b) {
+      Bank& bank = banks_[r * geometry_.banks_per_rank() + b];
+      if (bank.is_open()) {
+        all_closed = false;
+        if (now >= bank.next_precharge) {
+          bank.precharge(now, timings_.tRP);
+          ++stats_.precharges;
+          return true;
+        }
+      }
+    }
+    if (all_closed) {
+      bool ready = true;
+      for (unsigned b = 0; b < geometry_.banks_per_rank(); ++b) {
+        const Bank& bank = banks_[r * geometry_.banks_per_rank() + b];
+        if (now < bank.next_activate) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        for (unsigned b = 0; b < geometry_.banks_per_rank(); ++b) {
+          Bank& bank = banks_[r * geometry_.banks_per_rank() + b];
+          bank.next_activate = std::max(bank.next_activate, now + timings_.tRFC);
+        }
+        rank.refresh_pending = false;
+        rank.next_refresh_due += timings_.tREFI;
+        ++stats_.refreshes;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Controller::tick(Cycle now) {
+  // Retire reads whose data has arrived.
+  for (std::size_t i = 0; i < inflight_reads_.size();) {
+    if (inflight_reads_[i].finish <= now) {
+      const auto& fr = inflight_reads_[i];
+      ++stats_.reads_completed;
+      stats_.total_read_latency += fr.finish - fr.entry.arrival;
+      completions_.push_back(
+          {fr.entry.tag, fr.entry.addr, false, fr.entry.arrival, fr.finish});
+      inflight_reads_[i] = inflight_reads_.back();
+      inflight_reads_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  // Update write-drain mode.
+  if (write_q_.size() >= drain_high_) draining_writes_ = true;
+  if (write_q_.size() <= drain_low_) draining_writes_ = false;
+  const bool serve_writes =
+      draining_writes_ || (read_q_.empty() && !write_q_.empty());
+
+  // One command slot per cycle: refresh first, then columns, then prep.
+  if (handle_refresh(now)) return;
+  if (serve_writes) {
+    if (try_issue_column(write_q_, true, now)) return;
+    if (try_issue_column(read_q_, false, now)) return;  // opportunistic reads
+    if (try_issue_bank_prep(write_q_, now)) return;
+    if (try_issue_bank_prep(read_q_, now)) return;
+  } else {
+    if (try_issue_column(read_q_, false, now)) return;
+    if (try_issue_bank_prep(read_q_, now)) return;
+    // Idle read path: prep writes in the background.
+    if (try_issue_bank_prep(write_q_, now)) return;
+  }
+}
+
+}  // namespace secddr::dram

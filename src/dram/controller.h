@@ -1,0 +1,152 @@
+// Cycle-level DDR memory controller: FR-FCFS scheduling, separate read and
+// write queues with watermark-based write draining, bank/rank/channel
+// timing constraints, and per-rank refresh.
+//
+// Queue sizes follow Table I (64 read + 64 write entries). The data-bus
+// occupancy of writes is `Timings::write_burst_cycles`, which is where
+// SecDDR's eWCRC burst extension (BL8 -> BL10) costs bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/address.h"
+#include "dram/bank.h"
+#include "dram/timings.h"
+
+namespace secddr::dram {
+
+/// A completed memory transaction, reported to the owner via `tag`.
+struct Completion {
+  std::uint64_t tag = 0;
+  Addr addr = 0;
+  bool is_write = false;
+  Cycle arrival = 0;
+  Cycle finish = 0;  ///< cycle the last data beat left the bus
+};
+
+/// Controller statistics.
+struct ControllerStats {
+  std::uint64_t reads_enqueued = 0;
+  std::uint64_t writes_enqueued = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t write_forwards = 0;
+  std::uint64_t data_bus_busy_cycles = 0;
+  std::uint64_t total_read_latency = 0;  ///< sum over completed reads
+
+  double row_hit_rate() const {
+    const std::uint64_t n = row_hits + row_misses;
+    return n ? static_cast<double>(row_hits) / static_cast<double>(n) : 0.0;
+  }
+  double avg_read_latency() const {
+    return reads_completed ? static_cast<double>(total_read_latency) /
+                                 static_cast<double>(reads_completed)
+                           : 0.0;
+  }
+};
+
+/// Request-scheduling policy.
+enum class SchedulingPolicy {
+  kFrFcfs,  ///< first-ready FCFS: oldest row hit first (default)
+  kFcfs,    ///< strict arrival order (ablation baseline)
+};
+
+/// Single-channel memory controller.
+class Controller {
+ public:
+  Controller(const Geometry& geometry, const Timings& timings,
+             unsigned read_queue_size = 64, unsigned write_queue_size = 64,
+             SchedulingPolicy policy = SchedulingPolicy::kFrFcfs);
+
+  /// True if a read (write) can be enqueued this cycle.
+  bool can_accept_read() const { return read_q_.size() < rq_size_; }
+  bool can_accept_write() const { return write_q_.size() < wq_size_; }
+
+  /// Enqueues a transaction; returns false if the queue is full.
+  /// Reads that hit a pending write are forwarded and complete quickly.
+  bool enqueue(Addr addr, bool is_write, std::uint64_t tag, Cycle now);
+
+  /// Advances one memory-clock cycle: issues at most one DRAM command and
+  /// retires finished transactions into the completion list.
+  void tick(Cycle now);
+
+  /// Completions since the last call (caller drains and clears).
+  std::vector<Completion>& completions() { return completions_; }
+
+  const ControllerStats& stats() const { return stats_; }
+  /// Clears statistics after warmup; bank/queue state is preserved.
+  void reset_stats() { stats_ = ControllerStats{}; }
+  const Timings& timings() const { return timings_; }
+  const Geometry& geometry() const { return geometry_; }
+  const AddressMapping& mapping() const { return mapping_; }
+
+  /// Outstanding queued transactions (for drain checks in tests/harness).
+  std::size_t pending() const {
+    return read_q_.size() + write_q_.size() + inflight_reads_.size();
+  }
+
+ private:
+  struct Entry {
+    Addr addr;
+    DecodedAddr d;
+    std::uint64_t tag;
+    Cycle arrival;
+    bool activated_for = false;  ///< an ACT was issued on this entry's behalf
+  };
+  struct InflightRead {
+    Entry entry;
+    Cycle finish;
+  };
+  struct RankState {
+    std::deque<Cycle> act_window;  ///< ACT timestamps for tFAW
+    Cycle last_act = 0;
+    bool have_last_act = false;
+    unsigned last_act_bg = 0;
+    Cycle next_refresh_due = 0;
+    bool refresh_pending = false;
+  };
+
+  bool try_issue_column(std::deque<Entry>& q, bool is_write, Cycle now);
+  bool try_issue_bank_prep(std::deque<Entry>& q, Cycle now);
+  bool handle_refresh(Cycle now);
+  bool column_cmd_allowed(const Entry& e, bool is_write, Cycle now) const;
+  bool act_allowed(const Entry& e, Cycle now) const;
+  void apply_write_to_read_penalty(const Entry& e, Cycle data_end);
+
+  Geometry geometry_;
+  Timings timings_;
+  AddressMapping mapping_;
+  SchedulingPolicy policy_;
+  unsigned rq_size_, wq_size_;
+  unsigned drain_low_, drain_high_;
+  bool draining_writes_ = false;
+
+  std::vector<Bank> banks_;
+  std::vector<RankState> ranks_;
+
+  std::deque<Entry> read_q_;
+  std::deque<Entry> write_q_;
+  std::vector<InflightRead> inflight_reads_;
+  std::vector<Completion> completions_;
+
+  // Channel-level constraints.
+  Cycle bus_free_at_ = 0;
+  bool bus_last_was_write_ = false;
+  unsigned bus_last_rank_ = 0;
+  Cycle last_col_cmd_ = 0;
+  bool have_last_col_ = false;
+  unsigned last_col_bg_ = 0;
+  unsigned last_col_rank_ = 0;
+
+  ControllerStats stats_;
+};
+
+}  // namespace secddr::dram

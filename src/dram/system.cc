@@ -1,0 +1,47 @@
+#include "dram/system.h"
+
+#include <cmath>
+
+namespace secddr::dram {
+
+DramSystem::DramSystem(const Geometry& geometry, const Timings& timings,
+                       double core_clock_mhz, SchedulingPolicy policy)
+    : controller_(geometry, timings, 64, 64, policy),
+      core_clock_mhz_(core_clock_mhz),
+      mem_khz_(static_cast<std::uint64_t>(timings.clock_mhz * 1000.0)),
+      core_khz_(static_cast<std::uint64_t>(core_clock_mhz * 1000.0)) {}
+
+bool DramSystem::enqueue(Addr addr, bool is_write, std::uint64_t tag) {
+  return controller_.enqueue(addr, is_write, tag, mem_cycle_);
+}
+
+void DramSystem::tick_core_cycle() {
+  ++core_cycle_;
+  accum_ += mem_khz_;
+  while (accum_ >= core_khz_) {
+    accum_ -= core_khz_;
+    controller_.tick(mem_cycle_);
+    ++mem_cycle_;
+  }
+  // Drain controller completions into the core-clock domain.
+  for (const auto& c : controller_.completions()) {
+    Completion cc = c;
+    cc.finish = core_cycle_;  // visible to the core now
+    out_.push_back(cc);
+  }
+  controller_.completions().clear();
+}
+
+std::vector<Completion> DramSystem::drain_completions() {
+  std::vector<Completion> v;
+  v.swap(out_);
+  return v;
+}
+
+Cycle DramSystem::mem_to_core(Cycle mem_cycles) const {
+  return static_cast<Cycle>(
+      std::ceil(static_cast<double>(mem_cycles) * core_clock_mhz_ /
+                (static_cast<double>(mem_khz_) / 1000.0)));
+}
+
+}  // namespace secddr::dram

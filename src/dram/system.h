@@ -1,0 +1,56 @@
+// Top-level single-channel DRAM system: couples the address mapping and
+// controller and owns the memory-clock domain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/controller.h"
+
+namespace secddr::dram {
+
+/// A DRAM channel driven from a faster core clock. The caller ticks the
+/// system once per *core* cycle; internally the memory clock advances at
+/// `clock_mhz / core_mhz` of that rate using an exact rational accumulator.
+class DramSystem {
+ public:
+  DramSystem(const Geometry& geometry, const Timings& timings,
+             double core_clock_mhz,
+             SchedulingPolicy policy = SchedulingPolicy::kFrFcfs);
+
+  /// Enqueue a line transaction. Returns false when the queue is full.
+  bool enqueue(Addr addr, bool is_write, std::uint64_t tag);
+
+  /// Advances one core cycle; may advance zero or more memory cycles.
+  void tick_core_cycle();
+
+  /// Completions observed since last drain, with finish times converted to
+  /// core cycles.
+  std::vector<Completion> drain_completions();
+
+  Cycle core_cycle() const { return core_cycle_; }
+  Cycle memory_cycle() const { return mem_cycle_; }
+  const ControllerStats& stats() const { return controller_.stats(); }
+  void reset_stats() { controller_.reset_stats(); }
+  const Timings& timings() const { return controller_.timings(); }
+  const Geometry& geometry() const { return controller_.geometry(); }
+  std::size_t pending() const { return controller_.pending(); }
+  bool can_accept_read() const { return controller_.can_accept_read(); }
+  bool can_accept_write() const { return controller_.can_accept_write(); }
+
+  /// Converts a memory-clock cycle count to core cycles (rounding up).
+  Cycle mem_to_core(Cycle mem_cycles) const;
+
+ private:
+  Controller controller_;
+  double core_clock_mhz_;
+  Cycle core_cycle_ = 0;
+  Cycle mem_cycle_ = 0;
+  // mem_cycles owed = core_cycle * mem_mhz / core_mhz, tracked exactly with
+  // integer micro-hertz to avoid floating-point drift over long runs.
+  std::uint64_t mem_khz_, core_khz_;
+  std::uint64_t accum_ = 0;
+  std::vector<Completion> out_;
+};
+
+}  // namespace secddr::dram

@@ -1,0 +1,65 @@
+#include "dram/timings.h"
+
+#include <cmath>
+
+namespace secddr::dram {
+namespace {
+
+// Scales a cycle count defined at `from_mhz` to `to_mhz`, holding the
+// wall-clock duration constant (rounding up as JEDEC does).
+unsigned scale(unsigned cycles, double from_mhz, double to_mhz) {
+  return static_cast<unsigned>(
+      std::ceil(static_cast<double>(cycles) * to_mhz / from_mhz));
+}
+
+}  // namespace
+
+Timings Timings::ddr4_3200() { return Timings{}; }
+
+Timings Timings::ddr4_2400() {
+  Timings t = ddr4_3200();
+  const double from = t.clock_mhz;
+  t.name = "DDR4-2400";
+  t.clock_mhz = 1200.0;
+  for (unsigned* p : {&t.tCL, &t.tRCD, &t.tRP, &t.tRAS, &t.tCCD_L, &t.tCWL,
+                      &t.tWTR_L, &t.tRRD_L, &t.tFAW, &t.tWR, &t.tRTP, &t.tRFC,
+                      &t.tREFI})
+    *p = scale(*p, from, t.clock_mhz);
+  // Short column/burst parameters are burst-length bound, not wall-clock
+  // bound; they stay at their cycle minimums.
+  return t;
+}
+
+Timings Timings::ddr5_4800() {
+  Timings t;
+  t.name = "DDR5-4800";
+  t.clock_mhz = 2400.0;
+  t.tCL = 34;
+  t.tRCD = 34;
+  t.tRP = 34;
+  t.tRAS = 76;
+  t.tCCD_S = 8;
+  t.tCCD_L = 16;
+  t.tCWL = 32;
+  t.tWTR_S = 8;
+  t.tWTR_L = 24;
+  t.tRRD_S = 8;
+  t.tRRD_L = 12;
+  t.tFAW = 40;
+  t.tWR = 36;
+  t.tRTP = 18;
+  t.tRFC = 840;
+  t.tREFI = 18720;
+  t.read_burst_cycles = 8;   // BL16
+  t.write_burst_cycles = 8;  // BL16 -> 9 with eWCRC (BL18)
+  return t;
+}
+
+Timings Timings::with_ewcrc_burst() const {
+  Timings t = *this;
+  // DDR4: BL8 -> BL10 adds one data-bus cycle; DDR5: BL16 -> BL18 likewise.
+  t.write_burst_cycles += 1;
+  return t;
+}
+
+}  // namespace secddr::dram

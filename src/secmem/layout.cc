@@ -1,0 +1,73 @@
+#include "secmem/layout.h"
+
+#include <cassert>
+
+#include "common/bitops.h"
+
+namespace secddr::secmem {
+
+MetadataLayout::MetadataLayout(const SecurityParams& params,
+                               std::uint64_t data_bytes)
+    : params_(params), data_bytes_(data_bytes) {
+  assert(data_bytes % kLineSize == 0);
+  const std::uint64_t data_lines = data_bytes / kLineSize;
+  Addr cursor = data_bytes;
+
+  if (params.enc == Encryption::kCounterMode) {
+    counter_lines_ = ceil_div(data_lines, params.counters_per_line);
+    counter_base_ = cursor;
+    cursor += counter_lines_ * kLineSize;
+  }
+  if (!params.macs_in_ecc && params.verify_mac) {
+    // 8-byte MACs, 8 per 64B line, gathered contiguously (paper §V-A).
+    mac_lines_ = ceil_div(data_lines, 8);
+    mac_base_ = cursor;
+    cursor += mac_lines_ * kLineSize;
+  }
+
+  if (params.rap == Rap::kIntegrityTree) {
+    // Tree leaves: counter lines (counter tree) or MAC lines (hash tree).
+    std::uint64_t level_count = params.hash_tree_over_macs
+                                    ? mac_lines_
+                                    : counter_lines_;
+    assert(level_count > 0 && "integrity tree needs counters or MAC lines");
+    for (;;) {
+      level_count = ceil_div(level_count, params.tree_arity);
+      if (level_count <= 1) break;  // single node = on-chip root
+      level_base_.push_back(cursor);
+      level_nodes_.push_back(level_count);
+      cursor += level_count * kLineSize;
+    }
+  }
+  end_ = cursor;
+  metadata_bytes_ = end_ - data_bytes;
+}
+
+std::uint64_t MetadataLayout::leaf_index(Addr data_addr) const {
+  if (params_.hash_tree_over_macs)
+    return line_index(data_addr) / 8;
+  return line_index(data_addr) / params_.counters_per_line;
+}
+
+Addr MetadataLayout::counter_line_addr(Addr data_addr) const {
+  assert(has_counters());
+  assert(data_addr < data_bytes_);
+  return counter_base_ +
+         (line_index(data_addr) / params_.counters_per_line) * kLineSize;
+}
+
+Addr MetadataLayout::mac_line_addr(Addr data_addr) const {
+  assert(has_mac_region());
+  assert(data_addr < data_bytes_);
+  return mac_base_ + (line_index(data_addr) / 8) * kLineSize;
+}
+
+Addr MetadataLayout::tree_node_addr(unsigned level, Addr data_addr) const {
+  assert(level >= 1 && level <= tree_levels());
+  std::uint64_t idx = leaf_index(data_addr);
+  for (unsigned l = 0; l < level; ++l) idx /= params_.tree_arity;
+  assert(idx < level_nodes_[level - 1]);
+  return level_base_[level - 1] + idx * kLineSize;
+}
+
+}  // namespace secddr::secmem

@@ -1,0 +1,67 @@
+// Physical layout of security metadata in DRAM.
+//
+// Data occupies [0, data_bytes). Above it we reserve, in order:
+//   - the encryption-counter region (counter-mode only),
+//   - the MAC region (only when MACs are not carried in the ECC chips),
+//   - one region per integrity-tree level, bottom-up; the final single
+//     node is the on-chip root and is NOT stored in memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "secmem/params.h"
+
+namespace secddr::secmem {
+
+/// Computes and answers all metadata address questions for one config.
+class MetadataLayout {
+ public:
+  MetadataLayout(const SecurityParams& params, std::uint64_t data_bytes);
+
+  std::uint64_t data_bytes() const { return data_bytes_; }
+  bool has_counters() const { return counter_lines_ != 0; }
+  bool has_mac_region() const { return mac_lines_ != 0; }
+  unsigned tree_levels() const {
+    return static_cast<unsigned>(level_base_.size());
+  }
+
+  /// Address of the counter line covering `data_addr`.
+  Addr counter_line_addr(Addr data_addr) const;
+  /// Address of the in-memory MAC line covering `data_addr` (hash-tree mode).
+  Addr mac_line_addr(Addr data_addr) const;
+  /// Address of the tree node at `level` (1-based, 1 = just above leaves)
+  /// on the path of `data_addr`.
+  Addr tree_node_addr(unsigned level, Addr data_addr) const;
+
+  std::uint64_t counter_lines() const { return counter_lines_; }
+  std::uint64_t mac_lines() const { return mac_lines_; }
+  std::uint64_t tree_nodes(unsigned level) const {
+    return level_nodes_[level - 1];
+  }
+  /// Total metadata footprint in bytes (excludes the on-chip root).
+  std::uint64_t metadata_bytes() const { return metadata_bytes_; }
+  /// First byte past all regions (for capacity checks).
+  std::uint64_t end_of_memory() const { return end_; }
+
+  /// True if `addr` falls in any metadata region (diagnostics).
+  bool is_metadata(Addr addr) const { return addr >= data_bytes_ && addr < end_; }
+
+ private:
+  /// Leaf index of `data_addr` in the tree's leaf space.
+  std::uint64_t leaf_index(Addr data_addr) const;
+
+  SecurityParams params_;
+  std::uint64_t data_bytes_;
+  std::uint64_t counter_lines_ = 0;
+  std::uint64_t mac_lines_ = 0;
+  Addr counter_base_ = 0;
+  Addr mac_base_ = 0;
+  std::vector<Addr> level_base_;
+  std::vector<std::uint64_t> level_nodes_;
+  std::uint64_t metadata_bytes_ = 0;
+  std::uint64_t end_ = 0;
+};
+
+}  // namespace secddr::secmem

@@ -1,0 +1,292 @@
+#include "secmem/model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace secddr::secmem {
+
+SecurityEngine::SecurityEngine(const SecurityParams& params,
+                               const MetadataLayout& layout,
+                               dram::DramSystem& dram)
+    : params_(params),
+      layout_(layout),
+      dram_(dram),
+      meta_cache_(params.metadata_cache_bytes, params.metadata_cache_assoc) {}
+
+void SecurityEngine::issue_dram(Addr addr, bool is_write, std::uint64_t tag) {
+  // Preserve ordering: if anything is already queued, queue behind it.
+  if (!issue_q_.empty() || !dram_.enqueue(addr, is_write, tag))
+    issue_q_.push_back({addr, is_write, tag});
+}
+
+void SecurityEngine::writeback_victim(const SetAssocCache::Result& victim) {
+  if (victim.evicted && victim.victim_dirty) {
+    ++stats_.meta_writebacks;
+    issue_dram(victim.victim_addr, true,
+               make_tag(TagKind::kMetaWriteback, 0));
+  }
+}
+
+void SecurityEngine::request_meta_line(Txn& txn, std::uint64_t txn_id,
+                                       Addr line, Role role, Cycle now) {
+  const bool hit = meta_cache_.lookup(line);
+  if (hit) {
+    if (txn.is_write) meta_cache_.mark_dirty(line);
+    switch (role) {
+      case Role::kCounter:
+        txn.counter_done = now;
+        break;
+      case Role::kMacLine:
+        txn.mac_line_done = now;
+        break;
+      case Role::kTreeNode:
+        break;  // cached node: trusted, walk already terminated by caller
+    }
+    return;
+  }
+
+  // Miss: join (or start) an outstanding fetch for this line.
+  switch (role) {
+    case Role::kCounter:
+      txn.counter_pending = true;
+      break;
+    case Role::kMacLine:
+      txn.mac_line_pending = true;
+      break;
+    case Role::kTreeNode:
+      txn.tree_walked = true;
+      break;
+  }
+  ++txn.meta_outstanding;
+  auto [it, inserted] = meta_fetches_.try_emplace(line);
+  it->second.waiters.emplace_back(txn_id, role);
+  if (inserted) {
+    switch (role) {
+      case Role::kCounter:
+        ++stats_.counter_fetches;
+        break;
+      case Role::kMacLine:
+        ++stats_.mac_line_fetches;
+        break;
+      case Role::kTreeNode:
+        ++stats_.tree_node_fetches;
+        break;
+    }
+    issue_dram(line, false, make_tag(TagKind::kMetaFetch, line));
+  }
+}
+
+void SecurityEngine::gather_read_needs(Txn& txn, std::uint64_t txn_id,
+                                       Cycle now) {
+  const bool tree = params_.rap == Rap::kIntegrityTree;
+
+  if (params_.enc == Encryption::kCounterMode) {
+    const Addr ctr = layout_.counter_line_addr(txn.addr);
+    const bool ctr_cached = meta_cache_.probe(ctr);
+    request_meta_line(txn, txn_id, ctr, Role::kCounter, now);
+    // Counter-tree verification: only needed when the counter line itself
+    // was not already trusted on chip.
+    if (tree && !params_.hash_tree_over_macs && !ctr_cached) {
+      for (unsigned level = 1; level <= layout_.tree_levels(); ++level) {
+        const Addr node = layout_.tree_node_addr(level, txn.addr);
+        if (meta_cache_.probe(node)) {
+          meta_cache_.lookup(node);  // count the terminating hit
+          break;
+        }
+        request_meta_line(txn, txn_id, node, Role::kTreeNode, now);
+      }
+    }
+  }
+
+  if (!params_.macs_in_ecc && params_.verify_mac) {
+    const Addr mac = layout_.mac_line_addr(txn.addr);
+    const bool mac_cached = meta_cache_.probe(mac);
+    request_meta_line(txn, txn_id, mac, Role::kMacLine, now);
+    if (tree && params_.hash_tree_over_macs && !mac_cached) {
+      for (unsigned level = 1; level <= layout_.tree_levels(); ++level) {
+        const Addr node = layout_.tree_node_addr(level, txn.addr);
+        if (meta_cache_.probe(node)) {
+          meta_cache_.lookup(node);
+          break;
+        }
+        request_meta_line(txn, txn_id, node, Role::kTreeNode, now);
+      }
+    }
+  }
+
+  if (txn.tree_walked) ++stats_.reads_with_tree_walk;
+}
+
+void SecurityEngine::gather_write_needs(Txn& txn, std::uint64_t txn_id,
+                                        Cycle now) {
+  const bool tree = params_.rap == Rap::kIntegrityTree;
+
+  if (params_.enc == Encryption::kCounterMode) {
+    // Counter increment: read-modify-write of the counter line.
+    request_meta_line(txn, txn_id, layout_.counter_line_addr(txn.addr),
+                      Role::kCounter, now);
+  }
+  if (!params_.macs_in_ecc && params_.verify_mac) {
+    request_meta_line(txn, txn_id, layout_.mac_line_addr(txn.addr),
+                      Role::kMacLine, now);
+  }
+  if (tree) {
+    // A write updates every tree level up to the on-chip root: present
+    // nodes are dirtied in place, absent nodes are fetched (RMW).
+    for (unsigned level = 1; level <= layout_.tree_levels(); ++level) {
+      const Addr node = layout_.tree_node_addr(level, txn.addr);
+      if (meta_cache_.lookup(node)) {
+        meta_cache_.mark_dirty(node);
+      } else {
+        txn.tree_walked = true;
+        ++txn.meta_outstanding;
+        auto [it, inserted] = meta_fetches_.try_emplace(node);
+        it->second.waiters.emplace_back(txn_id, Role::kTreeNode);
+        if (inserted) {
+          ++stats_.tree_node_fetches;
+          issue_dram(node, false, make_tag(TagKind::kMetaFetch, node));
+        }
+      }
+    }
+  }
+}
+
+void SecurityEngine::start_read(Addr addr, std::uint64_t tag, Cycle now) {
+  const std::uint64_t txn_id = next_txn_id_++;
+  Txn& txn = txns_[txn_id];
+  txn.tag = tag;
+  txn.addr = addr;
+  txn.is_write = false;
+  txn.start = now;
+  txn.data_pending = true;
+  ++stats_.data_reads;
+  issue_dram(addr, false, make_tag(TagKind::kDataRead, txn_id));
+  gather_read_needs(txn, txn_id, now);
+  maybe_finish(txn_id, now);
+}
+
+void SecurityEngine::start_write(Addr addr, Cycle now) {
+  const std::uint64_t txn_id = next_txn_id_++;
+  Txn& txn = txns_[txn_id];
+  txn.addr = addr;
+  txn.is_write = true;
+  txn.start = now;
+  ++stats_.data_writes;
+  gather_write_needs(txn, txn_id, now);
+  maybe_finish(txn_id, now);
+}
+
+Cycle SecurityEngine::read_ready_time(const Txn& txn) const {
+  // Decryption path.
+  Cycle t;
+  if (params_.enc == Encryption::kXts) {
+    t = txn.data_done + params_.aes_latency;
+  } else {
+    // Counter-mode: the OTP needs the counter; a cached counter lets the
+    // pad precompute overlap the DRAM access.
+    t = std::max(txn.data_done, txn.counter_done + params_.aes_latency);
+  }
+
+  // Integrity verification paths (never speculative, §IV-B).
+  if (params_.verify_mac) {
+    Cycle mac_base = txn.data_done;
+    if (!params_.macs_in_ecc)
+      mac_base = std::max(mac_base, txn.mac_line_done);
+    t = std::max(t, mac_base + params_.mac_latency);
+  }
+  if (params_.rap == Rap::kIntegrityTree &&
+      (txn.tree_walked || txn.counter_pending || txn.mac_line_pending ||
+       txn.meta_done > txn.start)) {
+    // Tree levels verify in parallel once all fetches arrive.
+    t = std::max(t, txn.meta_done + params_.mac_latency);
+  }
+  if (params_.rap == Rap::kAuthChannel) {
+    t = std::max(t, txn.data_done +
+                        params_.auth_channel_macs * params_.mac_latency);
+  }
+  return t;
+}
+
+void SecurityEngine::maybe_finish(std::uint64_t txn_id, Cycle now) {
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+  if (txn.meta_outstanding > 0) return;
+
+  if (txn.is_write) {
+    if (!txn.write_data_issued) {
+      txn.write_data_issued = true;
+      issue_dram(txn.addr, true, make_tag(TagKind::kDataWrite, txn_id));
+      // Posted: the transaction is complete once the write is handed to
+      // the controller; metadata dirtiness already recorded.
+      txns_.erase(it);
+    }
+    return;
+  }
+  if (txn.data_pending) return;
+  ready_.push_back({txn.tag, std::max(now, read_ready_time(txn))});
+  txns_.erase(it);
+}
+
+void SecurityEngine::on_meta_arrival(Addr line, Cycle now) {
+  auto fit = meta_fetches_.find(line);
+  if (fit == meta_fetches_.end()) return;
+  const auto waiters = std::move(fit->second.waiters);
+  meta_fetches_.erase(fit);
+
+  const auto victim = meta_cache_.install(line, false);
+  writeback_victim(victim);
+
+  for (const auto& [txn_id, role] : waiters) {
+    auto it = txns_.find(txn_id);
+    if (it == txns_.end()) continue;
+    Txn& txn = it->second;
+    assert(txn.meta_outstanding > 0);
+    --txn.meta_outstanding;
+    txn.meta_done = std::max(txn.meta_done, now);
+    switch (role) {
+      case Role::kCounter:
+        txn.counter_done = now;
+        break;
+      case Role::kMacLine:
+        txn.mac_line_done = now;
+        break;
+      case Role::kTreeNode:
+        break;
+    }
+    if (txn.is_write) meta_cache_.mark_dirty(line);
+    maybe_finish(txn_id, now);
+  }
+}
+
+void SecurityEngine::tick(Cycle now) {
+  // Retry deferred issues in order.
+  while (!issue_q_.empty()) {
+    const auto& p = issue_q_.front();
+    if (!dram_.enqueue(p.addr, p.is_write, p.tag)) break;
+    issue_q_.pop_front();
+  }
+
+  for (const auto& c : dram_.drain_completions()) {
+    const auto kind = static_cast<TagKind>(c.tag >> 56);
+    const std::uint64_t id = c.tag & ((1ull << 56) - 1);
+    switch (kind) {
+      case TagKind::kDataRead: {
+        auto it = txns_.find(id);
+        if (it == txns_.end()) break;
+        it->second.data_pending = false;
+        it->second.data_done = c.finish;
+        maybe_finish(id, now);
+        break;
+      }
+      case TagKind::kMetaFetch:
+        on_meta_arrival(static_cast<Addr>(id), now);
+        break;
+      case TagKind::kDataWrite:
+      case TagKind::kMetaWriteback:
+        break;  // posted
+    }
+  }
+}
+
+}  // namespace secddr::secmem

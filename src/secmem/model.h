@@ -1,0 +1,153 @@
+// The secure-memory timing engine.
+//
+// Every LLC miss and dirty eviction is routed through this engine, which
+// turns one data access into the data transaction plus whatever metadata
+// traffic and crypto latency the configured mechanism requires:
+//
+//   encrypt-only XTS   : data only; +AES on reads.
+//   encrypt-only CTR   : + counter-line fetches (RMW on writes).
+//   SecDDR (CTR/XTS)   : like encrypt-only + MAC verify latency on reads;
+//                        eWCRC lengthens the write burst (DRAM timing).
+//   InvisiMem          : like encrypt-only + 2x MAC latency per read
+//                        (DIMM-side generate + processor-side verify).
+//   integrity tree     : counter (or MAC-line) fetch misses trigger a
+//                        parallel upward walk that stops at the first
+//                        cached (= trusted) node; writes must update every
+//                        level to the root, fetching missing nodes.
+//
+// A hit in the 128KB metadata cache terminates verification; the root is
+// on-chip and never fetched. Dirty metadata evictions become DRAM writes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/system.h"
+#include "secmem/layout.h"
+#include "secmem/metadata_cache.h"
+#include "secmem/params.h"
+
+namespace secddr::secmem {
+
+/// A data read whose plaintext is ready for the LLC fill at cycle `at`.
+struct ReadReady {
+  std::uint64_t tag;
+  Cycle at;
+};
+
+struct EngineStats {
+  std::uint64_t data_reads = 0;
+  std::uint64_t data_writes = 0;
+  std::uint64_t counter_fetches = 0;
+  std::uint64_t mac_line_fetches = 0;
+  std::uint64_t tree_node_fetches = 0;
+  std::uint64_t meta_writebacks = 0;
+  std::uint64_t reads_with_tree_walk = 0;
+
+  std::uint64_t meta_reads() const {
+    return counter_fetches + mac_line_fetches + tree_node_fetches;
+  }
+};
+
+/// See file comment. One engine instance per simulated channel.
+class SecurityEngine {
+ public:
+  SecurityEngine(const SecurityParams& params, const MetadataLayout& layout,
+                 dram::DramSystem& dram);
+
+  /// Starts a data-line read; `tag` is reported via ready() when the
+  /// decrypted and verified line is available.
+  void start_read(Addr addr, std::uint64_t tag, Cycle now);
+
+  /// Posted data-line write (LLC dirty eviction / metadata update source).
+  void start_write(Addr addr, Cycle now);
+
+  /// Advances internal state: drains DRAM completions, retries issues.
+  void tick(Cycle now);
+
+  /// Ready reads since the last drain (caller clears).
+  std::vector<ReadReady>& ready() { return ready_; }
+
+  const EngineStats& stats() const { return stats_; }
+  /// Clears statistics after warmup; metadata-cache contents survive.
+  void reset_stats() {
+    stats_ = EngineStats{};
+    meta_cache_.reset_stats();
+  }
+  MetadataCache& metadata_cache() { return meta_cache_; }
+  const MetadataLayout& layout() const { return layout_; }
+  const SecurityParams& params() const { return params_; }
+
+  /// Outstanding transactions of any kind (for drain loops).
+  std::size_t outstanding() const {
+    return txns_.size() + issue_q_.size() + dram_.pending();
+  }
+
+ private:
+  enum class Role : std::uint8_t { kCounter, kMacLine, kTreeNode };
+  enum class TagKind : std::uint64_t {
+    kDataRead = 1,
+    kDataWrite = 2,
+    kMetaFetch = 3,
+    kMetaWriteback = 4,
+  };
+
+  struct Txn {
+    std::uint64_t tag = 0;  ///< caller tag (reads only)
+    Addr addr = 0;
+    bool is_write = false;
+    Cycle start = 0;
+    bool data_pending = false;
+    Cycle data_done = 0;
+    unsigned meta_outstanding = 0;
+    Cycle meta_done = 0;  ///< max arrival over tree/mac fetches
+    bool counter_pending = false;
+    Cycle counter_done = 0;
+    bool mac_line_pending = false;
+    Cycle mac_line_done = 0;
+    bool tree_walked = false;
+    bool write_data_issued = false;
+  };
+
+  struct MetaFetch {
+    std::vector<std::pair<std::uint64_t, Role>> waiters;  ///< (txn id, role)
+  };
+
+  static std::uint64_t make_tag(TagKind kind, std::uint64_t id) {
+    return (static_cast<std::uint64_t>(kind) << 56) | id;
+  }
+
+  void issue_dram(Addr addr, bool is_write, std::uint64_t tag);
+  void request_meta_line(Txn& txn, std::uint64_t txn_id, Addr line, Role role,
+                         Cycle now);
+  void gather_read_needs(Txn& txn, std::uint64_t txn_id, Cycle now);
+  void gather_write_needs(Txn& txn, std::uint64_t txn_id, Cycle now);
+  void on_meta_arrival(Addr line, Cycle now);
+  void maybe_finish(std::uint64_t txn_id, Cycle now);
+  Cycle read_ready_time(const Txn& txn) const;
+  void writeback_victim(const SetAssocCache::Result& victim);
+
+  SecurityParams params_;
+  MetadataLayout layout_;
+  dram::DramSystem& dram_;
+  MetadataCache meta_cache_;
+
+  std::unordered_map<std::uint64_t, Txn> txns_;
+  std::uint64_t next_txn_id_ = 1;
+  std::unordered_map<Addr, MetaFetch> meta_fetches_;
+
+  struct PendingIssue {
+    Addr addr;
+    bool is_write;
+    std::uint64_t tag;
+  };
+  std::deque<PendingIssue> issue_q_;
+
+  std::vector<ReadReady> ready_;
+  EngineStats stats_;
+};
+
+}  // namespace secddr::secmem

@@ -1,0 +1,74 @@
+#include "secmem/params.h"
+
+namespace secddr::secmem {
+
+SecurityParams SecurityParams::baseline_tree_ctr(unsigned arity,
+                                                 unsigned counters_per_line) {
+  SecurityParams p;
+  p.rap = Rap::kIntegrityTree;
+  p.enc = Encryption::kCounterMode;
+  p.tree_arity = arity;
+  p.counters_per_line = counters_per_line;
+  p.name = "tree" + std::to_string(arity) + "+ctr" +
+           std::to_string(counters_per_line);
+  return p;
+}
+
+SecurityParams SecurityParams::secddr_ctr(unsigned counters_per_line) {
+  SecurityParams p;
+  p.rap = Rap::kSecDdr;
+  p.enc = Encryption::kCounterMode;
+  p.counters_per_line = counters_per_line;
+  p.ewcrc = true;
+  p.name = "secddr+ctr" + std::to_string(counters_per_line);
+  return p;
+}
+
+SecurityParams SecurityParams::encrypt_only_ctr(unsigned counters_per_line) {
+  SecurityParams p;
+  p.rap = Rap::kNone;
+  p.enc = Encryption::kCounterMode;
+  p.counters_per_line = counters_per_line;
+  p.verify_mac = false;
+  p.name = "enconly+ctr" + std::to_string(counters_per_line);
+  return p;
+}
+
+SecurityParams SecurityParams::secddr_xts() {
+  SecurityParams p;
+  p.rap = Rap::kSecDdr;
+  p.enc = Encryption::kXts;
+  p.ewcrc = true;
+  p.name = "secddr+xts";
+  return p;
+}
+
+SecurityParams SecurityParams::encrypt_only_xts() {
+  SecurityParams p;
+  p.rap = Rap::kNone;
+  p.enc = Encryption::kXts;
+  p.verify_mac = false;
+  p.name = "enconly+xts";
+  return p;
+}
+
+SecurityParams SecurityParams::invisimem(Encryption enc) {
+  SecurityParams p;
+  p.rap = Rap::kAuthChannel;
+  p.enc = enc;
+  p.name = enc == Encryption::kXts ? "invisimem+xts" : "invisimem+ctr";
+  return p;
+}
+
+SecurityParams SecurityParams::hash_tree8_xts() {
+  SecurityParams p;
+  p.rap = Rap::kIntegrityTree;
+  p.enc = Encryption::kXts;
+  p.tree_arity = 8;
+  p.hash_tree_over_macs = true;
+  p.macs_in_ecc = false;
+  p.name = "tree8-hash+xts";
+  return p;
+}
+
+}  // namespace secddr::secmem

@@ -1,0 +1,110 @@
+#include "sim/core.h"
+
+#include <algorithm>
+
+namespace secddr::sim {
+
+Core::Core(unsigned id, const CoreConfig& config, TraceSource& trace,
+           MemoryPort& memory)
+    : id_(id), config_(config), trace_(trace), memory_(memory) {}
+
+void Core::fetch() {
+  // Fill the ROB from the trace. Batches of non-memory instructions may be
+  // split so the budget and ROB occupancy stay exact.
+  while (rob_occupancy_ < config_.rob_size) {
+    if (!have_pending_record_) {
+      if (trace_exhausted_ ||
+          (budget_ != 0 && fetched_instructions_ >= budget_))
+        return;
+      if (!trace_.next(pending_record_)) {
+        trace_exhausted_ = true;
+        return;
+      }
+      have_pending_record_ = true;
+    }
+
+    TraceRecord& rec = pending_record_;
+    if (rec.gap > 0) {
+      const std::uint64_t room = config_.rob_size - rob_occupancy_;
+      std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(rec.gap, room));
+      if (budget_ != 0)
+        take = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            take, budget_ - fetched_instructions_));
+      if (take == 0) return;
+      rob_.push_back({Kind::kBatch, take, 0, true, true});
+      rob_occupancy_ += take;
+      fetched_instructions_ += take;
+      rec.gap -= take;
+      if (budget_ != 0 && fetched_instructions_ >= budget_) {
+        have_pending_record_ = false;  // drop the memory op past the budget
+        return;
+      }
+      continue;
+    }
+
+    // The memory operation itself (one instruction).
+    rob_.push_back({rec.is_write ? Kind::kStore : Kind::kLoad, 1, rec.addr,
+                    false, false});
+    rob_occupancy_ += 1;
+    fetched_instructions_ += 1;
+    have_pending_record_ = false;
+  }
+}
+
+void Core::issue_pending() {
+  // Issue every un-issued memory op in the window (oldest first).
+  for (auto& e : rob_) {
+    if (e.issued) continue;
+    if (e.kind == Kind::kLoad) {
+      if (!memory_.issue_load(id_, e.addr, &e.done)) return;
+      e.issued = true;
+      ++stats_.loads;
+    } else if (e.kind == Kind::kStore) {
+      if (!memory_.issue_store(id_, e.addr)) return;
+      e.issued = true;
+      e.done = true;  // stores are posted
+      ++stats_.stores;
+    }
+  }
+}
+
+void Core::retire() {
+  unsigned budget = config_.retire_width;
+  bool stalled_on_load = false;
+  while (budget > 0 && !rob_.empty()) {
+    RobEntry& head = rob_.front();
+    if (head.kind == Kind::kBatch) {
+      const std::uint32_t take = std::min<std::uint32_t>(budget, head.remaining);
+      head.remaining -= take;
+      rob_occupancy_ -= take;
+      stats_.instructions += take;
+      budget -= take;
+      if (head.remaining == 0) rob_.pop_front();
+      continue;
+    }
+    if (!head.issued || !head.done) {
+      stalled_on_load = head.kind == Kind::kLoad;
+      break;
+    }
+    rob_occupancy_ -= 1;
+    stats_.instructions += 1;
+    --budget;
+    rob_.pop_front();
+  }
+  if (stalled_on_load) ++stats_.load_stall_cycles;
+}
+
+void Core::tick() {
+  if (finished_) return;
+  ++stats_.cycles;
+  fetch();
+  issue_pending();
+  retire();
+  const bool no_more_fetch =
+      trace_exhausted_ || (budget_ != 0 && fetched_instructions_ >= budget_);
+  if (no_more_fetch && rob_.empty() && !have_pending_record_)
+    finished_ = true;
+}
+
+}  // namespace secddr::sim

@@ -1,0 +1,108 @@
+// Trace-driven out-of-order-approximation core model.
+//
+// USIMM-style: a 224-entry ROB with 6-wide retire (Table I). Loads issue
+// to the memory hierarchy as soon as they enter the ROB (exposing
+// memory-level parallelism up to the ROB size) and block retirement at the
+// head until their data returns. Stores are posted. Non-memory
+// instructions retire at the pipeline width. This preserves the property
+// the evaluation depends on: IPC is sensitive to both memory latency and
+// bandwidth, scaled by each workload's memory intensity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.h"
+#include "sim/trace.h"
+
+namespace secddr::sim {
+
+/// The core's window into the memory hierarchy (implemented by
+/// MemorySystem). Issue methods return false when resources (MSHRs) are
+/// exhausted; the core retries next cycle.
+class MemoryPort {
+ public:
+  virtual ~MemoryPort() = default;
+  /// Issues a load; `*done` is set (possibly in a later cycle) when data
+  /// is ready. `done` must stay valid until set.
+  virtual bool issue_load(unsigned core_id, Addr addr, bool* done) = 0;
+  /// Posts a store (write-allocate into L1).
+  virtual bool issue_store(unsigned core_id, Addr addr) = 0;
+};
+
+struct CoreConfig {
+  unsigned rob_size = 224;
+  unsigned retire_width = 6;
+};
+
+struct CoreStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t load_stall_cycles = 0;  ///< head-of-ROB blocked on a load
+
+  double ipc() const {
+    return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+class Core {
+ public:
+  Core(unsigned id, const CoreConfig& config, TraceSource& trace,
+       MemoryPort& memory);
+
+  /// Runs one core cycle (fetch + issue + retire). No-op once finished.
+  void tick();
+
+  /// Stops fetching after this many instructions (0 = trace length).
+  /// Raising the budget resumes a budget-finished core.
+  void set_instruction_budget(std::uint64_t budget) {
+    budget_ = budget;
+    if (!trace_exhausted_ &&
+        (budget_ == 0 || fetched_instructions_ < budget_))
+      finished_ = false;
+  }
+
+  /// Clears statistics (e.g. after cache warmup) without touching
+  /// architectural progress.
+  void reset_stats() { stats_ = CoreStats{}; }
+
+  bool finished() const { return finished_; }
+  const CoreStats& stats() const { return stats_; }
+  unsigned id() const { return id_; }
+
+ private:
+  enum class Kind : std::uint8_t { kBatch, kLoad, kStore };
+  struct RobEntry {
+    Kind kind;
+    std::uint32_t remaining;  ///< instructions left in a batch (1 for mem)
+    Addr addr;
+    bool issued;
+    bool done;  ///< set by the memory system for loads
+  };
+
+  void fetch();
+  void issue_pending();
+  void retire();
+
+  unsigned id_;
+  CoreConfig config_;
+  TraceSource& trace_;
+  MemoryPort& memory_;
+
+  std::deque<RobEntry> rob_;
+  std::uint64_t rob_occupancy_ = 0;  ///< instructions currently in the ROB
+  std::uint64_t fetched_instructions_ = 0;
+  std::uint64_t budget_ = 0;
+  bool trace_exhausted_ = false;
+  bool finished_ = false;
+  bool have_pending_record_ = false;
+  TraceRecord pending_record_{};
+
+  CoreStats stats_;
+};
+
+}  // namespace secddr::sim

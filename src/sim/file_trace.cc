@@ -1,0 +1,53 @@
+#include "sim/file_trace.h"
+
+#include <cinttypes>
+#include <cstring>
+#include <stdexcept>
+
+namespace secddr::sim {
+
+FileTrace::FileTrace(const std::string& path, bool loop) : loop_(loop) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) throw std::runtime_error("FileTrace: cannot open " + path);
+  char line[256];
+  std::size_t lineno = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    ++lineno;
+    // Strip comments and blank lines.
+    if (char* hash = std::strchr(line, '#')) *hash = '\0';
+    std::uint32_t gap = 0;
+    char rw = 0;
+    std::uint64_t addr = 0;
+    const int n = std::sscanf(line, " %" SCNu32 " %c %" SCNx64, &gap, &rw, &addr);
+    if (n <= 0) continue;  // blank/comment line
+    if (n != 3 || (rw != 'R' && rw != 'W' && rw != 'r' && rw != 'w')) {
+      std::fclose(f);
+      throw std::runtime_error("FileTrace: parse error at " + path + ":" +
+                               std::to_string(lineno));
+    }
+    records_.push_back({gap, rw == 'W' || rw == 'w', addr});
+  }
+  std::fclose(f);
+}
+
+bool FileTrace::next(TraceRecord& out) {
+  if (pos_ >= records_.size()) {
+    if (!loop_ || records_.empty()) return false;
+    pos_ = 0;
+  }
+  out = records_[pos_++];
+  return true;
+}
+
+bool write_trace_file(const std::string& path,
+                      const std::vector<TraceRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "# secddr trace: <gap> <R|W> <hex-address>\n");
+  for (const auto& r : records)
+    std::fprintf(f, "%u %c 0x%llx\n", r.gap, r.is_write ? 'W' : 'R',
+                 static_cast<unsigned long long>(r.addr));
+  return std::fclose(f) == 0;
+}
+
+}  // namespace secddr::sim

@@ -1,0 +1,40 @@
+// Trace file I/O: lets users bring their own memory traces (e.g. from a
+// Pin tool or a DynamoRIO client) instead of the synthetic workloads.
+//
+// Text format, one record per line, '#' comments allowed:
+//   <gap> <R|W> <hex-address>
+// e.g.
+//   12 R 0x7f001040
+//   0  W 0x7f001080
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace secddr::sim {
+
+/// Streams records from a trace file; optionally loops forever so short
+/// traces can feed long simulations.
+class FileTrace final : public TraceSource {
+ public:
+  /// Throws std::runtime_error if the file cannot be opened or parsed.
+  explicit FileTrace(const std::string& path, bool loop = false);
+
+  bool next(TraceRecord& out) override;
+
+  std::size_t record_count() const { return records_.size(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t pos_ = 0;
+  bool loop_;
+};
+
+/// Writes records in the FileTrace format. Returns false on I/O error.
+bool write_trace_file(const std::string& path,
+                      const std::vector<TraceRecord>& records);
+
+}  // namespace secddr::sim

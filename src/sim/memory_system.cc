@@ -1,0 +1,191 @@
+#include "sim/memory_system.h"
+
+#include <cassert>
+
+namespace secddr::sim {
+
+MemorySystem::MemorySystem(const MemConfig& config,
+                           secmem::SecurityEngine& engine,
+                           dram::DramSystem& dram)
+    : config_(config),
+      engine_(engine),
+      dram_(dram),
+      llc_(config.llc_bytes, config.llc_assoc),
+      prefetcher_(config.prefetcher),
+      mshrs_(config.mshrs) {
+  l1s_.reserve(config.cores);
+  for (unsigned c = 0; c < config.cores; ++c)
+    l1s_.emplace_back(config.l1_bytes, config.l1_assoc);
+  stats_.llc_demand_misses_per_core.assign(config.cores, 0);
+}
+
+int MemorySystem::find_mshr(Addr line) const {
+  for (std::size_t i = 0; i < mshrs_.size(); ++i)
+    if (mshrs_[i].valid && mshrs_[i].line == line)
+      return static_cast<int>(i);
+  return -1;
+}
+
+void MemorySystem::complete_at(Cycle at, bool* flag) {
+  if (flag == nullptr) return;
+  done_q_.push({at, flag});
+}
+
+bool MemorySystem::access_llc(unsigned core_id, Addr line, bool dirty,
+                              bool* done) {
+  ++stats_.llc_demand_accesses;
+  const int inflight = find_mshr(line);
+  if (inflight >= 0) {
+    // The line is (or is being) fetched: join the fill.
+    llc_.touch(line, dirty);
+    if (done) mshrs_[static_cast<std::size_t>(inflight)].waiters.push_back(done);
+    mshrs_[static_cast<std::size_t>(inflight)].demand = true;
+    return true;
+  }
+  if (llc_.probe(line)) {
+    llc_.touch(line, dirty);
+    complete_at(now_ + config_.llc_latency, done);
+    return true;
+  }
+
+  // LLC miss: allocate an MSHR and start the secure read.
+  int free = -1;
+  for (std::size_t i = 0; i < mshrs_.size(); ++i) {
+    if (!mshrs_[i].valid) {
+      free = static_cast<int>(i);
+      break;
+    }
+  }
+  if (free < 0) return false;  // caller retries next cycle
+
+  ++stats_.llc_demand_misses;
+  ++stats_.llc_demand_misses_per_core[core_id];
+
+  Mshr& m = mshrs_[static_cast<std::size_t>(free)];
+  m.valid = true;
+  m.line = line;
+  m.demand = true;
+  m.waiters.clear();
+  if (done) m.waiters.push_back(done);
+  ++active_mshrs_;
+
+  // Install now; arrival is defined by the MSHR. Dirty victims write back
+  // through the security engine.
+  const auto victim = llc_.install(line, dirty);
+  if (victim.evicted && victim.victim_dirty) {
+    ++stats_.llc_writebacks;
+    engine_.start_write(victim.victim_addr, now_);
+  }
+  engine_.start_read(line, static_cast<std::uint64_t>(free), now_);
+
+  if (config_.prefetch) issue_prefetches(line);
+  return true;
+}
+
+void MemorySystem::issue_prefetches(Addr line) {
+  std::vector<Addr> candidates;
+  prefetcher_.train(line, candidates);
+  for (Addr p : candidates) {
+    if (llc_.probe(p) || find_mshr(p) >= 0) continue;
+    // Keep at least a quarter of the MSHRs for demand traffic.
+    if (active_mshrs_ + config_.mshrs / 4 >= config_.mshrs) return;
+    int free = -1;
+    for (std::size_t i = 0; i < mshrs_.size(); ++i) {
+      if (!mshrs_[i].valid) {
+        free = static_cast<int>(i);
+        break;
+      }
+    }
+    if (free < 0) return;
+    Mshr& m = mshrs_[static_cast<std::size_t>(free)];
+    m.valid = true;
+    m.line = p;
+    m.demand = false;
+    m.waiters.clear();
+    ++active_mshrs_;
+    ++stats_.prefetch_fills;
+    const auto victim = llc_.install(p, false);
+    if (victim.evicted && victim.victim_dirty) {
+      ++stats_.llc_writebacks;
+      engine_.start_write(victim.victim_addr, now_);
+    }
+    engine_.start_read(p, static_cast<std::uint64_t>(free), now_);
+  }
+}
+
+bool MemorySystem::issue_load(unsigned core_id, Addr addr, bool* done) {
+  assert(core_id < l1s_.size());
+  const Addr line = line_base(addr);
+  ++stats_.l1_accesses;
+  SetAssocCache& l1 = l1s_[core_id];
+  if (l1.probe(line)) {
+    l1.touch(line, false);
+    complete_at(now_ + config_.l1_latency, done);
+    return true;
+  }
+  ++stats_.l1_misses;
+  if (!access_llc(core_id, line, false, done)) return false;
+  const auto victim = l1.install(line, false);
+  if (victim.evicted && victim.victim_dirty) {
+    // L1 dirty eviction folds into the (inclusive) LLC.
+    if (!llc_.touch(victim.victim_addr, true)) {
+      const auto v2 = llc_.install(victim.victim_addr, true);
+      if (v2.evicted && v2.victim_dirty) {
+        ++stats_.llc_writebacks;
+        engine_.start_write(v2.victim_addr, now_);
+      }
+    }
+  }
+  return true;
+}
+
+bool MemorySystem::issue_store(unsigned core_id, Addr addr) {
+  assert(core_id < l1s_.size());
+  const Addr line = line_base(addr);
+  ++stats_.l1_accesses;
+  SetAssocCache& l1 = l1s_[core_id];
+  if (l1.probe(line)) {
+    l1.touch(line, true);
+    return true;
+  }
+  ++stats_.l1_misses;
+  // Write-allocate: fetch the line (RFO) then dirty it in the L1.
+  if (!access_llc(core_id, line, true, nullptr)) return false;
+  const auto victim = l1.install(line, true);
+  if (victim.evicted && victim.victim_dirty) {
+    if (!llc_.touch(victim.victim_addr, true)) {
+      const auto v2 = llc_.install(victim.victim_addr, true);
+      if (v2.evicted && v2.victim_dirty) {
+        ++stats_.llc_writebacks;
+        engine_.start_write(v2.victim_addr, now_);
+      }
+    }
+  }
+  return true;
+}
+
+void MemorySystem::tick() {
+  ++now_;
+  dram_.tick_core_cycle();
+  engine_.tick(now_);
+
+  // Secure reads that are ready fill the LLC and wake their waiters.
+  for (const auto& r : engine_.ready()) {
+    const std::size_t idx = static_cast<std::size_t>(r.tag);
+    assert(idx < mshrs_.size() && mshrs_[idx].valid);
+    Mshr& m = mshrs_[idx];
+    const Cycle at = std::max(r.at, now_) + config_.l1_latency;
+    for (bool* w : m.waiters) complete_at(at, w);
+    m.valid = false;
+    m.waiters.clear();
+    --active_mshrs_;
+  }
+  engine_.ready().clear();
+
+  while (!done_q_.empty() && done_q_.top().at <= now_) {
+    *done_q_.top().flag = true;
+    done_q_.pop();
+  }
+}
+
+}  // namespace secddr::sim

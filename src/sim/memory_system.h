@@ -1,0 +1,107 @@
+// The memory hierarchy: private L1 data caches, a shared LLC with MSHRs
+// and a stream prefetcher, and the secure-memory engine in front of DRAM.
+//
+// All LLC fills and dirty writebacks flow through the SecurityEngine, so
+// every configuration's metadata traffic and crypto latency lands on the
+// same DRAM model the paper's Ramulator setup used.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/cache.h"
+#include "common/types.h"
+#include "dram/system.h"
+#include "secmem/model.h"
+#include "sim/core.h"
+#include "sim/prefetcher.h"
+
+namespace secddr::sim {
+
+struct MemConfig {
+  unsigned cores = 4;
+  std::uint64_t l1_bytes = 32 * 1024;
+  unsigned l1_assoc = 4;
+  unsigned l1_latency = 4;  ///< core cycles
+  std::uint64_t llc_bytes = 4ull * 1024 * 1024;
+  unsigned llc_assoc = 16;
+  unsigned llc_latency = 30;  ///< core cycles
+  unsigned mshrs = 64;
+  bool prefetch = true;
+  PrefetcherConfig prefetcher;
+};
+
+struct MemStats {
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t llc_demand_accesses = 0;
+  std::uint64_t llc_demand_misses = 0;
+  std::uint64_t llc_writebacks = 0;
+  std::uint64_t prefetch_fills = 0;
+  std::vector<std::uint64_t> llc_demand_misses_per_core;
+};
+
+class MemorySystem final : public MemoryPort {
+ public:
+  MemorySystem(const MemConfig& config, secmem::SecurityEngine& engine,
+               dram::DramSystem& dram);
+
+  // MemoryPort:
+  bool issue_load(unsigned core_id, Addr addr, bool* done) override;
+  bool issue_store(unsigned core_id, Addr addr) override;
+
+  /// Advances one core cycle (drives the DRAM clock domain too).
+  void tick();
+
+  const MemStats& stats() const { return stats_; }
+  secmem::SecurityEngine& engine() { return engine_; }
+  Cycle now() const { return now_; }
+
+  /// Clears statistics after warmup; cache/MSHR state is preserved.
+  void reset_stats() {
+    stats_ = MemStats{};
+    stats_.llc_demand_misses_per_core.assign(config_.cores, 0);
+  }
+
+  /// Outstanding fills (for drain loops in tests).
+  std::size_t outstanding_fills() const { return active_mshrs_; }
+
+ private:
+  struct Mshr {
+    bool valid = false;
+    Addr line = 0;
+    bool demand = false;
+    std::vector<bool*> waiters;
+  };
+  struct PendingDone {
+    Cycle at;
+    bool* flag;
+    bool operator>(const PendingDone& o) const { return at > o.at; }
+  };
+
+  /// Returns false if the access could not be started (MSHR pressure).
+  bool access_llc(unsigned core_id, Addr line, bool dirty, bool* done);
+  void issue_prefetches(Addr line);
+  int find_mshr(Addr line) const;
+  void complete_at(Cycle at, bool* flag);
+
+  MemConfig config_;
+  secmem::SecurityEngine& engine_;
+  dram::DramSystem& dram_;
+
+  std::vector<SetAssocCache> l1s_;
+  SetAssocCache llc_;
+  StreamPrefetcher prefetcher_;
+  std::vector<Mshr> mshrs_;
+  unsigned active_mshrs_ = 0;
+
+  std::priority_queue<PendingDone, std::vector<PendingDone>,
+                      std::greater<PendingDone>>
+      done_q_;
+
+  Cycle now_ = 0;
+  MemStats stats_;
+};
+
+}  // namespace secddr::sim

@@ -1,0 +1,76 @@
+#include "sim/system.h"
+
+#include <cassert>
+
+namespace secddr::sim {
+
+System::System(const SystemConfig& config, std::vector<TraceSource*> traces)
+    : config_(config),
+      layout_(config.security, config.data_bytes) {
+  assert(traces.size() == config.mem.cores);
+  // Apply the eWCRC write-burst extension where the config requires it.
+  dram::Timings timings = config.timings;
+  if (config.security.ewcrc) timings = timings.with_ewcrc_burst();
+  dram_ = std::make_unique<dram::DramSystem>(config.geometry, timings,
+                                             config.core_mhz,
+                                             config.scheduling);
+  assert(layout_.end_of_memory() <= config.geometry.capacity_bytes() &&
+         "data region + metadata must fit in DRAM");
+  engine_ = std::make_unique<secmem::SecurityEngine>(config.security, layout_,
+                                                     *dram_);
+  memory_ = std::make_unique<MemorySystem>(config.mem, *engine_, *dram_);
+  cores_.reserve(traces.size());
+  for (unsigned c = 0; c < config.mem.cores; ++c)
+    cores_.push_back(
+        std::make_unique<Core>(c, config.core, *traces[c], *memory_));
+}
+
+RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
+                      std::uint64_t warmup_instructions) {
+  auto run_phase = [&](std::uint64_t budget, Cycle limit) -> Cycle {
+    for (auto& core : cores_) core->set_instruction_budget(budget);
+    Cycle cycle = 0;
+    for (; cycle < limit; ++cycle) {
+      bool all_done = true;
+      for (auto& core : cores_) {
+        core->tick();
+        all_done = all_done && core->finished();
+      }
+      memory_->tick();
+      if (all_done) break;
+    }
+    return cycle;
+  };
+
+  if (warmup_instructions > 0) {
+    run_phase(warmup_instructions, max_cycles);
+    for (auto& core : cores_) core->reset_stats();
+    memory_->reset_stats();
+    engine_->reset_stats();
+    dram_->reset_stats();
+  }
+  const Cycle cycle =
+      run_phase(warmup_instructions + instructions_per_core, max_cycles);
+
+  RunResult r;
+  r.cycles = cycle;
+  r.hit_cycle_limit = cycle >= max_cycles;
+  std::uint64_t total_instr = 0;
+  for (auto& core : cores_) {
+    r.cores.push_back(core->stats());
+    r.total_ipc += core->stats().ipc();
+    total_instr += core->stats().instructions;
+  }
+  r.mem = memory_->stats();
+  r.engine = engine_->stats();
+  r.dram = dram_->stats();
+  r.llc_mpki = total_instr ? 1000.0 *
+                                 static_cast<double>(r.mem.llc_demand_misses) /
+                                 static_cast<double>(total_instr)
+                           : 0.0;
+  r.metadata_accesses = engine_->metadata_cache().accesses();
+  r.metadata_miss_rate = engine_->metadata_cache().miss_rate();
+  return r;
+}
+
+}  // namespace secddr::sim

@@ -1,0 +1,70 @@
+// Whole-system simulator: cores + memory hierarchy + security engine +
+// DRAM, equivalent to the paper's Scarab + Ramulator setup (Table I).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/system.h"
+#include "secmem/model.h"
+#include "sim/core.h"
+#include "sim/memory_system.h"
+#include "sim/trace.h"
+
+namespace secddr::sim {
+
+struct SystemConfig {
+  CoreConfig core;
+  MemConfig mem;
+  double core_mhz = 3200.0;
+  dram::Geometry geometry;
+  dram::Timings timings = dram::Timings::ddr4_3200();
+  dram::SchedulingPolicy scheduling = dram::SchedulingPolicy::kFrFcfs;
+  secmem::SecurityParams security = secmem::SecurityParams::baseline_tree_ctr();
+  /// Size of the data region; metadata is laid out above it.
+  std::uint64_t data_bytes = 8ull << 30;
+};
+
+struct RunResult {
+  std::vector<CoreStats> cores;
+  Cycle cycles = 0;  ///< core cycles until the last core finished
+  double total_ipc = 0.0;  ///< sum of per-core IPC
+  double llc_mpki = 0.0;   ///< demand LLC misses per kilo-instruction
+  double metadata_miss_rate = 0.0;
+  std::uint64_t metadata_accesses = 0;
+  MemStats mem;
+  secmem::EngineStats engine;
+  dram::ControllerStats dram;
+  bool hit_cycle_limit = false;
+};
+
+/// Owns every component and runs the simulation loop.
+class System {
+ public:
+  /// `traces` supplies one trace per core (config.mem.cores entries).
+  System(const SystemConfig& config,
+         std::vector<TraceSource*> traces);
+
+  /// Runs until every core has retired `instructions_per_core` (or its
+  /// trace ends), or `max_cycles` elapses. When `warmup_instructions` is
+  /// non-zero, that many instructions per core execute first to warm the
+  /// caches and metadata state; all statistics are then reset before the
+  /// measured region (SimPoint-style warmup).
+  RunResult run(std::uint64_t instructions_per_core,
+                Cycle max_cycles = 2'000'000'000,
+                std::uint64_t warmup_instructions = 0);
+
+  secmem::SecurityEngine& engine() { return *engine_; }
+  dram::DramSystem& dram() { return *dram_; }
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<dram::DramSystem> dram_;
+  secmem::MetadataLayout layout_;
+  std::unique_ptr<secmem::SecurityEngine> engine_;
+  std::unique_ptr<MemorySystem> memory_;
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+}  // namespace secddr::sim

@@ -1,0 +1,46 @@
+// Instruction-trace abstraction for the trace-driven core model.
+//
+// A trace is a stream of memory operations, each preceded by `gap`
+// non-memory instructions. This is the interface the synthetic SPEC/GAPBS
+// workload generators implement (substituting for the paper's Pin-based
+// SimPoint traces, see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace secddr::sim {
+
+struct TraceRecord {
+  std::uint32_t gap = 0;  ///< non-memory instructions before this access
+  bool is_write = false;
+  Addr addr = 0;
+};
+
+/// Pull-based trace source. Returning false ends the core's execution.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual bool next(TraceRecord& out) = 0;
+};
+
+/// Fixed trace for unit tests.
+class VectorTrace final : public TraceSource {
+ public:
+  explicit VectorTrace(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  bool next(TraceRecord& out) override {
+    if (pos_ >= records_.size()) return false;
+    out = records_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace secddr::sim

@@ -1,0 +1,104 @@
+#include "workloads/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.h"
+
+namespace secddr::workloads {
+namespace {
+
+constexpr Addr kPageBytes = 4096;
+constexpr Addr kHotBytes = 16 * 1024;    ///< fits the 32KB L1
+constexpr Addr kWarmBytes = 256 * 1024;  ///< fits a core's LLC share
+
+}  // namespace
+
+SyntheticTrace::SyntheticTrace(const WorkloadDesc& desc, unsigned core_id,
+                               std::uint64_t core_stride_bytes)
+    : desc_(desc),
+      rng_(desc.seed * 0x9e3779b97f4a7c15ull + core_id),
+      base_(static_cast<Addr>(core_id) * core_stride_bytes) {
+  assert(desc.footprint_bytes <= core_stride_bytes);
+  // Round the footprint up to a power-of-two page count so the Feistel
+  // permutation is a clean bijection.
+  std::uint64_t pages = std::max<std::uint64_t>(desc.footprint_bytes / kPageBytes, 4);
+  while (!is_pow2(pages)) pages = (pages | (pages - 1)) + 1;
+  footprint_pages_ = pages;
+  page_bits_ = ilog2(pages);
+  for (auto& k : perm_keys_) k = rng_.next() | 1;  // odd => invertible
+
+  p_cold_ = std::min(0.95, desc.mpki / desc.mem_per_kinst);
+  mean_gap_ = std::max(0.0, 1000.0 / desc.mem_per_kinst - 1.0);
+  // Cold sweeps must not start inside the cache-resident hot/warm sets,
+  // or early "cold" accesses would silently hit.
+  stream_cursor_ = kWarmBytes;
+}
+
+Addr SyntheticTrace::page_scramble(Addr vaddr) const {
+  // Bijective permutation of the page index: xorshift and odd-multiply
+  // steps are each invertible mod 2^page_bits, so their composition is a
+  // deterministic random permutation standing in for the OS allocator.
+  const std::uint64_t mask = footprint_pages_ - 1;
+  const unsigned shift = page_bits_ / 2 + 1;
+  std::uint64_t p = (vaddr / kPageBytes) & mask;
+  p ^= p >> shift;
+  p = (p * perm_keys_[0]) & mask;
+  p ^= p >> shift;
+  p = (p * perm_keys_[1]) & mask;
+  p ^= p >> shift;
+  return base_ + p * kPageBytes + (vaddr & (kPageBytes - 1));
+}
+
+Addr SyntheticTrace::pick(Addr region_bytes, Addr region_base) {
+  const Addr lines = region_bytes / kLineSize;
+  const Addr v = region_base + rng_.next_below(lines) * kLineSize;
+  return page_scramble(v);
+}
+
+Addr SyntheticTrace::cold_address() {
+  const Addr footprint = footprint_pages_ * kPageBytes;
+  switch (desc_.pattern) {
+    case Pattern::kRandom:
+      return pick(footprint, 0);
+    case Pattern::kStreaming: {
+      const Addr v = stream_cursor_;
+      stream_cursor_ += kLineSize;
+      if (stream_cursor_ >= footprint) stream_cursor_ = kWarmBytes;
+      return page_scramble(v);
+    }
+    case Pattern::kMixed: {
+      if (rng_.chance(0.5)) {
+        const Addr v = stream_cursor_;
+        stream_cursor_ += kLineSize;
+        if (stream_cursor_ >= footprint) stream_cursor_ = kWarmBytes;
+        return page_scramble(v);
+      }
+      return pick(footprint, 0);
+    }
+  }
+  return base_;
+}
+
+bool SyntheticTrace::next(sim::TraceRecord& out) {
+  out.gap = mean_gap_ < 0.5
+                ? 0
+                : static_cast<std::uint32_t>(rng_.next_geometric(mean_gap_ + 1) - 1);
+  out.is_write = rng_.chance(desc_.write_frac);
+
+  const double u = rng_.next_double();
+  if (u < p_cold_) {
+    out.addr = cold_address();
+  } else if (u < p_cold_ + (1.0 - p_cold_) * 0.7) {
+    out.addr = pick(kHotBytes, 0);  // hot set at the footprint base
+  } else {
+    // Warm set: cyclic sweep (loop-style reuse) so it becomes and stays
+    // LLC-resident after one pass — uniform draws would pay
+    // coupon-collector compulsory misses for the whole run.
+    out.addr = page_scramble(warm_cursor_);
+    warm_cursor_ = (warm_cursor_ + kLineSize) % kWarmBytes;
+  }
+  return true;
+}
+
+}  // namespace secddr::workloads

@@ -1,0 +1,155 @@
+// Analytical models: Table II power numbers, §III-B security arithmetic,
+// and tree geometry (cross-checked against secmem::MetadataLayout).
+#include <gtest/gtest.h>
+
+#include "analysis/power.h"
+#include "analysis/security.h"
+#include "analysis/tree_geometry.h"
+#include "secmem/layout.h"
+
+namespace secddr::analysis {
+namespace {
+
+// ---------------------------------------------------------------- power
+
+TEST(Power, Table2X4Row) {
+  const AesPowerModel m;
+  const auto rows = m.table2();
+  ASSERT_GE(rows.size(), 2u);
+  const PowerRow& x4 = rows[0];
+  EXPECT_EQ(x4.aes_units, 2u);                    // paper: 2 units
+  EXPECT_NEAR(x4.aes_power_mw, 70.8, 0.5);        // paper: 70.8mW
+  EXPECT_EQ(x4.ecc_chips_per_rank, 2u);
+  EXPECT_NEAR(x4.overhead_per_rank, 0.021, 0.002);  // paper: 2.1%
+}
+
+TEST(Power, Table2X8Row) {
+  const AesPowerModel m;
+  const PowerRow& x8 = m.table2()[1];
+  EXPECT_EQ(x8.aes_units, 3u);                    // paper: 3 units
+  EXPECT_NEAR(x8.aes_power_mw, 106.3, 0.5);       // paper: 106.3mW
+  EXPECT_EQ(x8.ecc_chips_per_rank, 1u);
+  EXPECT_NEAR(x8.overhead_per_rank, 0.023, 0.002);  // paper: 2.3%
+}
+
+TEST(Power, Ddr5RowMatchesSection5B) {
+  const AesPowerModel m;
+  const PowerRow& d5 = m.table2()[2];
+  EXPECT_NEAR(d5.chip_rate_gbps, 35.2, 0.01);  // x4 DDR5-8800
+  EXPECT_EQ(d5.aes_units, 3u);                 // paper: 3 engines
+  EXPECT_NEAR(d5.aes_power_mw, 89.3, 1.0);     // paper: 89.3mW at 1.1V
+  EXPECT_LT(d5.overhead_per_rank, 0.05);       // paper: below 5%
+}
+
+TEST(Power, EngineScalingIsLinearInFrequency) {
+  const AesPowerModel m;
+  EXPECT_NEAR(m.engine_power_mw(1.05, 1.2) / m.engine_power_mw(0.525, 1.2),
+              2.0, 1e-9);
+}
+
+TEST(Power, VoltageScalingIsQuadratic) {
+  const AesPowerModel m;
+  EXPECT_NEAR(m.engine_power_mw(0.5, 1.1) / m.engine_power_mw(0.5, 1.2),
+              (1.1 * 1.1) / (1.2 * 1.2), 1e-9);
+}
+
+TEST(Power, TotalAreaUnderPaperBound) {
+  const AesPowerModel m;
+  // Paper: total SecDDR device area < 1.5mm^2 even with 3 engines.
+  EXPECT_LT(m.total_area_mm2(3), 1.5);
+}
+
+// ---------------------------------------------------------------- security
+
+TEST(Security, NaturalErrorIntervalMatchesPaper) {
+  const EwcrcSecurityModel m;
+  EXPECT_NEAR(m.error_interval_days(), 11.13, 0.3);  // paper: 11.13 days
+}
+
+TEST(Security, BruteForceAttemptsFor50Percent) {
+  const EwcrcSecurityModel m;
+  EXPECT_NEAR(m.bruteforce_attempts(0.5), 4.5e4, 1e3);  // paper: 4.5x10^4
+}
+
+TEST(Security, BruteForceDurationMatchesPaper) {
+  const EwcrcSecurityModel m;
+  EXPECT_NEAR(m.bruteforce_years(0.5), 1385.0, 40.0);  // paper: 1,385 years
+}
+
+TEST(Security, RealisticBerExtendsToMillionsOfYears) {
+  const EwcrcSecurityModel m = EwcrcSecurityModel().with_ber(1e-21);
+  EXPECT_NEAR(m.bruteforce_years(0.5) / 1e6, 138.5, 5.0);  // 138M years
+}
+
+TEST(Security, ParallelAttackStillInfeasible) {
+  // 1,000 nodes x 16 channels at BER 1e-22: > 86,000 years (paper).
+  const EwcrcSecurityModel m = EwcrcSecurityModel().with_ber(1e-22);
+  EXPECT_GT(m.parallel_attack_years(0.5, 1000, 16), 86000.0);
+}
+
+TEST(Security, CounterLifetimeExceedsSystemLifetime) {
+  // One transaction per nanosecond: > 500 years to overflow (paper §III-C).
+  EXPECT_GT(counter_overflow_years(1e9), 500.0);
+}
+
+TEST(Security, SubstitutionMatchProbabilityNegligible) {
+  EXPECT_LT(substitution_counter_match_probability(), 1e-18);
+}
+
+// ---------------------------------------------------------------- geometry
+
+TEST(TreeGeometryTest, MatchesMetadataLayout) {
+  // The analytical model and the simulator's layout must agree.
+  for (unsigned arity : {8u, 64u, 128u}) {
+    TreeGeometry geo;
+    geo.data_bytes = 1ull << 30;
+    geo.arity = arity;
+    geo.counters_per_line = 64;
+    secmem::MetadataLayout layout(
+        secmem::SecurityParams::baseline_tree_ctr(arity, 64), geo.data_bytes);
+    const auto levels = geo.levels();
+    ASSERT_EQ(levels.size(), layout.tree_levels()) << "arity " << arity;
+    for (unsigned l = 1; l <= layout.tree_levels(); ++l)
+      EXPECT_EQ(levels[l - 1], layout.tree_nodes(l));
+    EXPECT_EQ(geo.leaf_lines(), layout.counter_lines());
+  }
+}
+
+TEST(TreeGeometryTest, SixteenGigabyteTreeDepths) {
+  // The paper's 16GB memory: 64-ary counter tree is 3 stored levels;
+  // the 8-ary hash tree over MACs is far deeper — the §V-A scalability
+  // contrast.
+  TreeGeometry ctr;
+  ctr.data_bytes = 16ull << 30;
+  ctr.arity = 64;
+  EXPECT_EQ(ctr.walk_depth(), 3u);  // 4M -> 64K -> 1K -> 16 -> root
+
+  TreeGeometry hash;
+  hash.data_bytes = 16ull << 30;
+  hash.arity = 8;
+  hash.hash_tree_over_macs = true;
+  EXPECT_GE(hash.walk_depth(), 7u);
+}
+
+TEST(TreeGeometryTest, CounterPackingChangesReach) {
+  TreeGeometry g8, g64, g128;
+  g8.data_bytes = g64.data_bytes = g128.data_bytes = 1ull << 30;
+  g8.counters_per_line = 8;
+  g64.counters_per_line = 64;
+  g128.counters_per_line = 128;
+  EXPECT_EQ(g8.leaf_reach_bytes(), 512u);
+  EXPECT_EQ(g64.leaf_reach_bytes(), 4096u);
+  EXPECT_EQ(g128.leaf_reach_bytes(), 8192u);
+  EXPECT_EQ(g8.leaf_lines(), 8 * g64.leaf_lines());
+}
+
+TEST(TreeGeometryTest, MetadataOverheadShrinksWithPacking) {
+  TreeGeometry g8, g128;
+  g8.data_bytes = g128.data_bytes = 16ull << 30;
+  g8.counters_per_line = 8;
+  g128.counters_per_line = 128;
+  EXPECT_GT(g8.metadata_bytes(), 10 * g128.metadata_bytes());
+}
+
+}  // namespace
+}  // namespace secddr::analysis

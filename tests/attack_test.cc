@@ -1,0 +1,428 @@
+// Attack validation: every adversary the paper analyzes, asserted to be
+// detected exactly where the paper says SecDDR detects it — and asserted
+// to SUCCEED against the weakened designs the paper argues against
+// (no eWCRC; trusted-DIMM logic placement under an on-DIMM adversary).
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "core/attack.h"
+#include "core/session.h"
+
+namespace secddr::core {
+namespace {
+
+SessionConfig tiny_config(std::uint64_t seed) {
+  SessionConfig cfg;
+  cfg.dimm.geometry.ranks = 2;
+  cfg.dimm.geometry.bank_groups = 2;
+  cfg.dimm.geometry.banks_per_group = 2;
+  cfg.dimm.geometry.rows_per_bank = 16;
+  cfg.dimm.geometry.columns_per_row = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Decodes where a given line address lands (mirrors the controller).
+struct Loc {
+  unsigned rank, bg, bank, col;
+  std::uint64_t row;
+};
+Loc locate(const SecureMemorySession& s, Addr a) {
+  const auto d = const_cast<SecureMemorySession&>(s).controller().mapping()
+                     .decode(a);
+  return {d.rank, d.bank_group, d.bank, d.column, d.row};
+}
+
+// ------------------------------------------------------- bus replay
+
+TEST(Attack, BusReplayOfStaleDataIsDetected) {
+  // §II-C: replay (c, m) captured at t0 into a read at t2. The E-MAC is
+  // bound to the transaction counter, so the stale pair fails to verify.
+  auto s = SecureMemorySession::create(tiny_config(100));
+  ASSERT_NE(s, nullptr);
+  BusReplayInterposer attacker;
+  s->set_bus_interposer(&attacker);
+
+  const Addr target = 0x40;
+  const Loc loc = locate(*s, target);
+  const CacheLine v1 = CacheLine::filled(0x01);
+  const CacheLine v2 = CacheLine::filled(0x02);
+
+  s->write(target, v1);
+  ASSERT_TRUE(s->read(target).ok());  // attacker records (data, E-MAC)
+  s->write(target, v2);               // processor updates the value
+
+  attacker.arm(loc.rank, loc.bg, loc.bank, static_cast<unsigned>(loc.row),
+               loc.col, /*index=*/0);
+  const auto r = s->read(target);  // attacker splices in the stale pair
+  EXPECT_EQ(attacker.replays_performed(), 1u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.violation, Violation::kMacMismatch);
+}
+
+TEST(Attack, ReplayOfCapturedWriteBurstIsDetected) {
+  // Replaying the (data, E-MAC) captured from an earlier WRITE into a
+  // later read also fails: write pads use odd counters, read pads even.
+  auto s = SecureMemorySession::create(tiny_config(101));
+  ASSERT_NE(s, nullptr);
+  BusReplayInterposer attacker;
+  s->set_bus_interposer(&attacker);
+
+  const Addr target = 0x80;
+  const Loc loc = locate(*s, target);
+  s->write(target, CacheLine::filled(0x11));  // captured by the snoop
+  s->write(target, CacheLine::filled(0x22));
+
+  attacker.arm(loc.rank, loc.bg, loc.bank, static_cast<unsigned>(loc.row),
+               loc.col, 0);
+  const auto r = s->read(target);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Attack, ReplayDetectionIsRobustOverManyAttempts) {
+  // Property sweep: replays of every recorded epoch all fail.
+  auto s = SecureMemorySession::create(tiny_config(102));
+  ASSERT_NE(s, nullptr);
+  BusReplayInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  const Addr target = 0xC0;
+  const Loc loc = locate(*s, target);
+
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    s->write(target, CacheLine::filled(static_cast<std::uint8_t>(epoch)));
+    ASSERT_TRUE(s->read(target).ok());
+  }
+  for (std::size_t idx = 0; idx < 14; ++idx) {
+    attacker.arm(loc.rank, loc.bg, loc.bank, static_cast<unsigned>(loc.row),
+                 loc.col, idx);
+    EXPECT_FALSE(s->read(target).ok()) << "replay of epoch " << idx;
+  }
+}
+
+// ------------------------------------------------------- address redirect
+
+TEST(Attack, RowRedirectOnWriteIsCaughtByEwcrcAtTheDevice) {
+  // The Fig. 3 attack. With encrypted eWCRC the device's address check
+  // fails before the stale pair can be planted: ALERT at write time.
+  auto s = SecureMemorySession::create(tiny_config(103));
+  ASSERT_NE(s, nullptr);
+  RowRedirectInterposer attacker;
+  s->set_bus_interposer(&attacker);
+
+  const Addr target = 0x40;
+  const Loc loc = locate(*s, target);
+  s->write(target, CacheLine::filled(0xAA));
+
+  // Force a different bank's row open so the next access re-activates...
+  // simpler: arm the redirect for the row the controller will open on its
+  // next write to this bank after a conflicting activate.
+  const Addr conflicting =
+      target + static_cast<Addr>(s->controller().mapping().geometry()
+                                     .columns_per_row) *
+                   kLineSize *
+                   (s->controller().mapping().geometry().bank_groups *
+                    s->controller().mapping().geometry().banks_per_group *
+                    s->controller().mapping().geometry().ranks);
+  ASSERT_EQ(locate(*s, conflicting).bank, loc.bank);
+  ASSERT_NE(locate(*s, conflicting).row, loc.row);
+  s->write(conflicting, CacheLine::filled(0x55));  // closes target's row
+
+  attacker.arm(loc.rank, loc.bg, loc.bank, loc.row, loc.row + 1);
+  const Violation v = s->write(target, CacheLine::filled(0xBB));
+  EXPECT_EQ(attacker.redirects_performed(), 1u);
+  EXPECT_EQ(v, Violation::kWriteAlert);
+}
+
+TEST(Attack, RowRedirectSucceedsWithoutEwcrc) {
+  // The same attack against SecDDR-without-eWCRC completes the replay
+  // cycle silently — demonstrating why §III-B needs the encrypted eWCRC.
+  auto cfg = tiny_config(104);
+  cfg.dimm.ewcrc_enabled = false;
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  RowRedirectInterposer attacker;
+  s->set_bus_interposer(&attacker);
+
+  const Addr target = 0x40;
+  const Loc loc = locate(*s, target);
+  const CacheLine stale = CacheLine::filled(0xAA);
+  s->write(target, stale);
+
+  const Addr row_stride = static_cast<Addr>(8) * kLineSize * (2 * 2 * 2);
+  const Addr conflicting = target + row_stride;
+  ASSERT_EQ(locate(*s, conflicting).bank, loc.bank);
+  s->write(conflicting, CacheLine::filled(0x55));  // closes target's row
+
+  attacker.arm(loc.rank, loc.bg, loc.bank, loc.row, loc.row + 1);
+  const Violation v = s->write(target, CacheLine::filled(0xBB));
+  EXPECT_EQ(v, Violation::kNone);  // device noticed nothing
+  EXPECT_EQ(attacker.redirects_performed(), 1u);
+
+  // Victim touches a third row in the bank, so the later read of the
+  // target re-opens row X legitimately (the paper's t2 step).
+  s->write(target + 2 * row_stride, CacheLine::filled(0x66));
+
+  // The read returns the STALE value and verifies fine: replay succeeded.
+  const auto r = s->read(target);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, stale);
+}
+
+TEST(Attack, ColumnRedirectOnWriteIsCaughtByEwcrc) {
+  auto s = SecureMemorySession::create(tiny_config(105));
+  ASSERT_NE(s, nullptr);
+  ColumnRedirectInterposer attacker;
+  s->set_bus_interposer(&attacker);
+
+  const Addr target = 0x40;  // column 1 of row 0
+  const Loc loc = locate(*s, target);
+  s->write(target, CacheLine::filled(0x10));
+
+  attacker.arm(loc.rank, loc.bg, loc.bank, loc.col, loc.col + 1);
+  const Violation v = s->write(target, CacheLine::filled(0x20));
+  EXPECT_EQ(v, Violation::kWriteAlert);
+}
+
+TEST(Attack, ColumnRedirectSucceedsWithoutEwcrc) {
+  auto cfg = tiny_config(106);
+  cfg.dimm.ewcrc_enabled = false;
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  ColumnRedirectInterposer attacker;
+  s->set_bus_interposer(&attacker);
+
+  const Addr target = 0x40;
+  const Loc loc = locate(*s, target);
+  const CacheLine stale = CacheLine::filled(0x10);
+  s->write(target, stale);
+  attacker.arm(loc.rank, loc.bg, loc.bank, loc.col, loc.col + 1);
+  s->write(target, CacheLine::filled(0x20));
+  const auto r = s->read(target);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, stale);  // silent stale-data replay
+}
+
+// ------------------------------------------------------- drop / convert
+
+TEST(Attack, DroppedWriteDesynchronizesAndIsDetectedOnNextRead) {
+  // §III-B: dropping a write leaves the device counter behind; every
+  // subsequent read decrypts with the wrong pad and fails.
+  auto s = SecureMemorySession::create(tiny_config(107));
+  ASSERT_NE(s, nullptr);
+  DropWriteInterposer attacker;
+  s->set_bus_interposer(&attacker);
+
+  const Addr target = 0x40;
+  const Loc loc = locate(*s, target);
+  s->write(target, CacheLine::filled(0x01));
+
+  attacker.arm(loc.rank, loc.bg, loc.bank, loc.col);
+  EXPECT_EQ(s->write(target, CacheLine::filled(0x02)), Violation::kNone);
+  EXPECT_EQ(attacker.drops_performed(), 1u);
+
+  // The stale data is still there, but the channel is desynchronized.
+  EXPECT_FALSE(s->read(target).ok());
+  // And it stays broken: the attack cannot be hidden.
+  EXPECT_FALSE(s->read(target).ok());
+  EXPECT_FALSE(s->read(0x80).ok());  // other lines in the rank too
+}
+
+TEST(Attack, WriteToReadConversionIsDetectedByCounterParity) {
+  // §III-B: converting WR->RD would keep counters *numerically* in sync
+  // (one transaction each side) — only the even/odd discipline breaks it.
+  auto s = SecureMemorySession::create(tiny_config(108));
+  ASSERT_NE(s, nullptr);
+  WriteToReadInterposer attacker;
+  s->set_bus_interposer(&attacker);
+
+  const Addr target = 0x40;
+  const Loc loc = locate(*s, target);
+  s->write(target, CacheLine::filled(0x01));
+
+  attacker.arm(loc.rank, loc.bg, loc.bank, loc.col);
+  EXPECT_EQ(s->write(target, CacheLine::filled(0x02)), Violation::kNone);
+
+  // Device consumed an even (read) counter for the converted command while
+  // the processor consumed an odd (write) one: next read fails.
+  const auto r = s->read(target);
+  EXPECT_FALSE(r.ok());
+}
+
+// ------------------------------------------------------- bit flips
+
+TEST(Attack, ReadDataBitFlipDetected) {
+  auto s = SecureMemorySession::create(tiny_config(109));
+  ASSERT_NE(s, nullptr);
+  BitFlipInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  s->write(0x40, CacheLine::filled(0x3C));
+  attacker.arm(BitFlipInterposer::Field::kReadData, 137);
+  EXPECT_FALSE(s->read(0x40).ok());
+  // Channel stays healthy afterwards (flip was transient).
+  EXPECT_TRUE(s->read(0x40).ok());
+}
+
+TEST(Attack, ReadEmacBitFlipDetected) {
+  auto s = SecureMemorySession::create(tiny_config(110));
+  ASSERT_NE(s, nullptr);
+  BitFlipInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  s->write(0x40, CacheLine::filled(0x3C));
+  attacker.arm(BitFlipInterposer::Field::kReadEmac, 5);
+  EXPECT_FALSE(s->read(0x40).ok());
+}
+
+TEST(Attack, WriteDataBitFlipCaughtAtDeviceByWcrc) {
+  // Data-chip WCRC catches in-flight write corruption before storing.
+  auto s = SecureMemorySession::create(tiny_config(111));
+  ASSERT_NE(s, nullptr);
+  BitFlipInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  attacker.arm(BitFlipInterposer::Field::kWriteData, 300);
+  EXPECT_EQ(s->write(0x40, CacheLine::filled(0x3C)), Violation::kWriteAlert);
+}
+
+TEST(Attack, WriteEmacBitFlipCaughtAtDevice) {
+  auto s = SecureMemorySession::create(tiny_config(112));
+  ASSERT_NE(s, nullptr);
+  BitFlipInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  attacker.arm(BitFlipInterposer::Field::kWriteEmac, 9);
+  EXPECT_EQ(s->write(0x40, CacheLine::filled(0x3C)), Violation::kWriteAlert);
+}
+
+TEST(Attack, WriteEmacFlipWithoutEwcrcDefersDetectionToRead) {
+  // Without the device-side CRC the corrupted MAC is stored and the
+  // failure surfaces at the next read — the deferred-detection semantics
+  // of §III-A.
+  auto cfg = tiny_config(113);
+  cfg.dimm.ewcrc_enabled = false;
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  BitFlipInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  attacker.arm(BitFlipInterposer::Field::kWriteEmac, 9);
+  EXPECT_EQ(s->write(0x40, CacheLine::filled(0x3C)), Violation::kNone);
+  EXPECT_FALSE(s->read(0x40).ok());
+}
+
+// ------------------------------------------------------- DIMM substitution
+
+TEST(Attack, DimmSubstitutionDetectedByCounterMismatch) {
+  // §III-C cold-boot replay: freeze the DIMM (snapshot), let the victim
+  // progress, then substitute the frozen module. The device counter in
+  // the snapshot no longer matches the processor's: all reads fail.
+  auto s = SecureMemorySession::create(tiny_config(114));
+  ASSERT_NE(s, nullptr);
+  const Addr a = 0x40;
+  s->write(a, CacheLine::filled(0x01));
+  const auto frozen = s->snapshot_dimm();  // attacker preserves old state
+
+  s->write(a, CacheLine::filled(0x02));  // victim makes progress
+  ASSERT_TRUE(s->read(a).ok());
+
+  s->sleep();
+  s->substitute_dimm(frozen);  // attacker swaps the module
+  s->wake();
+
+  const auto r = s->read(a);
+  EXPECT_FALSE(r.ok()) << "stale pre-substitution state must not verify";
+}
+
+TEST(Attack, LegitimateDimmReplacementWorksAfterReattestation) {
+  // Non-adversarial replacement (§III-C): the processor is notified,
+  // re-attests, clears memory, and continues from a clean state.
+  auto s = SecureMemorySession::create(tiny_config(115));
+  ASSERT_NE(s, nullptr);
+  s->write(0x40, CacheLine::filled(0x77));
+  const auto other_module = s->snapshot_dimm();
+  s->substitute_dimm(other_module);
+  ASSERT_TRUE(s->reattest(/*clear_memory=*/true));
+  const auto r = s->read(0x40);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, CacheLine{}) << "memory must be cleared at replacement";
+}
+
+// ------------------------------------------------------- on-DIMM attacks
+
+TEST(Attack, OnDimmReplayFailsAgainstEccChipPlacement) {
+  // Untrusted-DIMM design (§III-E): the on-DIMM interconnect carries
+  // E-MACs; an on-DIMM replay splices a pad-stale pair and is detected.
+  auto s = SecureMemorySession::create(tiny_config(116));
+  ASSERT_NE(s, nullptr);
+  OnDimmReplayInterposer trojan;
+  s->set_on_dimm_interposer(&trojan);
+
+  const Addr target = 0x40;
+  s->write(target, CacheLine::filled(0x01));
+  ASSERT_TRUE(s->read(target).ok());  // trojan records the inner pair
+  s->write(target, CacheLine::filled(0x02));
+
+  // Replay the oldest inner observation into the next read.
+  const Loc loc = locate(*s, target);
+  (void)loc;
+  // line_key 0 corresponds to bg0/bank0/row0/col1? Compute via dimm read
+  // path: easiest is to arm on the key the trojan has already seen.
+  // The trojan records under (rank<<56)|key; we arm using the first seen.
+  // For determinism, write/read target only — the single recorded key.
+  trojan.arm(0, /*line_key=*/1);  // col 1 of row 0, bank 0 (addr 0x40)
+  const auto r = s->read(target);
+  EXPECT_EQ(trojan.replays_performed(), 1u);
+  EXPECT_FALSE(r.ok()) << "on-DIMM replay must fail against ECC-chip logic";
+}
+
+TEST(Attack, OnDimmReplaySucceedsAgainstTrustedDimmPlacement) {
+  // Trusted-DIMM design (§VI-C): the DB decrypts before the interconnect,
+  // so the trojan sees PLAINTEXT MACs; replaying a stale (data, MAC) pair
+  // re-encrypts correctly and verifies — the attack the paper warns
+  // about when InvisiMem-style trust is applied to commodity DIMMs.
+  auto cfg = tiny_config(117);
+  cfg.dimm.placement = LogicPlacement::kEccDataBuffer;
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  OnDimmReplayInterposer trojan;
+  s->set_on_dimm_interposer(&trojan);
+
+  const Addr target = 0x40;
+  const CacheLine stale = CacheLine::filled(0x01);
+  s->write(target, stale);
+  ASSERT_TRUE(s->read(target).ok());
+  s->write(target, CacheLine::filled(0x02));
+
+  trojan.arm(0, 1);
+  const auto r = s->read(target);
+  EXPECT_EQ(trojan.replays_performed(), 1u);
+  ASSERT_TRUE(r.ok()) << "trusted-DIMM placement cannot detect this";
+  EXPECT_EQ(r.data, stale) << "stale data accepted: replay succeeded";
+}
+
+// ------------------------------------------------------- no false positives
+
+TEST(Attack, NoFalsePositivesOnLongBenignRun) {
+  auto s = SecureMemorySession::create(tiny_config(118));
+  ASSERT_NE(s, nullptr);
+  // Passive snoop only (records, never tampers).
+  SnoopInterposer observer;
+  s->set_bus_interposer(&observer);
+  Xoshiro256 rng(99);
+  std::unordered_map<Addr, CacheLine> shadow;
+  for (int i = 0; i < 3000; ++i) {
+    const Addr a = line_base(rng.next() % s->capacity());
+    if (rng.chance(0.5) || !shadow.count(a)) {
+      CacheLine v;
+      for (auto& b : v.bytes) b = static_cast<std::uint8_t>(rng.next());
+      ASSERT_EQ(s->write(a, v), Violation::kNone);
+      shadow[a] = v;
+    } else {
+      const auto r = s->read(a);
+      ASSERT_TRUE(r.ok()) << "false positive at op " << i;
+      ASSERT_EQ(r.data, shadow[a]);
+    }
+  }
+  EXPECT_EQ(s->stats().violations(), 0u);
+}
+
+}  // namespace
+}  // namespace secddr::core

@@ -1,0 +1,155 @@
+// Functional counter-integrity-tree baseline (§II-C3): correctness,
+// at-rest replay detection, and the traversal-cost scaling that
+// motivates SecDDR.
+#include <gtest/gtest.h>
+
+#include "baseline/integrity_tree.h"
+#include "common/random.h"
+
+namespace secddr::baseline {
+namespace {
+
+TEST(BaselineTree, WriteReadRoundTrip) {
+  IntegrityTree tree({/*arity=*/8, /*lines=*/512});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t idx = rng.next_below(512);
+    CacheLine v;
+    for (auto& b : v.bytes) b = static_cast<std::uint8_t>(rng.next());
+    tree.write(idx, v);
+    const auto r = tree.read(idx);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.data, v);
+  }
+}
+
+TEST(BaselineTree, FreshReadsOfUntouchedLinesVerify) {
+  IntegrityTree tree({8, 128});
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    const auto r = tree.read(i);
+    ASSERT_TRUE(r.ok) << i;
+    EXPECT_EQ(r.data, CacheLine{});
+  }
+}
+
+TEST(BaselineTree, DataAtRestIsEncrypted) {
+  IntegrityTree tree({8, 64});
+  const CacheLine pt = CacheLine::filled(0x41);
+  tree.write(7, pt);
+  EXPECT_FALSE(tree.memory().data[7] == pt);
+}
+
+TEST(BaselineTree, DetectsDataTamper) {
+  IntegrityTree tree({8, 64});
+  tree.write(3, CacheLine::filled(0x01));
+  tree.memory().data[3][10] ^= 0xFF;
+  EXPECT_FALSE(tree.read(3).ok);
+}
+
+TEST(BaselineTree, DetectsMacTamper) {
+  IntegrityTree tree({8, 64});
+  tree.write(3, CacheLine::filled(0x01));
+  tree.memory().line_macs[3] ^= 1;
+  EXPECT_FALSE(tree.read(3).ok);
+}
+
+TEST(BaselineTree, DetectsAtRestReplay) {
+  // THE replay attack (§II-C1): restore a complete, self-consistent
+  // (ciphertext, MAC, counter) triple from an earlier time. The line MAC
+  // verifies — only the tree catches the stale counter.
+  IntegrityTree tree({8, 64});
+  tree.write(5, CacheLine::filled(0x01));
+  const auto old_ct = tree.memory().data[5];
+  const auto old_mac = tree.memory().line_macs[5];
+  const auto old_counter = tree.memory().counters[5];
+
+  tree.write(5, CacheLine::filled(0x02));  // victim progresses
+
+  tree.memory().data[5] = old_ct;  // attacker replays the full triple
+  tree.memory().line_macs[5] = old_mac;
+  tree.memory().counters[5] = old_counter;
+  EXPECT_FALSE(tree.read(5).ok) << "stale triple must fail the tree walk";
+}
+
+TEST(BaselineTree, ReplayOfTreeNodesAlsoDetected) {
+  // Even replaying interior nodes along with the leaf fails: the root is
+  // on-chip and cannot be rolled back.
+  IntegrityTree tree({4, 256});
+  tree.write(9, CacheLine::filled(0x01));
+  const auto snapshot = tree.memory();  // full untrusted state
+  tree.write(9, CacheLine::filled(0x02));
+  tree.memory() = snapshot;  // attacker restores ALL of DRAM
+  EXPECT_FALSE(tree.read(9).ok) << "on-chip root defeats whole-DRAM replay";
+}
+
+TEST(BaselineTree, OtherLinesUnaffectedByTamper) {
+  IntegrityTree tree({8, 64});
+  tree.write(1, CacheLine::filled(0x01));
+  tree.write(2, CacheLine::filled(0x02));
+  tree.memory().data[1][0] ^= 1;
+  EXPECT_FALSE(tree.read(1).ok);
+  const auto r2 = tree.read(2);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_EQ(r2.data, CacheLine::filled(0x02));
+}
+
+TEST(BaselineTree, TraversalCostGrowsWithCapacity) {
+  // The §II-D scalability problem, measured: deeper trees touch more
+  // nodes per access.
+  IntegrityTree small({8, 64});      // 64 -> 8 -> root
+  IntegrityTree large({8, 32768});   // 32768 -> 4096 -> 512 -> 64 -> 8 -> root
+  small.write(0, CacheLine::filled(1));
+  large.write(0, CacheLine::filled(1));
+  EXPECT_GT(large.last_nodes_touched(), small.last_nodes_touched());
+  (void)small.read(0);
+  const unsigned small_read = small.last_nodes_touched();
+  (void)large.read(0);
+  EXPECT_GT(large.last_nodes_touched(), small_read);
+}
+
+TEST(BaselineTree, HigherArityShrinksTraversal) {
+  // The Fig. 8 arity trade-off, functional edition.
+  IntegrityTree narrow({8, 32768});
+  IntegrityTree wide({64, 32768});
+  (void)narrow.read(100);
+  (void)wide.read(100);
+  EXPECT_GT(narrow.last_nodes_touched(), wide.last_nodes_touched());
+  EXPECT_GT(narrow.tree_depth(), wide.tree_depth());
+}
+
+TEST(BaselineTree, RandomizedTamperSweepAlwaysDetected) {
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    IntegrityTree tree({4, 128});
+    const std::uint64_t idx = rng.next_below(128);
+    tree.write(idx, CacheLine::filled(0xAB));
+    auto& mem = tree.memory();
+    switch (rng.next_below(4)) {
+      case 0:
+        mem.data[idx][rng.next_below(64)] ^= 1 << rng.next_below(8);
+        break;
+      case 1:
+        mem.line_macs[idx] ^= 1ull << rng.next_below(64);
+        break;
+      case 2:
+        mem.counters[idx] += 1;
+        break;
+      case 3: {
+        auto& level = mem.levels[rng.next_below(mem.levels.size())];
+        level[rng.next_below(level.size())] ^= 1;
+        // Tampering a node on a DIFFERENT path may not affect this read;
+        // only assert when the tampered node is plausibly on-path by
+        // retrying the read of every line.
+        bool any_failed = false;
+        for (std::uint64_t i = 0; i < 128; ++i)
+          any_failed = any_failed || !tree.read(i).ok;
+        EXPECT_TRUE(any_failed) << "node tamper invisible to every line";
+        continue;
+      }
+    }
+    EXPECT_FALSE(tree.read(idx).ok) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace secddr::baseline

@@ -1,0 +1,247 @@
+// Common utilities: cache model, PRNG, stats, bit ops, table printer.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bitops.h"
+#include "common/cache.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace secddr {
+namespace {
+
+// ---------------------------------------------------------------- bitops
+
+TEST(BitOps, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ilog2(1ull << 63), 63u);
+}
+
+TEST(BitOps, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(4097));
+}
+
+TEST(BitOps, BitsExtract) {
+  EXPECT_EQ(bits(0xABCDull, 0, 4), 0xDull);
+  EXPECT_EQ(bits(0xABCDull, 4, 8), 0xBCull);
+  EXPECT_EQ(bits(0xFFFFFFFFFFFFFFFFull, 0, 64), 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 64), 1u);
+}
+
+// ---------------------------------------------------------------- types
+
+TEST(Types, LineHelpers) {
+  EXPECT_EQ(line_base(0x12345), 0x12340ull);
+  EXPECT_EQ(line_index(0x12345), 0x12345ull >> 6);
+  EXPECT_EQ(line_base(line_base(0x999)), line_base(0x999));
+}
+
+TEST(Types, CacheLineXor) {
+  CacheLine a = CacheLine::filled(0xFF);
+  const CacheLine b = CacheLine::filled(0x0F);
+  a ^= b;
+  EXPECT_EQ(a, CacheLine::filled(0xF0));
+}
+
+TEST(Types, LoadStoreLe64) {
+  std::uint8_t buf[8];
+  store_le64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(load_le64(buf), 0x0102030405060708ull);
+}
+
+// ---------------------------------------------------------------- random
+
+TEST(Random, Deterministic) {
+  Xoshiro256 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Random, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, GeometricMeanApproximates) {
+  Xoshiro256 rng(13);
+  const double target = 25.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(rng.next_geometric(target));
+  EXPECT_NEAR(sum / n, target, target * 0.05);
+}
+
+TEST(Random, ChanceFrequency) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndGeomean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_NEAR(geomean({1, 100}), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, RunningStat) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, Percent) {
+  EXPECT_EQ(percent(0.188), "18.8%");
+  EXPECT_EQ(percent(1.904), "190.4%");
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header line and separator present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::num(1.0, 0), "1");
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(Cache, HitAfterInstall) {
+  SetAssocCache c(4096, 4);
+  EXPECT_FALSE(c.probe(0x1000));
+  c.install(0x1000, false);
+  EXPECT_TRUE(c.probe(0x1000));
+}
+
+TEST(Cache, MissThenHitCountsCorrectly) {
+  SetAssocCache c(4096, 4);
+  auto r1 = c.access(0x40, false);
+  EXPECT_FALSE(r1.hit);
+  auto r2 = c.access(0x40, false);
+  EXPECT_TRUE(r2.hit);
+  EXPECT_EQ(c.stats().accesses, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, line 64B: one set holds exactly 2 lines of the same set index.
+  SetAssocCache c(128, 2);  // 1 set, 2 ways
+  c.access(0 * 64, false);
+  c.access(1 * 64, false);
+  c.access(0 * 64, false);          // 0 is now MRU
+  auto r = c.access(2 * 64, false); // evicts 1 (LRU)
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_addr, 1ull * 64);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(64));
+}
+
+TEST(Cache, DirtyVictimReported) {
+  SetAssocCache c(128, 2);
+  c.access(0, true);   // dirty
+  c.access(64, false);
+  auto r = c.access(128, false);  // evicts 0 (LRU, dirty)
+  EXPECT_TRUE(r.evicted);
+  EXPECT_TRUE(r.victim_dirty);
+  EXPECT_EQ(r.victim_addr, 0ull);
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, TouchDoesNotAllocate) {
+  SetAssocCache c(4096, 4);
+  EXPECT_FALSE(c.touch(0x2000, true));
+  EXPECT_FALSE(c.probe(0x2000));
+  c.install(0x2000, false);
+  EXPECT_TRUE(c.touch(0x2000, true));
+}
+
+TEST(Cache, InvalidateReturnsDirty) {
+  SetAssocCache c(4096, 4);
+  c.install(0x80, true);
+  EXPECT_TRUE(c.invalidate(0x80));
+  EXPECT_FALSE(c.probe(0x80));
+  c.install(0xC0, false);
+  EXPECT_FALSE(c.invalidate(0xC0));
+}
+
+TEST(Cache, FlushAllEmptiesCache) {
+  SetAssocCache c(4096, 4);
+  for (Addr a = 0; a < 4096; a += 64) c.install(a, true);
+  c.flush_all();
+  for (Addr a = 0; a < 4096; a += 64) EXPECT_FALSE(c.probe(a));
+}
+
+TEST(Cache, VictimAddressRoundTrips) {
+  // Property: the reported victim address maps back to the same set.
+  SetAssocCache c(8192, 2);
+  Xoshiro256 rng(23);
+  std::set<Addr> installed;
+  for (int i = 0; i < 2000; ++i) {
+    const Addr a = line_base(rng.next() % (1ull << 30));
+    auto r = c.access(a, rng.chance(0.5));
+    if (r.evicted) {
+      // Victim must previously have been present.
+      EXPECT_TRUE(installed.count(r.victim_addr) || installed.empty())
+          << "victim " << r.victim_addr << " never installed";
+    }
+    installed.insert(a);
+  }
+}
+
+TEST(Cache, CapacityRespected) {
+  // Fill more lines than capacity; resident set never exceeds capacity.
+  SetAssocCache c(4096, 4);  // 64 lines
+  for (Addr a = 0; a < 64 * 128; a += 64) c.access(a, false);
+  unsigned resident = 0;
+  for (Addr a = 0; a < 64 * 128; a += 64) resident += c.probe(a);
+  EXPECT_LE(resident, 64u);
+  EXPECT_GT(resident, 0u);
+}
+
+}  // namespace
+}  // namespace secddr

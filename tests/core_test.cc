@@ -1,0 +1,331 @@
+// Functional SecDDR protocol: E-MAC engine, eWCRC, DIMM device model, and
+// controller read/write round-trips on a benign channel.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/bus.h"
+#include "core/controller.h"
+#include "core/dimm.h"
+#include "core/emac.h"
+#include "core/ewcrc.h"
+#include "core/session.h"
+
+namespace secddr::core {
+namespace {
+
+// ---------------------------------------------------------------- E-MAC
+
+TEST(EmacEngine, CounterParityDiscipline) {
+  EmacEngine e(crypto::Key128{1}, 0, 0);
+  EXPECT_EQ(e.next_counter(Dir::kRead), 0u);    // even, advance to 2
+  EXPECT_EQ(e.next_counter(Dir::kWrite), 3u);   // odd (2+1), advance to 6
+  EXPECT_EQ(e.next_counter(Dir::kWrite), 7u);   // odd (6+1), advance to 10
+  EXPECT_EQ(e.next_counter(Dir::kRead), 10u);   // even
+  EXPECT_EQ(e.next_counter(Dir::kRead), 12u);
+  // Every read value is even, every write value odd.
+}
+
+TEST(EmacEngine, PeekDoesNotConsume) {
+  EmacEngine e(crypto::Key128{1}, 0, 10);
+  EXPECT_EQ(e.peek_counter(Dir::kRead), 10u);
+  EXPECT_EQ(e.peek_counter(Dir::kRead), 10u);
+  EXPECT_EQ(e.peek_counter(Dir::kWrite), 11u);
+  EXPECT_EQ(e.next_counter(Dir::kRead), 10u);
+  EXPECT_EQ(e.peek_counter(Dir::kRead), 12u);
+}
+
+TEST(EmacEngine, ParityInvariantUnderRandomSequences) {
+  EmacEngine e(crypto::Key128{4}, 0, 1);  // odd init normalizes to even
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const Dir d = rng.chance(0.5) ? Dir::kWrite : Dir::kRead;
+    const std::uint64_t c = e.next_counter(d);
+    EXPECT_EQ(c & 1, d == Dir::kWrite ? 1u : 0u);
+  }
+}
+
+TEST(EmacEngine, ConversionDesyncIsPermanent) {
+  // The property behind §III-B's WR->RD defense: after the device serves
+  // a read where the controller issued a write, the two ends never agree
+  // on a read counter again.
+  const crypto::Key128 kt{6};
+  EmacEngine mc(kt, 0, 100), dev(kt, 0, 100);
+  mc.next_counter(Dir::kWrite);  // converted command:
+  dev.next_counter(Dir::kRead);  // device saw a read instead
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NE(mc.peek_counter(Dir::kRead), dev.peek_counter(Dir::kRead));
+    const Dir d = (i % 3 == 0) ? Dir::kWrite : Dir::kRead;
+    mc.next_counter(d);
+    dev.next_counter(d);
+  }
+}
+
+TEST(EmacEngine, TwoEnginesWithSameKeyStayInSync) {
+  // The fundamental channel property: both ends derive identical pads
+  // from their synchronized counters without communicating.
+  const crypto::Key128 kt{9, 8, 7};
+  EmacEngine mc(kt, 1, 1000);
+  EmacEngine chip(kt, 1, 1000);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Dir d = rng.chance(0.4) ? Dir::kWrite : Dir::kRead;
+    const std::uint64_t c1 = mc.next_counter(d);
+    const std::uint64_t c2 = chip.next_counter(d);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(mc.otp(c1), chip.otp(c2));
+  }
+}
+
+TEST(EmacEngine, OtpNeverRepeatsAcrossCounters) {
+  EmacEngine e(crypto::Key128{5}, 0, 0);
+  std::set<std::uint64_t> pads;
+  for (std::uint64_t c = 0; c < 2000; ++c)
+    EXPECT_TRUE(pads.insert(e.otp(c)).second) << "pad repeat at " << c;
+}
+
+TEST(EmacEngine, RanksHaveIndependentPads) {
+  const crypto::Key128 kt{2};
+  EmacEngine r0(kt, 0), r1(kt, 1);
+  EXPECT_NE(r0.otp(42), r1.otp(42));
+}
+
+TEST(EmacEngine, EncryptDecryptRoundTrip) {
+  EmacEngine e(crypto::Key128{7}, 0);
+  const std::uint64_t mac = 0xDEADBEEFCAFEBABEull;
+  const std::uint64_t emac = e.encrypt_mac(mac, 12);
+  EXPECT_NE(emac, mac);
+  EXPECT_EQ(e.decrypt_mac(emac, 12), mac);
+  EXPECT_NE(e.decrypt_mac(emac, 14), mac);  // wrong counter fails
+}
+
+TEST(EmacEngine, OtpWBindsAddress) {
+  EmacEngine e(crypto::Key128{7}, 0);
+  WriteAddress a{0, 1, 2, 100, 7};
+  WriteAddress b = a;
+  b.row = 101;
+  EXPECT_NE(e.otp_w(5, a.code()), e.otp_w(5, b.code()));
+  EXPECT_NE(e.otp_w(5, a.code()), e.otp_w(7, a.code()));
+}
+
+TEST(MacEngine, BindsAddressAndData) {
+  MacEngine m(crypto::Key128{3});
+  const CacheLine line = CacheLine::filled(0x5A);
+  const std::uint64_t mac = m.compute(0x1000, line);
+  EXPECT_NE(m.compute(0x1040, line), mac);  // different address
+  CacheLine other = line;
+  other[13] ^= 1;
+  EXPECT_NE(m.compute(0x1000, other), mac);  // different data
+  EXPECT_EQ(m.compute(0x1000, line), mac);   // deterministic
+}
+
+// ---------------------------------------------------------------- eWCRC
+
+TEST(Ewcrc, AddressCodePacksDistinctly) {
+  WriteAddress a{1, 2, 3, 500, 63};
+  WriteAddress b = a;
+  EXPECT_EQ(a.code(), b.code());
+  b.column = 62;
+  EXPECT_NE(a.code(), b.code());
+  b = a;
+  b.row = 501;
+  EXPECT_NE(a.code(), b.code());
+  b = a;
+  b.rank = 0;
+  EXPECT_NE(a.code(), b.code());
+}
+
+TEST(Ewcrc, DetectsDataCorruption) {
+  WriteAddress addr{0, 0, 0, 1, 1};
+  CacheLine line = CacheLine::filled(0x11);
+  const auto crcs = ewcrc_data_chips(addr, line);
+  line[5] ^= 0x80;  // chip 0 carries bytes 0..7
+  const auto crcs2 = ewcrc_data_chips(addr, line);
+  EXPECT_NE(crcs[0], crcs2[0]);
+  for (unsigned chip = 1; chip < kDataChips; ++chip)
+    EXPECT_EQ(crcs[chip], crcs2[chip]);  // other slices unaffected
+}
+
+TEST(Ewcrc, DetectsAddressCorruption) {
+  const CacheLine line = CacheLine::filled(0x42);
+  WriteAddress a{0, 1, 2, 77, 10};
+  WriteAddress wrong_row = a;
+  wrong_row.row = 78;
+  const auto c1 = ewcrc_data_chips(a, line);
+  const auto c2 = ewcrc_data_chips(wrong_row, line);
+  for (unsigned chip = 0; chip < kDataChips; ++chip)
+    EXPECT_NE(c1[chip], c2[chip]);
+}
+
+TEST(Ewcrc, EccChipCrcCoversMac) {
+  WriteAddress a{0, 0, 0, 5, 5};
+  EXPECT_NE(ewcrc_ecc_chip(a, 0x1111), ewcrc_ecc_chip(a, 0x1112));
+}
+
+// ---------------------------------------------------------------- session
+
+SessionConfig tiny_config(std::uint64_t seed = 1) {
+  SessionConfig cfg;
+  cfg.dimm.geometry.ranks = 2;
+  cfg.dimm.geometry.bank_groups = 2;
+  cfg.dimm.geometry.banks_per_group = 2;
+  cfg.dimm.geometry.rows_per_bank = 16;
+  cfg.dimm.geometry.columns_per_row = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Session, WriteReadRoundTripXts) {
+  auto s = SecureMemorySession::create(tiny_config());
+  ASSERT_NE(s, nullptr);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const Addr a = line_base(rng.next() % s->capacity());
+    CacheLine line;
+    for (auto& b : line.bytes) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(s->write(a, line), Violation::kNone);
+    const auto r = s->read(a);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.data, line);
+  }
+  EXPECT_EQ(s->stats().violations(), 0u);
+}
+
+TEST(Session, WriteReadRoundTripCtr) {
+  auto cfg = tiny_config(2);
+  cfg.encryption = DataEncryption::kCtr;
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  const Addr a = 0x40 * 3;
+  const CacheLine v1 = CacheLine::filled(0xAA);
+  const CacheLine v2 = CacheLine::filled(0xBB);
+  EXPECT_EQ(s->write(a, v1), Violation::kNone);
+  EXPECT_EQ(s->read(a).data, v1);
+  EXPECT_EQ(s->write(a, v2), Violation::kNone);
+  EXPECT_EQ(s->read(a).data, v2);
+}
+
+TEST(Session, CtrModeCiphertextVariesOverWritesOfSameValue) {
+  // Counter-mode gives temporal uniqueness; XTS does not (§IV-B).
+  auto cfg = tiny_config(3);
+  cfg.encryption = DataEncryption::kCtr;
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  const Addr a = 0;
+  const CacheLine v = CacheLine::filled(0x77);
+  s->write(a, v);
+  CacheLine ct1;
+  ASSERT_TRUE(s->dimm().peek_line(0, 0, &ct1, nullptr));
+  s->write(a, v);
+  CacheLine ct2;
+  ASSERT_TRUE(s->dimm().peek_line(0, 0, &ct2, nullptr));
+  EXPECT_FALSE(ct1 == ct2);
+}
+
+TEST(Session, XtsCiphertextDeterministicForSameValue) {
+  auto s = SecureMemorySession::create(tiny_config(4));
+  ASSERT_NE(s, nullptr);
+  const CacheLine v = CacheLine::filled(0x77);
+  s->write(0, v);
+  CacheLine ct1;
+  ASSERT_TRUE(s->dimm().peek_line(0, 0, &ct1, nullptr));
+  s->write(0, v);
+  CacheLine ct2;
+  ASSERT_TRUE(s->dimm().peek_line(0, 0, &ct2, nullptr));
+  EXPECT_EQ(ct1, ct2);
+}
+
+TEST(Session, DataAtRestIsCiphertextAndMacIsStored) {
+  auto s = SecureMemorySession::create(tiny_config(5));
+  ASSERT_NE(s, nullptr);
+  const CacheLine pt = CacheLine::filled(0x33);
+  s->write(0, pt);
+  CacheLine at_rest;
+  std::uint64_t mac = 0;
+  ASSERT_TRUE(s->dimm().peek_line(0, 0, &at_rest, &mac));
+  EXPECT_FALSE(at_rest == pt) << "data must not rest in plaintext";
+  EXPECT_NE(mac, 0u) << "MAC must be stored with the data";
+}
+
+TEST(Session, ReadsSpanAllRanksAndBanks) {
+  auto s = SecureMemorySession::create(tiny_config(6));
+  ASSERT_NE(s, nullptr);
+  for (Addr a = 0; a < s->capacity(); a += kLineSize) {
+    const CacheLine v = CacheLine::filled(static_cast<std::uint8_t>(a >> 6));
+    ASSERT_EQ(s->write(a, v), Violation::kNone) << "addr " << a;
+    ASSERT_EQ(s->read(a).data, v) << "addr " << a;
+  }
+  EXPECT_EQ(s->stats().violations(), 0u);
+}
+
+TEST(Session, UnwrittenLinesFailVerification) {
+  // A never-written line has no valid MAC: integrity-protected memory
+  // must not return fabricated data as valid.
+  auto s = SecureMemorySession::create(tiny_config(7));
+  ASSERT_NE(s, nullptr);
+  const auto r = s->read(0x40);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.violation, Violation::kMacMismatch);
+}
+
+TEST(Session, ClearedMemoryReadsAsZeros) {
+  auto cfg = tiny_config(8);
+  cfg.clear_memory = true;  // §III-F: processor clears memory at boot
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  const auto r = s->read(0x80);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, CacheLine{});
+}
+
+TEST(Session, CountersAdvanceInLockstep) {
+  auto s = SecureMemorySession::create(tiny_config(9));
+  ASSERT_NE(s, nullptr);
+  const CacheLine v{};
+  for (int i = 0; i < 50; ++i) {
+    s->write(static_cast<Addr>(i) * kLineSize, v);
+    (void)s->read(static_cast<Addr>(i) * kLineSize);
+  }
+  for (unsigned r = 0; r < 2; ++r) {
+    EXPECT_EQ(s->controller().transaction_counter(r),
+              s->dimm().transaction_counter(r))
+        << "rank " << r << " desynchronized on a benign channel";
+  }
+}
+
+TEST(Session, SleepWakePreservesState) {
+  auto s = SecureMemorySession::create(tiny_config(10));
+  ASSERT_NE(s, nullptr);
+  const CacheLine v = CacheLine::filled(0xEE);
+  s->write(0x100, v);
+  s->sleep();
+  EXPECT_TRUE(s->asleep());
+  s->wake();
+  const auto r = s->read(0x100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, v);
+}
+
+TEST(Session, TrustedDimmPlacementWorksOnBenignChannel) {
+  auto cfg = tiny_config(11);
+  cfg.dimm.placement = LogicPlacement::kEccDataBuffer;
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  const CacheLine v = CacheLine::filled(0x21);
+  EXPECT_EQ(s->write(0x40, v), Violation::kNone);
+  EXPECT_EQ(s->read(0x40).data, v);
+}
+
+TEST(Session, WithoutEwcrcStillWorksOnBenignChannel) {
+  auto cfg = tiny_config(12);
+  cfg.dimm.ewcrc_enabled = false;
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  const CacheLine v = CacheLine::filled(0x44);
+  EXPECT_EQ(s->write(0x80, v), Violation::kNone);
+  EXPECT_EQ(s->read(0x80).data, v);
+}
+
+}  // namespace
+}  // namespace secddr::core

@@ -1,0 +1,177 @@
+// §VIII extension: CCCA obfuscation (traffic-oblivious command/address).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "core/attack.h"
+#include "core/session.h"
+
+namespace secddr::core {
+namespace {
+
+SessionConfig obf_config(std::uint64_t seed, bool obfuscate = true) {
+  SessionConfig cfg;
+  cfg.dimm.geometry.ranks = 2;
+  cfg.dimm.geometry.bank_groups = 2;
+  cfg.dimm.geometry.banks_per_group = 2;
+  cfg.dimm.geometry.rows_per_bank = 16;
+  cfg.dimm.geometry.columns_per_row = 8;
+  cfg.dimm.cca_obfuscation = obfuscate;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Records the raw row values an on-bus observer sees in ACTIVATEs.
+class RowObserver : public BusInterposer {
+ public:
+  bool on_activate(ActivateCmd& cmd) override {
+    rows.push_back(cmd.row);
+    return true;
+  }
+  std::vector<std::uint64_t> rows;
+};
+
+TEST(CcaObfuscation, RoundTripWorks) {
+  auto s = SecureMemorySession::create(obf_config(1));
+  ASSERT_NE(s, nullptr);
+  Xoshiro256 rng(2);
+  std::unordered_map<Addr, CacheLine> shadow;
+  for (int i = 0; i < 500; ++i) {
+    const Addr a = line_base(rng.next() % s->capacity());
+    if (rng.chance(0.5) || !shadow.count(a)) {
+      CacheLine v;
+      for (auto& b : v.bytes) b = static_cast<std::uint8_t>(rng.next());
+      ASSERT_EQ(s->write(a, v), Violation::kNone);
+      shadow[a] = v;
+    } else {
+      const auto r = s->read(a);
+      ASSERT_TRUE(r.ok()) << "op " << i;
+      ASSERT_EQ(r.data, shadow[a]);
+    }
+  }
+}
+
+TEST(CcaObfuscation, RepeatedActivationsOfSameRowLookDifferentOnTheBus) {
+  auto s = SecureMemorySession::create(obf_config(3));
+  ASSERT_NE(s, nullptr);
+  RowObserver observer;
+  s->set_bus_interposer(&observer);
+
+  // Ping-pong between two rows of the same bank: each re-activation of
+  // row 0 gets a fresh command pad.
+  const Addr row0 = 0x0;
+  const Addr row1 = 0x0 + 8 * 64 * 8;  // next row, same bank
+  for (int i = 0; i < 8; ++i) {
+    s->write(row0, CacheLine::filled(1));
+    s->write(row1, CacheLine::filled(2));
+  }
+  ASSERT_GE(observer.rows.size(), 8u);
+  std::set<std::uint64_t> distinct(observer.rows.begin(),
+                                   observer.rows.end());
+  // 16 activations over 2 true rows: with pads they should take many
+  // distinct wire values (collisions possible but few in 16 rows of 16).
+  EXPECT_GT(distinct.size(), 4u)
+      << "wire rows must be unlinkable to true rows";
+}
+
+TEST(CcaObfuscation, WithoutObfuscationRowsAreVisible) {
+  auto s = SecureMemorySession::create(obf_config(4, /*obfuscate=*/false));
+  ASSERT_NE(s, nullptr);
+  RowObserver observer;
+  s->set_bus_interposer(&observer);
+  const Addr row0 = 0x0;
+  const Addr row1 = 0x0 + 8 * 64 * 8;
+  for (int i = 0; i < 8; ++i) {
+    s->write(row0, CacheLine::filled(1));
+    s->write(row1, CacheLine::filled(2));
+  }
+  std::set<std::uint64_t> distinct(observer.rows.begin(),
+                                   observer.rows.end());
+  EXPECT_EQ(distinct.size(), 2u) << "plaintext CCCA leaks the row stream";
+}
+
+TEST(CcaObfuscation, BlindRowTamperIsStillCaughtByEwcrc) {
+  // The attacker can no longer TARGET a row (it cannot decode the bus),
+  // but it can still flip ciphertext bits blindly. The redirected write
+  // then lands in an attacker-unknown row and the eWCRC check fires.
+  auto s = SecureMemorySession::create(obf_config(5));
+  ASSERT_NE(s, nullptr);
+
+  class BlindFlip : public BusInterposer {
+   public:
+    bool on_activate(ActivateCmd& cmd) override {
+      if (armed) {
+        cmd.row ^= 0x5;  // blind mutation of the encrypted field
+        armed = false;
+      }
+      return true;
+    }
+    bool armed = false;
+  } attacker;
+  s->set_bus_interposer(&attacker);
+
+  const Addr t = 0x40;
+  const Addr conflict = t + 8 * 64 * 8;
+  s->write(t, CacheLine::filled(0xAA));
+  s->write(conflict, CacheLine::filled(0x55));  // close t's row
+  attacker.armed = true;
+  // The tampered ACT opens a wrong row; the following write alerts.
+  EXPECT_EQ(s->write(t, CacheLine::filled(0xBB)), Violation::kWriteAlert);
+}
+
+TEST(CcaObfuscation, DroppedActivateDesynchronizesCommandPads) {
+  // Command pads advance per command on both ends; swallowing an ACT
+  // leaves the device decoding every later command with the wrong pad.
+  auto s = SecureMemorySession::create(obf_config(6));
+  ASSERT_NE(s, nullptr);
+
+  class DropOneActivate : public BusInterposer {
+   public:
+    bool on_activate(ActivateCmd&) override {
+      if (armed) {
+        armed = false;
+        return false;
+      }
+      return true;
+    }
+    bool armed = false;
+  } attacker;
+  s->set_bus_interposer(&attacker);
+
+  s->write(0x40, CacheLine::filled(0x01));
+  ASSERT_TRUE(s->read(0x40).ok());
+  attacker.armed = true;
+  // This write needs an ACT (different row); the ACT is dropped.
+  const Addr other_row = 0x40 + 8 * 64 * 8;
+  (void)s->write(other_row, CacheLine::filled(0x02));
+  // From here on the device misdecodes commands: accesses fail closed.
+  bool any_violation = false;
+  for (int i = 0; i < 4; ++i) {
+    const auto r = s->read(0x40);
+    any_violation = any_violation || !r.ok();
+  }
+  EXPECT_TRUE(any_violation);
+}
+
+TEST(CcaObfuscation, CountersAdvanceIdenticallyOnBothEnds) {
+  auto cfg = obf_config(7);
+  cfg.clear_memory = true;  // every line carries a valid MAC from boot
+  auto s = SecureMemorySession::create(cfg);
+  ASSERT_NE(s, nullptr);
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const Addr a = line_base(rng.next() % s->capacity());
+    if (rng.chance(0.5))
+      s->write(a, CacheLine::filled(static_cast<std::uint8_t>(i)));
+    else
+      ASSERT_TRUE(s->read(a).ok());
+  }
+  // No desync on a benign channel (transaction counters checked via the
+  // session test; command-pad sync is implied by zero violations here).
+  EXPECT_EQ(s->stats().mac_mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace secddr::core

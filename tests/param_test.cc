@@ -1,0 +1,317 @@
+// Parameterized property sweeps across the configuration space:
+//  - the attack-detection matrix holds for every (encryption x placement)
+//    combination of the full SecDDR design,
+//  - DRAM timing invariants hold for every speed grade and burst config,
+//  - the security engine conserves traffic for every named configuration.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+#include "core/attack.h"
+#include "core/session.h"
+#include "dram/system.h"
+#include "secmem/model.h"
+
+namespace secddr {
+namespace {
+
+// ===================================================================
+// Attack-detection matrix: encryption mode x logic placement.
+// The full design (eWCRC on) must detect bus-level attacks in EVERY
+// combination — the trusted-DIMM placement only differs for on-DIMM
+// adversaries, and XTS vs CTR must not change detection at all.
+// ===================================================================
+
+using AttackParams = std::tuple<core::DataEncryption, core::LogicPlacement>;
+
+class AttackMatrix : public ::testing::TestWithParam<AttackParams> {
+ protected:
+  std::unique_ptr<core::SecureMemorySession> make_session(std::uint64_t seed) {
+    core::SessionConfig cfg;
+    cfg.dimm.geometry.ranks = 2;
+    cfg.dimm.geometry.bank_groups = 2;
+    cfg.dimm.geometry.banks_per_group = 2;
+    cfg.dimm.geometry.rows_per_bank = 16;
+    cfg.dimm.geometry.columns_per_row = 8;
+    cfg.encryption = std::get<0>(GetParam());
+    cfg.dimm.placement = std::get<1>(GetParam());
+    cfg.seed = seed;
+    return core::SecureMemorySession::create(cfg);
+  }
+};
+
+TEST_P(AttackMatrix, RoundTripWorks) {
+  auto s = make_session(1);
+  ASSERT_NE(s, nullptr);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Addr a = line_base(rng.next() % s->capacity());
+    CacheLine v;
+    for (auto& b : v.bytes) b = static_cast<std::uint8_t>(rng.next());
+    ASSERT_EQ(s->write(a, v), core::Violation::kNone);
+    const auto r = s->read(a);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.data, v);
+  }
+}
+
+TEST_P(AttackMatrix, BusReplayDetected) {
+  auto s = make_session(2);
+  ASSERT_NE(s, nullptr);
+  core::BusReplayInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  const Addr t = 0x40;
+  const auto d = s->controller().mapping().decode(t);
+  s->write(t, CacheLine::filled(0x01));
+  ASSERT_TRUE(s->read(t).ok());
+  s->write(t, CacheLine::filled(0x02));
+  attacker.arm(d.rank, d.bank_group, d.bank, static_cast<unsigned>(d.row),
+               d.column);
+  EXPECT_FALSE(s->read(t).ok());
+}
+
+TEST_P(AttackMatrix, DroppedWriteDetected) {
+  auto s = make_session(3);
+  ASSERT_NE(s, nullptr);
+  core::DropWriteInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  const Addr t = 0x80;
+  const auto d = s->controller().mapping().decode(t);
+  s->write(t, CacheLine::filled(0x01));
+  attacker.arm(d.rank, d.bank_group, d.bank, d.column);
+  s->write(t, CacheLine::filled(0x02));
+  EXPECT_FALSE(s->read(t).ok());
+}
+
+TEST_P(AttackMatrix, WriteToReadConversionDetected) {
+  auto s = make_session(4);
+  ASSERT_NE(s, nullptr);
+  core::WriteToReadInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  const Addr t = 0xC0;
+  const auto d = s->controller().mapping().decode(t);
+  s->write(t, CacheLine::filled(0x01));
+  attacker.arm(d.rank, d.bank_group, d.bank, d.column);
+  s->write(t, CacheLine::filled(0x02));
+  EXPECT_FALSE(s->read(t).ok());
+}
+
+TEST_P(AttackMatrix, RowRedirectAlertsAtDevice) {
+  auto s = make_session(5);
+  ASSERT_NE(s, nullptr);
+  core::RowRedirectInterposer attacker;
+  s->set_bus_interposer(&attacker);
+  const Addr t = 0x40;
+  const Addr conflict = t + 8 * 64 * 8;  // next row, same bank
+  const auto d = s->controller().mapping().decode(t);
+  s->write(t, CacheLine::filled(0xAA));
+  s->write(conflict, CacheLine::filled(0x55));
+  attacker.arm(d.rank, d.bank_group, d.bank, d.row, d.row + 1);
+  EXPECT_EQ(s->write(t, CacheLine::filled(0xBB)),
+            core::Violation::kWriteAlert);
+}
+
+TEST_P(AttackMatrix, SubstitutionDetected) {
+  auto s = make_session(6);
+  ASSERT_NE(s, nullptr);
+  const Addr t = 0x100;
+  s->write(t, CacheLine::filled(0x01));
+  const auto frozen = s->snapshot_dimm();
+  s->write(t, CacheLine::filled(0x02));
+  s->substitute_dimm(frozen);
+  EXPECT_FALSE(s->read(t).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, AttackMatrix,
+    ::testing::Combine(
+        ::testing::Values(core::DataEncryption::kXts,
+                          core::DataEncryption::kCtr),
+        ::testing::Values(core::LogicPlacement::kEccChip,
+                          core::LogicPlacement::kEccDataBuffer)),
+    [](const ::testing::TestParamInfo<AttackParams>& info) {
+      std::string name =
+          std::get<0>(info.param) == core::DataEncryption::kXts ? "Xts"
+                                                                : "Ctr";
+      name += std::get<1>(info.param) == core::LogicPlacement::kEccChip
+                  ? "EccChip"
+                  : "EccDb";
+      return name;
+    });
+
+// ===================================================================
+// DRAM timing invariants across speed grades and burst configurations.
+// ===================================================================
+
+class DramSweep : public ::testing::TestWithParam<dram::Timings> {};
+
+TEST_P(DramSweep, RandomTrafficDrainsAndRespectsBusAccounting) {
+  const dram::Timings t = GetParam();
+  dram::Geometry g;
+  g.rows_per_bank = 1 << 10;
+  dram::Controller c(g, t);
+  Xoshiro256 rng(7);
+  std::uint64_t tag = 0;
+  std::uint64_t enqueued = 0, completed = 0;
+  Cycle cyc = 0;
+  for (; cyc < 80000; ++cyc) {
+    if (rng.chance(0.3)) {
+      const bool w = rng.chance(0.4);
+      const Addr a = line_base(rng.next() % g.capacity_bytes());
+      if ((w && c.can_accept_write()) || (!w && c.can_accept_read())) {
+        ASSERT_TRUE(c.enqueue(a, w, ++tag, cyc));
+        ++enqueued;
+      }
+    }
+    c.tick(cyc);
+    completed += c.completions().size();
+    c.completions().clear();
+  }
+  while (c.pending() > 0 && cyc < 2'000'000) {
+    c.tick(cyc);
+    completed += c.completions().size();
+    c.completions().clear();
+    ++cyc;
+  }
+  EXPECT_EQ(c.pending(), 0u) << "requests stranded";
+  EXPECT_EQ(completed, enqueued);
+  // The data bus cannot be busy longer than time itself.
+  EXPECT_LE(c.stats().data_bus_busy_cycles, cyc);
+  // Every burst occupies its configured length.
+  const std::uint64_t expect_busy =
+      (c.stats().reads_completed - c.stats().write_forwards) *
+          t.read_burst_cycles +
+      c.stats().writes_completed * t.write_burst_cycles -
+      // merged writes never hit the bus; subtract their phantom bursts
+      (c.stats().writes_enqueued - c.stats().writes_completed) * 0;
+  EXPECT_LE(c.stats().data_bus_busy_cycles, expect_busy);
+}
+
+TEST_P(DramSweep, ColdReadLatencyAtLeastActRcdClBl) {
+  const dram::Timings t = GetParam();
+  dram::Geometry g;
+  g.rows_per_bank = 1 << 10;
+  dram::Controller c(g, t);
+  ASSERT_TRUE(c.enqueue(0x40000, false, 1, 0));
+  Cycle cyc = 0;
+  dram::Completion done{};
+  bool have = false;
+  while (!have && cyc < 100000) {
+    c.tick(cyc);
+    for (auto& comp : c.completions()) {
+      done = comp;
+      have = true;
+    }
+    c.completions().clear();
+    ++cyc;
+  }
+  ASSERT_TRUE(have);
+  EXPECT_GE(done.finish - done.arrival,
+            static_cast<Cycle>(t.tRCD + t.tCL + t.read_burst_cycles));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpeedGrades, DramSweep,
+    ::testing::Values(dram::Timings::ddr4_3200(),
+                      dram::Timings::ddr4_3200().with_ewcrc_burst(),
+                      dram::Timings::ddr4_2400(),
+                      dram::Timings::ddr4_2400().with_ewcrc_burst(),
+                      dram::Timings::ddr5_4800()),
+    [](const ::testing::TestParamInfo<dram::Timings>& info) {
+      std::string n = info.param.name;
+      for (auto& ch : n)
+        if (ch == '-') ch = '_';
+      if (info.param.write_burst_cycles != info.param.read_burst_cycles)
+        n += "_ewcrc";
+      return n;
+    });
+
+// ===================================================================
+// Security-engine conservation across every named configuration.
+// ===================================================================
+
+class EngineSweep : public ::testing::TestWithParam<secmem::SecurityParams> {};
+
+TEST_P(EngineSweep, TrafficConservationUnderRandomLoad) {
+  const secmem::SecurityParams params = GetParam();
+  const secmem::MetadataLayout layout(params, 1ull << 30);
+  dram::Geometry g;
+  g.rows_per_bank = 1 << 14;
+  dram::DramSystem dramsys(g, dram::Timings::ddr4_3200(), 3200.0);
+  secmem::SecurityEngine engine(params, layout, dramsys);
+
+  Xoshiro256 rng(11);
+  Cycle now = 0;
+  std::uint64_t reads_started = 0, writes_started = 0, reads_ready = 0;
+  for (int op = 0; op < 2000; ++op) {
+    const Addr a = line_base(rng.next() % (1ull << 30));
+    if (rng.chance(0.3)) {
+      engine.start_write(a, now);
+      ++writes_started;
+    } else {
+      engine.start_read(a, op, now);
+      ++reads_started;
+    }
+    // Advance a few cycles between operations.
+    for (int i = 0; i < 4; ++i) {
+      ++now;
+      dramsys.tick_core_cycle();
+      engine.tick(now);
+      reads_ready += engine.ready().size();
+      engine.ready().clear();
+    }
+  }
+  while (engine.outstanding() > 0 && now < 50'000'000) {
+    ++now;
+    dramsys.tick_core_cycle();
+    engine.tick(now);
+    reads_ready += engine.ready().size();
+    engine.ready().clear();
+  }
+  EXPECT_EQ(engine.outstanding(), 0u) << "engine wedged";
+  EXPECT_EQ(reads_ready, reads_started) << "lost or duplicated reads";
+  EXPECT_EQ(engine.stats().data_reads, reads_started);
+  EXPECT_EQ(engine.stats().data_writes, writes_started);
+
+  // Config-specific traffic shape.
+  if (params.enc == secmem::Encryption::kXts) {
+    EXPECT_EQ(engine.stats().counter_fetches, 0u);
+  } else {
+    EXPECT_GT(engine.stats().counter_fetches, 0u);
+  }
+  if (params.rap != secmem::Rap::kIntegrityTree) {
+    EXPECT_EQ(engine.stats().tree_node_fetches, 0u);
+  }
+  if (params.macs_in_ecc) {
+    EXPECT_EQ(engine.stats().mac_line_fetches, 0u);
+  }
+  // DRAM conservation: every engine-issued read reached the controller.
+  EXPECT_EQ(dramsys.stats().reads_enqueued,
+            engine.stats().data_reads + engine.stats().meta_reads());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamedConfigs, EngineSweep,
+    ::testing::Values(secmem::SecurityParams::baseline_tree_ctr(),
+                      secmem::SecurityParams::baseline_tree_ctr(128, 128),
+                      secmem::SecurityParams::secddr_ctr(),
+                      secmem::SecurityParams::secddr_ctr(8),
+                      secmem::SecurityParams::encrypt_only_ctr(),
+                      secmem::SecurityParams::secddr_xts(),
+                      secmem::SecurityParams::encrypt_only_xts(),
+                      secmem::SecurityParams::invisimem(
+                          secmem::Encryption::kXts),
+                      secmem::SecurityParams::invisimem(
+                          secmem::Encryption::kCounterMode),
+                      secmem::SecurityParams::hash_tree8_xts()),
+    [](const ::testing::TestParamInfo<secmem::SecurityParams>& info) {
+      std::string n = info.param.name;
+      for (auto& ch : n)
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return n;
+    });
+
+}  // namespace
+}  // namespace secddr

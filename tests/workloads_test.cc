@@ -1,0 +1,187 @@
+// Workload suite and synthetic trace generator properties.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workloads/generator.h"
+#include "workloads/workload.h"
+
+namespace secddr::workloads {
+namespace {
+
+TEST(Suite, Has29WorkloadsInFigureOrder) {
+  const auto& s = suite();
+  EXPECT_EQ(s.size(), 29u);
+  EXPECT_EQ(s.front().name, "perlbench");
+  EXPECT_EQ(s.back().name, "sssp");
+}
+
+TEST(Suite, MemoryIntensiveMatchesMpkiRule) {
+  for (const auto& w : suite())
+    EXPECT_EQ(w.memory_intensive, w.mpki >= 10.0) << w.name;
+}
+
+TEST(Suite, PaperCalloutsPresent) {
+  // Fig. 7 axis callouts: mcf 150.1, lbm 56.7, sssp 50.5.
+  EXPECT_DOUBLE_EQ(find("mcf")->mpki, 150.1);
+  EXPECT_DOUBLE_EQ(find("lbm")->mpki, 56.7);
+  EXPECT_DOUBLE_EQ(find("sssp")->mpki, 50.5);
+}
+
+TEST(Suite, LbmIsTheWriteIntensiveOutlier) {
+  // §V-A: lbm is penalized by the eWCRC write burst because it is
+  // write-intensive; the model must reflect that.
+  const double lbm_wf = find("lbm")->write_frac;
+  for (const auto& w : suite())
+    if (w.name != "lbm") {
+      EXPECT_GT(lbm_wf, w.write_frac) << w.name;
+    }
+}
+
+TEST(Suite, GraphWorkloadsAreRandomPattern) {
+  for (const char* name : {"bfs", "pr", "tc", "cc", "bc", "sssp"})
+    EXPECT_EQ(find(name)->pattern, Pattern::kRandom) << name;
+}
+
+TEST(Suite, FindUnknownReturnsNull) {
+  EXPECT_EQ(find("nonexistent"), nullptr);
+}
+
+TEST(Suite, SeedsAreUnique) {
+  std::set<std::uint64_t> seeds;
+  for (const auto& w : suite()) EXPECT_TRUE(seeds.insert(w.seed).second);
+}
+
+// ---------------------------------------------------------------- generator
+
+TEST(Generator, Deterministic) {
+  const auto desc = *find("gcc");
+  SyntheticTrace a(desc, 0), b(desc, 0);
+  for (int i = 0; i < 1000; ++i) {
+    sim::TraceRecord ra, rb;
+    ASSERT_TRUE(a.next(ra));
+    ASSERT_TRUE(b.next(rb));
+    EXPECT_EQ(ra.addr, rb.addr);
+    EXPECT_EQ(ra.gap, rb.gap);
+    EXPECT_EQ(ra.is_write, rb.is_write);
+  }
+}
+
+TEST(Generator, CoresGetDisjointAddressSpaces) {
+  const auto desc = *find("mcf");
+  SyntheticTrace c0(desc, 0), c1(desc, 1);
+  for (int i = 0; i < 2000; ++i) {
+    sim::TraceRecord r0, r1;
+    c0.next(r0);
+    c1.next(r1);
+    EXPECT_LT(r0.addr, 2ull << 30);
+    EXPECT_GE(r1.addr, 2ull << 30);
+    EXPECT_LT(r1.addr, 4ull << 30);
+  }
+}
+
+TEST(Generator, AddressesStayWithinFootprint) {
+  const auto desc = *find("xz");
+  SyntheticTrace t(desc, 0);
+  // Footprint rounds up to the next power-of-two page count.
+  std::uint64_t pages = desc.footprint_bytes / 4096;
+  while (pages & (pages - 1)) pages = (pages | (pages - 1)) + 1;
+  const Addr limit = pages * 4096;
+  for (int i = 0; i < 20000; ++i) {
+    sim::TraceRecord r;
+    t.next(r);
+    EXPECT_LT(r.addr, limit);
+  }
+}
+
+TEST(Generator, WriteFractionApproximatesDescriptor) {
+  const auto desc = *find("lbm");
+  SyntheticTrace t(desc, 0);
+  int writes = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sim::TraceRecord r;
+    t.next(r);
+    writes += r.is_write;
+  }
+  EXPECT_NEAR(writes / static_cast<double>(n), desc.write_frac, 0.02);
+}
+
+TEST(Generator, GapMatchesMemoryIntensity) {
+  const auto desc = *find("gcc");
+  SyntheticTrace t(desc, 0);
+  double total_gap = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sim::TraceRecord r;
+    t.next(r);
+    total_gap += r.gap;
+  }
+  // instructions per access = gap + 1 ~= 1000 / mem_per_kinst.
+  const double ipa = total_gap / n + 1.0;
+  EXPECT_NEAR(ipa, 1000.0 / desc.mem_per_kinst, 0.35);
+}
+
+TEST(Generator, RandomPatternTouchesManyPages) {
+  const auto desc = *find("pr");
+  SyntheticTrace t(desc, 0);
+  std::unordered_set<Addr> pages;
+  for (int i = 0; i < 30000; ++i) {
+    sim::TraceRecord r;
+    t.next(r);
+    pages.insert(r.addr >> 12);
+  }
+  EXPECT_GT(pages.size(), 3000u);
+}
+
+TEST(Generator, StreamingPatternSweepsSequentially) {
+  // Consecutive cold addresses of a streaming workload are line-
+  // sequential within a page (post-scramble pages may jump).
+  const auto desc = *find("lbm");
+  SyntheticTrace t(desc, 0);
+  int sequential = 0, cold_pairs = 0;
+  Addr prev = 0;
+  bool have_prev = false;
+  for (int i = 0; i < 50000; ++i) {
+    sim::TraceRecord r;
+    t.next(r);
+    // Heuristic: cold addresses are outside the 512KB warm region base.
+    if (have_prev) {
+      if (r.addr == prev + kLineSize) ++sequential;
+      ++cold_pairs;
+    }
+    prev = r.addr;
+    have_prev = true;
+  }
+  // Streaming + hot/warm interleaving: back-to-back cold accesses are
+  // +1-line sequential, which shows up as a small but clearly non-random
+  // fraction of all consecutive pairs (random would be ~0).
+  EXPECT_GT(sequential, cold_pairs / 200);
+}
+
+TEST(Generator, PageScrambleIsInjective) {
+  // The cold stream sweeps the footprint above the 256KB warm region
+  // (192 of 256 pages in this 1MB footprint). An injective page
+  // permutation maps those to at least 192 distinct physical pages; a
+  // colliding permutation would produce fewer.
+  WorkloadDesc d = *find("exchange2");
+  d.footprint_bytes = 1 << 20;  // 256 pages
+  d.mpki = d.mem_per_kinst;     // (almost) all accesses cold
+  d.pattern = Pattern::kStreaming;
+  d.write_frac = 0;
+  SyntheticTrace t(d, 0);
+  std::set<Addr> seen;
+  const int pages = 256, lines_per_page = 4096 / 64;
+  for (int i = 0; i < 6 * pages * lines_per_page; ++i) {
+    sim::TraceRecord r;
+    t.next(r);
+    seen.insert(r.addr >> 12);
+  }
+  EXPECT_GE(seen.size(), 192u)
+      << "page permutation collided: cold range under-covered";
+  EXPECT_LE(seen.size(), static_cast<std::size_t>(pages));
+}
+
+}  // namespace
+}  // namespace secddr::workloads
