@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness.h"
+#include "sweep.h"
 
 using namespace secddr;
 using bench::BenchOptions;
@@ -25,19 +26,12 @@ sim::RunResult run_custom(const workloads::WorkloadDesc& w,
                           bool prefetch = true,
                           dram::SchedulingPolicy policy =
                               dram::SchedulingPolicy::kFrFcfs) {
-  std::vector<std::unique_ptr<workloads::SyntheticTrace>> traces;
+  const auto traces = bench::make_traces(w, opt.cores);
   std::vector<sim::TraceSource*> ptrs;
-  for (unsigned c = 0; c < opt.cores; ++c) {
-    traces.push_back(std::make_unique<workloads::SyntheticTrace>(w, c));
-    ptrs.push_back(traces.back().get());
-  }
-  sim::SystemConfig cfg;
-  cfg.mem.cores = opt.cores;
+  for (const auto& t : traces) ptrs.push_back(t.get());
+  sim::SystemConfig cfg = bench::make_system_config(opt, sec, timings);
   cfg.mem.prefetch = prefetch;
-  cfg.security = sec;
-  cfg.timings = timings;
   cfg.scheduling = policy;
-  cfg.data_bytes = 8ull << 30;
   sim::System sys(cfg, ptrs);
   return sys.run(opt.instructions, 4'000'000'000ull, opt.warmup);
 }
@@ -53,19 +47,19 @@ int main() {
     std::printf("--- (a) eWCRC write-burst cost (BL8 vs BL10), "
                 "SecDDR+XTS ---\n");
     TablePrinter t({"workload", "write frac", "IPC bl8", "IPC bl10", "delta"});
-    for (const char* name : {"lbm", "bwaves", "pr", "povray"}) {
-      const auto& w = *workloads::find(name);
+    const std::vector<const char*> names = {"lbm", "bwaves", "pr", "povray"};
+    const auto ipc = bench::sweep_map(names.size() * 2, [&](std::size_t i) {
+      const auto& w = *workloads::find(names[i / 2]);
       SecurityParams sec = SecurityParams::secddr_xts();
-      sec.ewcrc = false;  // timing knob only; security analysis unchanged
-      const double bl8 =
-          run_custom(w, sec, opt, dram::Timings::ddr4_3200()).total_ipc;
-      sec.ewcrc = true;
-      const double bl10 =
-          run_custom(w, sec, opt, dram::Timings::ddr4_3200()).total_ipc;
+      sec.ewcrc = (i % 2 == 1);  // timing knob only; security unchanged
+      return run_custom(w, sec, opt, dram::Timings::ddr4_3200()).total_ipc;
+    });
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const auto& w = *workloads::find(names[i]);
+      const double bl8 = ipc[2 * i], bl10 = ipc[2 * i + 1];
       t.add_row({w.name, TablePrinter::num(w.write_frac, 2),
                  TablePrinter::num(bl8, 3), TablePrinter::num(bl10, 3),
                  percent(bl10 / bl8 - 1.0)});
-      std::fflush(stdout);
     }
     t.print();
     std::printf("Paper: lbm is the only slowdown (-1.6%%) because it is "
@@ -79,20 +73,24 @@ int main() {
     TablePrinter t({"metadata cache", "IPC", "meta miss rate",
                     "tree fetches / data read"});
     const auto& w = *workloads::find("omnetpp");
-    for (const unsigned kb : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const std::vector<unsigned> sizes = {32u, 64u, 128u, 256u, 512u, 1024u};
+    const auto results = bench::sweep_map(sizes.size(), [&](std::size_t i) {
       SecurityParams sec = SecurityParams::baseline_tree_ctr();
-      sec.metadata_cache_bytes = kb * 1024ull;
-      const auto r = run_custom(w, sec, opt, dram::Timings::ddr4_3200());
+      sec.metadata_cache_bytes = sizes[i] * 1024ull;
+      return run_custom(w, sec, opt, dram::Timings::ddr4_3200());
+    });
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& r = results[i];
       const double per_read =
           r.engine.data_reads
               ? static_cast<double>(r.engine.tree_node_fetches +
                                     r.engine.counter_fetches) /
                     static_cast<double>(r.engine.data_reads)
               : 0.0;
-      t.add_row({std::to_string(kb) + "KB", TablePrinter::num(r.total_ipc, 3),
+      t.add_row({std::to_string(sizes[i]) + "KB",
+                 TablePrinter::num(r.total_ipc, 3),
                  percent(r.metadata_miss_rate),
                  TablePrinter::num(per_read, 2)});
-      std::fflush(stdout);
     }
     t.print();
     std::printf("Growing the cache cannot fix the tree for random-access "
@@ -103,14 +101,16 @@ int main() {
   {
     std::printf("--- (c) stream prefetcher on/off (encrypt-only XTS) ---\n");
     TablePrinter t({"workload", "pattern", "IPC off", "IPC on", "speedup"});
-    for (const char* name : {"lbm", "bwaves", "pr", "gcc"}) {
-      const auto& w = *workloads::find(name);
-      const double off = run_custom(w, SecurityParams::encrypt_only_xts(),
-                                    opt, dram::Timings::ddr4_3200(), false)
-                             .total_ipc;
-      const double on = run_custom(w, SecurityParams::encrypt_only_xts(),
-                                   opt, dram::Timings::ddr4_3200(), true)
-                            .total_ipc;
+    const std::vector<const char*> names = {"lbm", "bwaves", "pr", "gcc"};
+    const auto ipc = bench::sweep_map(names.size() * 2, [&](std::size_t i) {
+      const auto& w = *workloads::find(names[i / 2]);
+      return run_custom(w, SecurityParams::encrypt_only_xts(), opt,
+                        dram::Timings::ddr4_3200(), /*prefetch=*/i % 2 == 1)
+          .total_ipc;
+    });
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const auto& w = *workloads::find(names[i]);
+      const double off = ipc[2 * i], on = ipc[2 * i + 1];
       const char* pat = w.pattern == workloads::Pattern::kStreaming
                             ? "streaming"
                             : (w.pattern == workloads::Pattern::kRandom
@@ -118,7 +118,6 @@ int main() {
                                    : "mixed");
       t.add_row({w.name, pat, TablePrinter::num(off, 3),
                  TablePrinter::num(on, 3), percent(on / off - 1.0)});
-      std::fflush(stdout);
     }
     t.print();
     std::printf("Streams benefit; random access is prefetch-immune.\n\n");
@@ -129,21 +128,22 @@ int main() {
     std::printf("--- (d) FR-FCFS vs strict FCFS (SecDDR+XTS) ---\n");
     TablePrinter t({"workload", "IPC fcfs", "IPC fr-fcfs", "speedup",
                     "row-hit fcfs", "row-hit fr-fcfs"});
-    for (const char* name : {"mcf", "lbm"}) {
-      const auto& w = *workloads::find(name);
-      const auto fcfs =
-          run_custom(w, SecurityParams::secddr_xts(), opt,
-                     dram::Timings::ddr4_3200(), true,
-                     dram::SchedulingPolicy::kFcfs);
-      const auto fr = run_custom(w, SecurityParams::secddr_xts(), opt,
-                                 dram::Timings::ddr4_3200(), true,
-                                 dram::SchedulingPolicy::kFrFcfs);
-      t.add_row({w.name, TablePrinter::num(fcfs.total_ipc, 3),
+    const std::vector<const char*> names = {"mcf", "lbm"};
+    const auto results = bench::sweep_map(names.size() * 2, [&](std::size_t i) {
+      const auto& w = *workloads::find(names[i / 2]);
+      return run_custom(w, SecurityParams::secddr_xts(), opt,
+                        dram::Timings::ddr4_3200(), true,
+                        i % 2 == 0 ? dram::SchedulingPolicy::kFcfs
+                                   : dram::SchedulingPolicy::kFrFcfs);
+    });
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const auto& fcfs = results[2 * i];
+      const auto& fr = results[2 * i + 1];
+      t.add_row({names[i], TablePrinter::num(fcfs.total_ipc, 3),
                  TablePrinter::num(fr.total_ipc, 3),
                  percent(fr.total_ipc / fcfs.total_ipc - 1.0),
                  percent(fcfs.dram.row_hit_rate()),
                  percent(fr.dram.row_hit_rate())});
-      std::fflush(stdout);
     }
     t.print();
     std::printf("\n");
@@ -154,17 +154,18 @@ int main() {
     std::printf("--- (e) MAC latency sensitivity (SecDDR+XTS, mcf) ---\n");
     TablePrinter t({"MAC latency (cycles)", "IPC", "vs 40-cycle"});
     const auto& w = *workloads::find("mcf");
-    double base = 0;
-    for (const unsigned lat : {20u, 40u, 80u, 160u}) {
+    const std::vector<unsigned> lats = {20u, 40u, 80u, 160u};
+    const auto ipc = bench::sweep_map(lats.size(), [&](std::size_t i) {
       SecurityParams sec = SecurityParams::secddr_xts();
-      sec.mac_latency = lat;
-      sec.aes_latency = lat;
-      const double ipc =
-          run_custom(w, sec, opt, dram::Timings::ddr4_3200()).total_ipc;
-      if (lat == 40) base = ipc;
-      t.add_row({std::to_string(lat), TablePrinter::num(ipc, 3),
-                 base > 0 ? percent(ipc / base - 1.0) : std::string("-")});
-      std::fflush(stdout);
+      sec.mac_latency = lats[i];
+      sec.aes_latency = lats[i];
+      return run_custom(w, sec, opt, dram::Timings::ddr4_3200()).total_ipc;
+    });
+    double base = 0;
+    for (std::size_t i = 0; i < lats.size(); ++i) {
+      if (lats[i] == 40) base = ipc[i];
+      t.add_row({std::to_string(lats[i]), TablePrinter::num(ipc[i], 3),
+                 base > 0 ? percent(ipc[i] / base - 1.0) : std::string("-")});
     }
     t.print();
     std::printf("SecDDR's read path tolerates slow crypto engines: the pad "

@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness.h"
+#include "sweep.h"
 
 using namespace secddr;
 using bench::BenchOptions;
@@ -21,18 +22,27 @@ int main() {
                       "secddr+cnt", "enc-cnt"});
   std::map<std::string, std::vector<double>> norm, norm_mi;
 
+  std::vector<bench::SweepPoint> points;
   for (const auto& w : workloads::suite()) {
     if (!opt.selected(w.name)) continue;
-    const double base =
-        bench::run_ipc(w, SecurityParams::baseline_tree_ctr(), opt);
-    const double inv_unreal = bench::run_ipc(
-        w, SecurityParams::invisimem(secmem::Encryption::kCounterMode), opt);
-    const double inv_real = bench::run_ipc(
-        w, SecurityParams::invisimem(secmem::Encryption::kCounterMode), opt,
-        dram::Timings::ddr4_2400());
-    const double secddr = bench::run_ipc(w, SecurityParams::secddr_ctr(), opt);
-    const double enc =
-        bench::run_ipc(w, SecurityParams::encrypt_only_ctr(), opt);
+    points.push_back({w, SecurityParams::baseline_tree_ctr()});
+    points.push_back(
+        {w, SecurityParams::invisimem(secmem::Encryption::kCounterMode)});
+    points.push_back(
+        {w, SecurityParams::invisimem(secmem::Encryption::kCounterMode),
+         dram::Timings::ddr4_2400()});
+    points.push_back({w, SecurityParams::secddr_ctr()});
+    points.push_back({w, SecurityParams::encrypt_only_ctr()});
+  }
+  const std::vector<double> ipc = bench::run_sweep_ipc(points, opt);
+
+  for (std::size_t p = 0; p < points.size(); p += 5) {
+    const auto& w = points[p].workload;
+    const double base = ipc[p];
+    const double inv_unreal = ipc[p + 1];
+    const double inv_real = ipc[p + 2];
+    const double secddr = ipc[p + 3];
+    const double enc = ipc[p + 4];
 
     const std::vector<std::pair<std::string, double>> vals = {
         {"inv3200", inv_unreal / base},
@@ -46,7 +56,6 @@ int main() {
       if (w.memory_intensive) norm_mi[k].push_back(v);
     }
     table.add_row(row);
-    std::fflush(stdout);
   }
   std::vector<std::string> gm_mi = {"gmean - mem. int."};
   std::vector<std::string> gm = {"gmean - all"};

@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness.h"
+#include "sweep.h"
 
 using namespace secddr;
 using bench::BenchOptions;
@@ -33,11 +34,15 @@ int main() {
   std::map<std::string, std::vector<double>> normalized_mi;
   std::map<std::string, double> anecdotes;  // secddr+ctr speedup per workload
 
-  for (const auto& w : workloads::suite()) {
-    if (!opt.selected(w.name)) continue;
-    std::vector<double> ipc;
-    for (const auto& [name, sec] : configs)
-      ipc.push_back(bench::run_ipc(w, sec, opt));
+  std::vector<secmem::SecurityParams> params;
+  for (const auto& [name, sec] : configs) params.push_back(sec);
+  const auto points = bench::cross_sweep(workloads::suite(), params, opt);
+  const std::vector<double> all_ipc = bench::run_sweep_ipc(points, opt);
+
+  for (std::size_t p = 0; p < points.size(); p += configs.size()) {
+    const auto& w = points[p].workload;
+    const std::vector<double> ipc(all_ipc.begin() + p,
+                                  all_ipc.begin() + p + configs.size());
     const double base = ipc[0];
 
     std::vector<std::string> row = {w.name, "1.000"};

@@ -7,6 +7,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness.h"
+#include "sweep.h"
 
 using namespace secddr;
 using bench::BenchOptions;
@@ -17,15 +18,16 @@ int main() {
 
   TablePrinter table({"workload", "LLC MPKI (measured)", "MPKI (target)",
                       "metadata miss rate", "metadata accesses"});
-  for (const auto& w : workloads::suite()) {
-    if (!opt.selected(w.name)) continue;
-    const auto r = bench::run_workload(
-        w, secmem::SecurityParams::baseline_tree_ctr(), opt);
+  const auto points = bench::cross_sweep(
+      workloads::suite(), {secmem::SecurityParams::baseline_tree_ctr()}, opt);
+  const auto results = bench::run_sweep(points, opt);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& w = points[i].workload;
+    const auto& r = results[i];
     table.add_row({w.name, TablePrinter::num(r.llc_mpki, 1),
                    TablePrinter::num(w.mpki, 1),
                    percent(r.metadata_miss_rate),
                    std::to_string(r.metadata_accesses)});
-    std::fflush(stdout);
   }
   table.print();
 

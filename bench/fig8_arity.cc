@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness.h"
+#include "sweep.h"
 
 using namespace secddr;
 using bench::BenchOptions;
@@ -38,23 +39,27 @@ int main() {
       {"128 cnt/line", "Encrypt-only", SecurityParams::encrypt_only_ctr(128), 0.94},
   };
 
-  // Reference: encrypt-only XTS per workload.
-  std::vector<double> ref;
-  std::vector<const workloads::WorkloadDesc*> selected;
-  for (const auto& w : workloads::suite()) {
-    if (!opt.selected(w.name)) continue;
-    selected.push_back(&w);
-    ref.push_back(bench::run_ipc(w, SecurityParams::encrypt_only_xts(), opt));
-  }
+  // One flat sweep: the encrypt-only XTS reference per workload, then every
+  // bar x workload point, all run on the worker pool at once.
+  std::vector<workloads::WorkloadDesc> selected;
+  for (const auto& w : workloads::suite())
+    if (opt.selected(w.name)) selected.push_back(w);
+
+  std::vector<bench::SweepPoint> points;
+  for (const auto& w : selected)
+    points.push_back({w, SecurityParams::encrypt_only_xts()});
+  for (const auto& bar : bars)
+    for (const auto& w : selected) points.push_back({w, bar.sec});
+  const std::vector<double> ipc = bench::run_sweep_ipc(points, opt);
+  const std::vector<double> ref(ipc.begin(), ipc.begin() + selected.size());
 
   TablePrinter table({"group", "config", "normalized IPC (gmean)", "paper"});
   std::vector<double> bar_values;
-  for (const auto& bar : bars) {
+  for (std::size_t b = 0; b < bars.size(); ++b) {
+    const auto& bar = bars[b];
     std::vector<double> normalized;
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-      const double ipc = bench::run_ipc(*selected[i], bar.sec, opt);
-      normalized.push_back(ipc / ref[i]);
-    }
+    for (std::size_t i = 0; i < selected.size(); ++i)
+      normalized.push_back(ipc[(b + 1) * selected.size() + i] / ref[i]);
     const double gm = geomean(normalized);
     bar_values.push_back(gm);
     table.add_row({bar.group, bar.name, TablePrinter::num(gm, 2),

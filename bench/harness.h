@@ -10,6 +10,7 @@
 // the paper's figure, plus the paper's headline numbers for comparison.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -42,6 +43,42 @@ struct BenchOptions {
   }
 };
 
+/// Address-space stride between cores' synthetic traces.
+inline constexpr std::uint64_t kCoreStrideBytes = 2ull << 30;
+
+/// Data-region size covering `cores` trace address spaces (at least the
+/// paper's 8GB). Keeping data_bytes >= cores * stride is what makes every
+/// trace address a valid input to the metadata layout.
+inline std::uint64_t data_bytes_for(unsigned cores) {
+  return std::max<std::uint64_t>(8ull << 30, kCoreStrideBytes * cores);
+}
+
+/// One synthetic trace per core, each in its own address-space stripe.
+inline std::vector<std::unique_ptr<workloads::SyntheticTrace>> make_traces(
+    const workloads::WorkloadDesc& desc, unsigned cores) {
+  std::vector<std::unique_ptr<workloads::SyntheticTrace>> traces;
+  for (unsigned c = 0; c < cores; ++c)
+    traces.push_back(
+        std::make_unique<workloads::SyntheticTrace>(desc, c, kCoreStrideBytes));
+  return traces;
+}
+
+/// Table I system configuration for a bench run. Keeps the paper's 2:1
+/// capacity:data headroom when SECDDR_CORES grows the data region past the
+/// default 16GB module (rows stay a power of two).
+inline sim::SystemConfig make_system_config(const BenchOptions& opt,
+                                            const secmem::SecurityParams& sec,
+                                            dram::Timings timings) {
+  sim::SystemConfig cfg;
+  cfg.mem.cores = opt.cores;
+  cfg.security = sec;
+  cfg.timings = timings;
+  cfg.data_bytes = data_bytes_for(opt.cores);
+  while (cfg.geometry.capacity_bytes() < 2 * cfg.data_bytes)
+    cfg.geometry.rows_per_bank *= 2;
+  return cfg;
+}
+
 /// Runs one workload (replicated rate-style across cores) under one
 /// security configuration and returns the full result.
 inline sim::RunResult run_workload(const workloads::WorkloadDesc& desc,
@@ -49,18 +86,10 @@ inline sim::RunResult run_workload(const workloads::WorkloadDesc& desc,
                                    const BenchOptions& opt,
                                    dram::Timings timings =
                                        dram::Timings::ddr4_3200()) {
-  std::vector<std::unique_ptr<workloads::SyntheticTrace>> traces;
+  const auto traces = make_traces(desc, opt.cores);
   std::vector<sim::TraceSource*> ptrs;
-  for (unsigned c = 0; c < opt.cores; ++c) {
-    traces.push_back(std::make_unique<workloads::SyntheticTrace>(desc, c));
-    ptrs.push_back(traces.back().get());
-  }
-  sim::SystemConfig cfg;
-  cfg.mem.cores = opt.cores;
-  cfg.security = sec;
-  cfg.timings = timings;
-  cfg.data_bytes = 8ull << 30;
-  sim::System sys(cfg, ptrs);
+  for (const auto& t : traces) ptrs.push_back(t.get());
+  sim::System sys(make_system_config(opt, sec, timings), ptrs);
   return sys.run(opt.instructions, 4'000'000'000ull, opt.warmup);
 }
 

@@ -1,0 +1,95 @@
+#include "sweep.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace secddr::bench {
+
+unsigned sweep_jobs() {
+  if (const char* s = std::getenv("SECDDR_JOBS")) {
+    // Accept only a plain positive decimal; strtoul would wrap "-1" to
+    // ULONG_MAX and stop at the 'x' in "2x" without complaint.
+    char* end = nullptr;
+    const unsigned long v =
+        (*s >= '0' && *s <= '9') ? std::strtoul(s, &end, 10) : 0;
+    if (end && *end == '\0' && v >= 1)
+      return static_cast<unsigned>(v);
+    std::fprintf(stderr, "SECDDR_JOBS='%s' is not a positive integer; using default\n", s);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1u;
+}
+
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (jobs > n) jobs = static_cast<unsigned>(n);
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        next.store(n, std::memory_order_relaxed);  // drain remaining work
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<sim::RunResult> run_sweep(const std::vector<SweepPoint>& points,
+                                      const BenchOptions& opt, unsigned jobs) {
+  if (jobs == 0) jobs = sweep_jobs();
+  std::vector<sim::RunResult> results(points.size());
+  parallel_for(points.size(), jobs, [&](std::size_t i) {
+    results[i] =
+        run_workload(points[i].workload, points[i].security, opt,
+                     points[i].timings);
+  });
+  return results;
+}
+
+std::vector<double> run_sweep_ipc(const std::vector<SweepPoint>& points,
+                                  const BenchOptions& opt, unsigned jobs) {
+  const std::vector<sim::RunResult> results = run_sweep(points, opt, jobs);
+  std::vector<double> ipc;
+  ipc.reserve(results.size());
+  for (const auto& r : results) ipc.push_back(r.total_ipc);
+  return ipc;
+}
+
+std::vector<SweepPoint> cross_sweep(
+    const std::vector<workloads::WorkloadDesc>& suite,
+    const std::vector<secmem::SecurityParams>& configs,
+    const BenchOptions& opt) {
+  std::vector<SweepPoint> points;
+  points.reserve(suite.size() * configs.size());
+  for (const auto& w : suite) {
+    if (!opt.selected(w.name)) continue;
+    for (const auto& sec : configs) points.push_back(SweepPoint{w, sec});
+  }
+  return points;
+}
+
+}  // namespace secddr::bench

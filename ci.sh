@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build Debug and Release with -Wall -Wextra -Werror and run the
+# full test suite in each. Set SECDDR_CI_SANITIZE=1 to append an
+# address+undefined sanitizer build (unit label only, for speed).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs="$(nproc)"
+
+run_matrix() {
+  local cfg="$1" bdir="$2"
+  shift 2
+  cmake -B "$bdir" -S . -DCMAKE_BUILD_TYPE="$cfg" -DSECDDR_WERROR=ON "$@"
+  cmake --build "$bdir" -j "$jobs"
+  ctest --test-dir "$bdir" --output-on-failure -j "$jobs" \
+        ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+}
+
+CTEST_ARGS=()
+run_matrix Debug build-ci-debug
+run_matrix Release build-ci-release
+
+if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then
+  CTEST_ARGS=(-L unit)
+  run_matrix Debug build-ci-asan -DSECDDR_SANITIZE=address,undefined
+fi
+
+echo "CI OK"

@@ -1,0 +1,31 @@
+# Runs a bench binary twice — serial (SECDDR_JOBS=1) and parallel
+# (SECDDR_JOBS=4) — with a tiny instruction budget and fails unless the
+# printed tables are byte-identical.
+if(NOT BENCH_BIN)
+  message(FATAL_ERROR "BENCH_BIN not set")
+endif()
+
+set(ENV{SECDDR_INSTR} 2000)
+set(ENV{SECDDR_WARMUP} 500)
+set(ENV{SECDDR_CORES} 2)
+set(ENV{SECDDR_FILTER} "b")
+
+set(ENV{SECDDR_JOBS} 1)
+execute_process(COMMAND ${BENCH_BIN} OUTPUT_VARIABLE serial_out
+                RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial run failed (rc=${serial_rc})")
+endif()
+
+set(ENV{SECDDR_JOBS} 4)
+execute_process(COMMAND ${BENCH_BIN} OUTPUT_VARIABLE parallel_out
+                RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "parallel run failed (rc=${parallel_rc})")
+endif()
+
+if(NOT serial_out STREQUAL parallel_out)
+  message(FATAL_ERROR "serial and parallel outputs differ:\n"
+          "--- serial ---\n${serial_out}\n--- parallel ---\n${parallel_out}")
+endif()
+message(STATUS "serial and parallel sweep outputs are identical")

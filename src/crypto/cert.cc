@@ -12,12 +12,16 @@ std::vector<std::uint8_t> CertificateAuthority::message_for(
     const DhGroup& group, const std::string& subject, const BigUInt& pub) {
   std::vector<std::uint8_t> msg;
   const std::string tag = "secddr-cert-v1";
-  msg.insert(msg.end(), tag.begin(), tag.end());
-  msg.push_back(0);
-  msg.insert(msg.end(), subject.begin(), subject.end());
-  msg.push_back(0);
   const auto pub_bytes = pub.to_bytes_be(group.byte_length);
-  msg.insert(msg.end(), pub_bytes.begin(), pub_bytes.end());
+  msg.reserve(tag.size() + subject.size() + 2 + pub_bytes.size());
+  const auto append = [&msg](const auto& bytes) {
+    for (const auto b : bytes) msg.push_back(static_cast<std::uint8_t>(b));
+  };
+  append(tag);
+  msg.push_back(0);
+  append(subject);
+  msg.push_back(0);
+  append(pub_bytes);
   return msg;
 }
 

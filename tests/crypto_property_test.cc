@@ -50,7 +50,9 @@ TEST_P(CtrLengths, EncryptDecryptIdentityAtEveryLength) {
   for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
   const auto orig = data;
   ctr_xcrypt(aes, nonce, data.data(), data.size());
-  if (!data.empty()) EXPECT_NE(data, orig);
+  if (!data.empty()) {
+    EXPECT_NE(data, orig);
+  }
   ctr_xcrypt(aes, nonce, data.data(), data.size());
   EXPECT_EQ(data, orig);
 }

@@ -192,7 +192,9 @@ sim::SystemConfig small_system(secmem::SecurityParams sec) {
   sim::SystemConfig cfg;
   cfg.mem.cores = 2;
   cfg.security = std::move(sec);
-  cfg.data_bytes = 1ull << 30;
+  // Must cover both cores' address spaces: SyntheticTrace places core c at
+  // c * 2GB, so 2 cores need a 4GB data region.
+  cfg.data_bytes = 4ull << 30;
   return cfg;
 }
 
