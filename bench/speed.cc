@@ -1,0 +1,122 @@
+// Simulation-loop speed: runs the fig6 sweep (suite x 5 security
+// configurations) under both the tick-every-cycle and the event-driven
+// loop and reports wall time, simulated core-cycles per second, and the
+// speedup. The two runs must produce identical results (exit 1 if not),
+// so this doubles as an end-to-end determinism check; the `perf` CTest
+// smoke runs it with a bounded budget and no wall-time assertion.
+//
+// Extra knobs:
+//   SECDDR_SPEED_MODE=fast|slow   run only one loop (profiling one side)
+//   SECDDR_SPEED_PER_POINT=1      per-sweep-point wall/cycle lines on stderr
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness.h"
+#include "sweep.h"
+
+using namespace secddr;
+using bench::BenchOptions;
+using secmem::SecurityParams;
+
+namespace {
+
+struct ModeResult {
+  double wall_s = 0.0;
+  std::uint64_t simulated_cycles = 0;  ///< measured-phase core cycles
+  double total_ipc = 0.0;              ///< checksum across modes
+};
+
+ModeResult run_mode(const std::vector<bench::SweepPoint>& points,
+                    const BenchOptions& opt, bool event_driven) {
+  const bool per_point = std::getenv("SECDDR_SPEED_PER_POINT") != nullptr;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results =
+      bench::sweep_map(points.size(), [&](std::size_t i) -> sim::RunResult {
+        const auto p0 = std::chrono::steady_clock::now();
+        const auto traces = bench::make_traces(points[i].workload, opt.cores);
+        std::vector<sim::TraceSource*> ptrs;
+        for (const auto& t : traces) ptrs.push_back(t.get());
+        sim::SystemConfig cfg = bench::make_system_config(
+            opt, points[i].security, points[i].timings);
+        cfg.event_driven = event_driven;
+        sim::System sys(cfg, ptrs);
+        auto r = sys.run(opt.instructions, 4'000'000'000ull, opt.warmup);
+        if (per_point) {
+          const double dt = std::chrono::duration<double>(
+              std::chrono::steady_clock::now() - p0).count();
+          std::fprintf(stderr, "point %zu %s mode=%d wall=%.3f cycles=%llu\n",
+                       i, points[i].workload.name.c_str(), event_driven, dt,
+                       (unsigned long long)r.cycles);
+        }
+        return r;
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+  ModeResult m;
+  m.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& r : results) {
+    m.simulated_cycles += r.cycles;
+    m.total_ipc += r.total_ipc;
+  }
+  return m;
+}
+
+std::vector<std::string> row_for(const char* name, const ModeResult& m) {
+  return {name, TablePrinter::num(m.wall_s, 2),
+          TablePrinter::num(static_cast<double>(m.simulated_cycles) / 1e6, 1),
+          TablePrinter::num(static_cast<double>(m.simulated_cycles) / 1e6 /
+                                (m.wall_s > 0 ? m.wall_s : 1e-9),
+                            1)};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Simulation-loop speed: per-cycle vs event-driven (fig6 sweep)");
+  const BenchOptions opt = BenchOptions::from_env();
+  const char* mode_env = std::getenv("SECDDR_SPEED_MODE");
+  const bool run_slow = !mode_env || std::strcmp(mode_env, "fast") != 0;
+  const bool run_fast = !mode_env || std::strcmp(mode_env, "slow") != 0;
+
+  const std::vector<SecurityParams> configs = {
+      SecurityParams::baseline_tree_ctr(), SecurityParams::secddr_ctr(),
+      SecurityParams::encrypt_only_ctr(), SecurityParams::secddr_xts(),
+      SecurityParams::encrypt_only_xts(),
+  };
+  const auto points = bench::cross_sweep(workloads::suite(), configs, opt);
+  std::printf("%zu sweep points, %u worker thread(s)\n\n", points.size(),
+              bench::sweep_jobs());
+
+  TablePrinter table({"loop", "wall [s]", "sim Mcycles", "Mcycles/s"});
+  ModeResult slow, fast;
+  if (run_slow) {
+    slow = run_mode(points, opt, /*event_driven=*/false);
+    table.add_row(row_for("per-cycle", slow));
+  }
+  if (run_fast) {
+    fast = run_mode(points, opt, /*event_driven=*/true);
+    table.add_row(row_for("event-driven", fast));
+  }
+  table.print();
+
+  if (run_slow && run_fast) {
+    if (slow.total_ipc != fast.total_ipc ||
+        slow.simulated_cycles != fast.simulated_cycles) {
+      std::fprintf(stderr,
+                   "FAIL: loops disagree (ipc %.17g vs %.17g, cycles %llu vs "
+                   "%llu)\n",
+                   slow.total_ipc, fast.total_ipc,
+                   static_cast<unsigned long long>(slow.simulated_cycles),
+                   static_cast<unsigned long long>(fast.simulated_cycles));
+      return 1;
+    }
+    std::printf("\nevent-driven speedup: %.2fx (identical results)\n",
+                slow.wall_s / (fast.wall_s > 0 ? fast.wall_s : 1e-9));
+  }
+  return 0;
+}

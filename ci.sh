@@ -20,6 +20,14 @@ CTEST_ARGS=()
 run_matrix Debug build-ci-debug
 run_matrix Release build-ci-release
 
+# The slow-vs-fast simulation-loop determinism check must hold in both
+# build types. It already ran as part of the full suites above; re-run it
+# explicitly so a future CTEST_ARGS filter can never silently skip it.
+for bdir in build-ci-debug build-ci-release; do
+  ctest --test-dir "$bdir" -R SimFastPathDeterminism --no-tests=error \
+        --output-on-failure -j "$jobs"
+done
+
 if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then
   CTEST_ARGS=(-L unit)
   run_matrix Debug build-ci-asan -DSECDDR_SANITIZE=address,undefined

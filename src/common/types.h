@@ -14,6 +14,10 @@ using Addr = std::uint64_t;
 /// Simulation time in cycles (domain depends on the component).
 using Cycle = std::uint64_t;
 
+/// Sentinel returned by next-event queries when a component has nothing
+/// scheduled and will only act in response to another component.
+inline constexpr Cycle kNoEvent = ~static_cast<Cycle>(0);
+
 /// Cache line size used throughout the system (bytes).
 inline constexpr std::size_t kLineSize = 64;
 /// Bits needed to index a byte within a line.

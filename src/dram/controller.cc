@@ -23,6 +23,9 @@ Controller::Controller(const Geometry& geometry, const Timings& timings,
     ranks_[r].next_refresh_due =
         timings_.tREFI / (geometry_.ranks + 1) * (r + 1);
   }
+  col_checked_[0].assign(geometry_.total_banks(), 0);
+  col_checked_[1].assign(geometry_.total_banks(), 0);
+  act_checked_.assign(geometry_.total_banks(), 0);
 }
 
 bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
@@ -30,23 +33,33 @@ bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
   Entry e{addr, mapping_.decode(addr), tag, now, false};
   if (is_write) {
     if (write_q_.size() >= wq_size_) return false;
-    // Write merging: a newer write to the same line replaces the old one.
+    // Write merging: a newer write to the same line supersedes the queued
+    // one. The superseded write completes (exactly once) here; the
+    // surviving entry carries the new tag and completes when it issues,
+    // so each logical write is counted and completed exactly once.
     for (auto& w : write_q_) {
       if (line_base(w.addr) == line_base(addr)) {
-        w.tag = tag;
-        completions_.push_back({tag, addr, true, now, now});
         ++stats_.writes_enqueued;
         ++stats_.writes_completed;
+        completions_.push_back({w.tag, w.addr, true, w.arrival, now});
+        w.tag = tag;
+        w.arrival = now;
         return true;
       }
     }
     write_q_.push_back(e);
     ++stats_.writes_enqueued;
+    observe_event_candidate(entry_event_bound(e, true));
+    // Crossing the drain watermark flips the next tick into write
+    // service, making every queued write column a candidate.
+    if (!draining_writes_ && write_q_.size() >= drain_high_)
+      observe_event_candidate(now);
     return true;
   }
   if (read_q_.size() >= rq_size_) return false;
-  ++stats_.reads_enqueued;
-  // Write forwarding: serve the read from the pending write data.
+  // Write forwarding: serve the read from the pending write data. The
+  // read completes here and never enters the read queue, so it does not
+  // count as enqueued.
   for (const auto& w : write_q_) {
     if (line_base(w.addr) == line_base(addr)) {
       ++stats_.write_forwards;
@@ -58,6 +71,8 @@ bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
     }
   }
   read_q_.push_back(e);
+  ++stats_.reads_enqueued;
+  observe_event_candidate(entry_event_bound(e, false));
   return true;
 }
 
@@ -120,9 +135,26 @@ void Controller::apply_write_to_read_penalty(const Entry& e, Cycle data_end) {
 bool Controller::try_issue_column(std::deque<Entry>& q, bool is_write,
                                   Cycle now) {
   // FR-FCFS: oldest row-hit first; strict FCFS considers only the head.
+  std::vector<Cycle>& checked = col_checked_[is_write ? 1 : 0];
   for (auto it = q.begin(); it != q.end(); ++it) {
     if (policy_ == SchedulingPolicy::kFcfs && it != q.begin()) break;
-    if (!column_cmd_allowed(*it, is_write, now)) continue;
+    // Cheap rejects first: only open row hits are column candidates, and
+    // same-bank row hits share every timing constraint, so one failed
+    // check per (bank, direction) covers the whole scan. The odd stamp
+    // marks "checked and disallowed at `now`" (compute_next_event_cycle
+    // shares the arrays with even stamps, so the passes never alias).
+    const unsigned flat = it->d.flat_bank(geometry_);
+    {
+      const Bank& bank = banks_[flat];
+      if (!bank.is_open() ||
+          bank.open_row != static_cast<std::int64_t>(it->d.row))
+        continue;
+      if (checked[flat] == 2 * now + 1) continue;
+    }
+    if (!column_cmd_allowed(*it, is_write, now)) {
+      checked[flat] = 2 * now + 1;
+      continue;
+    }
     Entry e = *it;
     q.erase(it);
 
@@ -166,11 +198,16 @@ bool Controller::try_issue_bank_prep(std::deque<Entry>& q, Cycle now) {
   std::size_t scanned = 0;
   for (auto& e : q) {
     if (policy_ == SchedulingPolicy::kFcfs && scanned++ > 0) break;
-    Bank& bank = banks_[e.d.flat_bank(geometry_)];
+    const unsigned flat = e.d.flat_bank(geometry_);
+    Bank& bank = banks_[flat];
     if (bank.is_open() &&
         bank.open_row == static_cast<std::int64_t>(e.d.row))
       continue;  // row hit waiting on timing only
     if (!bank.is_open()) {
+      // act_allowed() depends on the entry only through its bank/rank, so
+      // a failed check covers every later same-bank entry in this pass
+      // (odd stamp; see try_issue_column).
+      if (act_checked_[flat] == 2 * now + 1) continue;
       if (act_allowed(e, now)) {
         bank.activate(e.d.row, now, timings_.tRCD, timings_.tRAS);
         RankState& rank = ranks_[e.d.rank];
@@ -183,6 +220,7 @@ bool Controller::try_issue_bank_prep(std::deque<Entry>& q, Cycle now) {
         ++stats_.activates;
         return true;
       }
+      act_checked_[flat] = 2 * now + 1;
     } else if (now >= bank.next_precharge) {
       // Conflict: close the current row.
       bank.precharge(now, timings_.tRP);
@@ -237,6 +275,131 @@ bool Controller::handle_refresh(Cycle now) {
   return false;
 }
 
+Cycle Controller::entry_event_bound(const Entry& e, bool is_write) const {
+  const Bank& bank = banks_[e.d.flat_bank(geometry_)];
+  if (bank.is_open() && bank.open_row == static_cast<std::int64_t>(e.d.row)) {
+    // A write row hit is only a candidate while writes are being served;
+    // the transitions into write service (drain watermark crossing, read
+    // queue emptying) are themselves observed events, so until then the
+    // entry schedules nothing.
+    if (is_write && !serving_writes()) return kNoEvent;
+    // Row hit waiting on column timing.
+    Cycle at = is_write ? bank.next_write : bank.next_read;
+    if (have_last_col_) {
+      const bool same_bg =
+          last_col_bg_ == e.d.bank_group && last_col_rank_ == e.d.rank;
+      at = std::max(at, last_col_cmd_ +
+                            (same_bg ? timings_.tCCD_L : timings_.tCCD_S));
+    }
+    Cycle bus_ready = bus_free_at_;
+    if (bus_free_at_ > 0 &&
+        (bus_last_was_write_ != is_write || bus_last_rank_ != e.d.rank))
+      bus_ready += timings_.turnaround;
+    const unsigned lat = is_write ? timings_.tCWL : timings_.tCL;
+    return std::max(at, bus_ready > lat ? bus_ready - lat : 0);
+  }
+  if (bank.is_open()) {
+    // Row conflict: a precharge becomes possible.
+    return bank.next_precharge;
+  }
+  const RankState& rank = ranks_[e.d.rank];
+  // A refresh-gated bank is woken by the refresh events themselves.
+  if (rank.refresh_pending) return kNoEvent;
+  // Closed bank: an activate becomes possible.
+  Cycle at = bank.next_activate;
+  if (rank.act_window.size() >= 4)
+    at = std::max(at, rank.act_window.front() + timings_.tFAW);
+  if (rank.have_last_act)
+    at = std::max(at, rank.last_act + (rank.last_act_bg == e.d.bank_group
+                                           ? timings_.tRRD_L
+                                           : timings_.tRRD_S));
+  return at;
+}
+
+Cycle Controller::next_event_cycle(Cycle now) const {
+  // The event set can move earlier only via enqueue() (which folds the
+  // new entry's bound into the cache); mutations inside tick() only
+  // happen once the cached event time has been reached, after which the
+  // cache expires here and is recomputed against the post-mutation state.
+  if (next_event_valid_ && next_event_cache_ >= now) return next_event_cache_;
+  next_event_cache_ = compute_next_event_cycle(now);
+  next_event_valid_ = true;
+  return next_event_cache_;
+}
+
+Cycle Controller::compute_next_event_cycle(Cycle now) const {
+  compute_epoch_ += 2;  // fresh even scratch stamp for this pass
+  Cycle next = kNoEvent;
+  // Every timing constraint below is of the form "allowed once now >= X",
+  // so the earliest cycle an entry *could* act is the max of its X values
+  // and the min over entries lower-bounds the next state change. Commands
+  // this query admits may still lose the one-command-per-cycle arbitration
+  // in tick(); that only wakes the caller early, never late.
+  const auto consider = [&](Cycle at) { next = std::min(next, std::max(at, now)); };
+
+  // The write-drain hysteresis flip is itself a state change the next
+  // tick performs (even though no command issues that cycle), and it
+  // changes which columns are servable right after.
+  if (draining_writes_ ? write_q_.size() <= drain_low_
+                       : write_q_.size() >= drain_high_)
+    consider(now);
+
+  for (const auto& fr : inflight_reads_) consider(fr.finish);
+
+  for (unsigned r = 0; r < geometry_.ranks; ++r) {
+    const RankState& rank = ranks_[r];
+    if (!rank.refresh_pending) {
+      consider(rank.next_refresh_due);
+      continue;
+    }
+    // Refresh in progress: open banks precharge as they become eligible;
+    // once all are closed the refresh fires when every bank is activatable.
+    bool all_closed = true;
+    Cycle refresh_ready = now;
+    for (unsigned b = 0; b < geometry_.banks_per_rank(); ++b) {
+      const Bank& bank = banks_[r * geometry_.banks_per_rank() + b];
+      if (bank.is_open()) {
+        all_closed = false;
+        consider(bank.next_precharge);
+      } else {
+        refresh_ready = std::max(refresh_ready, bank.next_activate);
+      }
+    }
+    if (all_closed) consider(refresh_ready);
+  }
+
+  const auto scan_queue = [&](const std::deque<Entry>& q, bool is_write) {
+    // Same-bank entries in the same state share their earliest-allowed
+    // time, so one computation per (bank, kind) covers the scan. The
+    // stamps double as scratch for try_issue_* (odd values); computes use
+    // a fresh even epoch each call so neither pass ever aliases another.
+    const Cycle stamp = compute_epoch_;
+    std::vector<Cycle>& col_seen = col_checked_[is_write ? 1 : 0];
+    for (const auto& e : q) {
+      const unsigned flat = e.d.flat_bank(geometry_);
+      const Bank& bank = banks_[flat];
+      if (bank.is_open() &&
+          bank.open_row == static_cast<std::int64_t>(e.d.row)) {
+        if (col_seen[flat] == stamp) continue;
+        col_seen[flat] = stamp;
+      } else {
+        // Conflict-precharge and closed-activate bounds are bank-level;
+        // a bank is in exactly one of those states during a scan, so the
+        // two cases can share the dedup array.
+        if (act_checked_[flat] == stamp) continue;
+        act_checked_[flat] = stamp;
+      }
+      const Cycle at = entry_event_bound(e, is_write);
+      if (at != kNoEvent) consider(at);
+      // Strict FCFS only ever considers the queue head.
+      if (policy_ == SchedulingPolicy::kFcfs) break;
+    }
+  };
+  scan_queue(read_q_, false);
+  scan_queue(write_q_, true);
+  return next;
+}
+
 void Controller::tick(Cycle now) {
   // Retire reads whose data has arrived.
   for (std::size_t i = 0; i < inflight_reads_.size();) {
@@ -256,8 +419,7 @@ void Controller::tick(Cycle now) {
   // Update write-drain mode.
   if (write_q_.size() >= drain_high_) draining_writes_ = true;
   if (write_q_.size() <= drain_low_) draining_writes_ = false;
-  const bool serve_writes =
-      draining_writes_ || (read_q_.empty() && !write_q_.empty());
+  const bool serve_writes = serving_writes();
 
   // One command slot per cycle: refresh first, then columns, then prep.
   if (handle_refresh(now)) return;

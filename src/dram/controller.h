@@ -78,8 +78,19 @@ class Controller {
   /// retires finished transactions into the completion list.
   void tick(Cycle now);
 
+  /// Conservative next-event query for the event-driven loop: the
+  /// earliest memory cycle >= `now` at which tick() could change any
+  /// state or statistic (command issue, read retirement, or a refresh
+  /// transition). Every tick strictly before the returned cycle is a
+  /// guaranteed no-op; the returned cycle itself may still be one (the
+  /// estimate errs early, never late). Refresh keeps this finite
+  /// (<= ~tREFI away) even for an idle controller. Memoized: recomputed
+  /// only after a state change, O(1) on the no-op fast path.
+  Cycle next_event_cycle(Cycle now) const;
+
   /// Completions since the last call (caller drains and clears).
   std::vector<Completion>& completions() { return completions_; }
+  bool has_undrained_completions() const { return !completions_.empty(); }
 
   const ControllerStats& stats() const { return stats_; }
   /// Clears statistics after warmup; bank/queue state is preserved.
@@ -120,6 +131,25 @@ class Controller {
   bool column_cmd_allowed(const Entry& e, bool is_write, Cycle now) const;
   bool act_allowed(const Entry& e, Cycle now) const;
   void apply_write_to_read_penalty(const Entry& e, Cycle data_end);
+  Cycle compute_next_event_cycle(Cycle now) const;
+  /// Whether the next tick would serve write columns (same predicate the
+  /// tick uses, against the current drain flag and queue states).
+  bool serving_writes() const {
+    return draining_writes_ || (read_q_.empty() && !write_q_.empty());
+  }
+  /// Earliest cycle at which `e` could act given current bank state
+  /// (column for a row hit, precharge for a conflict, activate for a
+  /// closed bank); kNoEvent when gated by a pending refresh (whose own
+  /// events are tracked separately).
+  Cycle entry_event_bound(const Entry& e, bool is_write) const;
+  /// Folds a possibly-earlier event into the memoized next-event cache.
+  /// Mutations made *inside* tick() never need this: a mutating tick only
+  /// runs once the cached event time has been reached, so the cache
+  /// expires and the next query recomputes. Only out-of-tick mutations
+  /// (enqueue) can create an event earlier than a still-live cache.
+  void observe_event_candidate(Cycle at) const {
+    if (next_event_valid_ && at < next_event_cache_) next_event_cache_ = at;
+  }
 
   Geometry geometry_;
   Timings timings_;
@@ -145,6 +175,18 @@ class Controller {
   bool have_last_col_ = false;
   unsigned last_col_bg_ = 0;
   unsigned last_col_rank_ = 0;
+
+  // next_event_cycle() memo (valid until the next state mutation).
+  mutable Cycle next_event_cache_ = 0;
+  mutable bool next_event_valid_ = false;
+  // Per-bank scratch stamps so one timing check per (bank, direction)
+  // suffices per scan: same-bank entries in the same state share the same
+  // verdict. Indexed [is_write][flat_bank]. try_issue_* passes stamp with
+  // the odd value 2*now+1 ("checked, not allowed this cycle");
+  // compute_next_event_cycle() stamps with a fresh even epoch per pass.
+  mutable std::vector<Cycle> col_checked_[2];
+  mutable std::vector<Cycle> act_checked_;
+  mutable Cycle compute_epoch_ = 0;
 
   ControllerStats stats_;
 };

@@ -20,6 +20,25 @@ void DramSystem::tick_core_cycle() {
   accum_ += mem_khz_;
   while (accum_ >= core_khz_) {
     accum_ -= core_khz_;
+    // Event-driven mode: a memory tick strictly before the controller's
+    // next event is a guaranteed no-op — skip the call (the memoized
+    // query makes this O(1)). When the controller is command-saturated,
+    // every query recomputes just to answer "tick now"; a streak of such
+    // answers switches to unconditionally ticking for a burst, which
+    // changes nothing semantically (ticking is always correct) but stops
+    // the query traffic while the bus is busy.
+    if (event_driven_) {
+      if (gate_burst_ > 0) {
+        --gate_burst_;
+      } else if (controller_.next_event_cycle(mem_cycle_) > mem_cycle_) {
+        gate_streak_ = 0;
+        ++mem_cycle_;
+        continue;
+      } else if (++gate_streak_ >= kGateBurst) {
+        gate_streak_ = 0;
+        gate_burst_ = kGateBurst;
+      }
+    }
     controller_.tick(mem_cycle_);
     ++mem_cycle_;
   }
@@ -30,6 +49,30 @@ void DramSystem::tick_core_cycle() {
     out_.push_back(cc);
   }
   controller_.completions().clear();
+}
+
+Cycle DramSystem::idle_core_cycles() const {
+  const Cycle event = controller_.next_event_cycle(mem_cycle_);
+  if (event == kNoEvent) return kNoEvent;
+  // The controller must run tick(event), which takes `event - mem_cycle_ + 1`
+  // memory ticks; clamp so the fixed-point math below cannot overflow.
+  const std::uint64_t need =
+      std::min<std::uint64_t>(event - mem_cycle_ + 1, 1ull << 32);
+  // Smallest k with floor((accum_ + k*mem_khz_) / core_khz_) >= need, i.e.
+  // the first core tick that produces the event's memory tick. Everything
+  // before it is skippable.
+  const std::uint64_t k =
+      (need * core_khz_ - accum_ + mem_khz_ - 1) / mem_khz_;
+  return k - 1;  // k >= 1 because accum_ < core_khz_ <= need * core_khz_
+}
+
+void DramSystem::advance_idle_core_cycles(Cycle cycles) {
+  // Contract: every memory tick in the window is a controller no-op (the
+  // caller checked idle_core_cycles()), so only the clocks advance.
+  core_cycle_ += cycles;
+  accum_ += cycles * mem_khz_;
+  mem_cycle_ += accum_ / core_khz_;
+  accum_ %= core_khz_;
 }
 
 std::vector<Completion> DramSystem::drain_completions() {

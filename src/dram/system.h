@@ -21,8 +21,26 @@ class DramSystem {
   /// Enqueue a line transaction. Returns false when the queue is full.
   bool enqueue(Addr addr, bool is_write, std::uint64_t tag);
 
+  /// Event-driven mode: tick_core_cycle() consults the controller's
+  /// memoized next-event query and elides memory ticks that are provable
+  /// no-ops (identical results, O(1) instead of a queue scan). Off by
+  /// default so the plain path stays the bit-exact reference
+  /// implementation the determinism tests compare against.
+  void set_event_driven(bool on) { event_driven_ = on; }
+
   /// Advances one core cycle; may advance zero or more memory cycles.
   void tick_core_cycle();
+
+  /// Number of upcoming core cycles guaranteed to be no-ops: every memory
+  /// tick they trigger lies strictly before the controller's next event.
+  /// Derived by inverting the rational clock accumulator, so it is exact
+  /// for any core:memory ratio. kNoEvent when nothing is scheduled.
+  Cycle idle_core_cycles() const;
+
+  /// Fast-forwards `cycles` core cycles previously reported idle by
+  /// idle_core_cycles(): advances both clock domains (and the
+  /// accumulator) without running the controller's no-op ticks.
+  void advance_idle_core_cycles(Cycle cycles);
 
   /// Completions observed since last drain, with finish times converted to
   /// core cycles.
@@ -41,9 +59,22 @@ class DramSystem {
   /// Converts a memory-clock cycle count to core cycles (rounding up).
   Cycle mem_to_core(Cycle mem_cycles) const;
 
+  /// True while a completion sits in the controller or the core-domain
+  /// buffer waiting for the next tick to surface and finish-stamp it
+  /// (e.g. a write-forward produced by an enqueue after this cycle's
+  /// tick). Skipping cycles in that state would stamp it late.
+  bool has_undrained_completions() const {
+    return controller_.has_undrained_completions() || !out_.empty();
+  }
+
  private:
   Controller controller_;
   double core_clock_mhz_;
+  bool event_driven_ = false;
+  /// Saturation backoff for the event gate (see tick_core_cycle).
+  static constexpr unsigned kGateBurst = 16;
+  unsigned gate_streak_ = 0;
+  unsigned gate_burst_ = 0;
   Cycle core_cycle_ = 0;
   Cycle mem_cycle_ = 0;
   // mem_cycles owed = core_cycle * mem_mhz / core_mhz, tracked exactly with

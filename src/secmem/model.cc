@@ -228,7 +228,7 @@ void SecurityEngine::maybe_finish(std::uint64_t txn_id, Cycle now) {
   txns_.erase(it);
 }
 
-void SecurityEngine::on_meta_arrival(Addr line, Cycle now) {
+void SecurityEngine::on_meta_arrival(Addr line, Cycle finish, Cycle now) {
   auto fit = meta_fetches_.find(line);
   if (fit == meta_fetches_.end()) return;
   const auto waiters = std::move(fit->second.waiters);
@@ -243,13 +243,16 @@ void SecurityEngine::on_meta_arrival(Addr line, Cycle now) {
     Txn& txn = it->second;
     assert(txn.meta_outstanding > 0);
     --txn.meta_outstanding;
-    txn.meta_done = std::max(txn.meta_done, now);
+    // Stamp done times with the DRAM completion's finish cycle (like the
+    // data path does with data_done), not the engine tick that happened
+    // to observe it, so verify latency is independent of tick granularity.
+    txn.meta_done = std::max(txn.meta_done, finish);
     switch (role) {
       case Role::kCounter:
-        txn.counter_done = now;
+        txn.counter_done = finish;
         break;
       case Role::kMacLine:
-        txn.mac_line_done = now;
+        txn.mac_line_done = finish;
         break;
       case Role::kTreeNode:
         break;
@@ -280,7 +283,7 @@ void SecurityEngine::tick(Cycle now) {
         break;
       }
       case TagKind::kMetaFetch:
-        on_meta_arrival(static_cast<Addr>(id), now);
+        on_meta_arrival(static_cast<Addr>(id), c.finish, now);
         break;
       case TagKind::kDataWrite:
       case TagKind::kMetaWriteback:

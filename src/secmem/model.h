@@ -68,6 +68,21 @@ class SecurityEngine {
   /// Advances internal state: drains DRAM completions, retries issues.
   void tick(Cycle now);
 
+  /// Event query for the event-driven loop: the engine acts on its own
+  /// only while deferred DRAM issues are waiting (retried every tick);
+  /// everything else is driven by DRAM completions, which the DRAM
+  /// system's own next-event query covers. A deferred issue whose target
+  /// queue is full is a guaranteed no-op retry until the controller
+  /// drains an entry — a DRAM event — so it reports kNoEvent too. `now`
+  /// is the engine's last tick time.
+  Cycle next_event_cycle(Cycle now) const {
+    if (issue_q_.empty()) return kNoEvent;
+    const PendingIssue& p = issue_q_.front();
+    const bool would_fail =
+        p.is_write ? !dram_.can_accept_write() : !dram_.can_accept_read();
+    return would_fail ? kNoEvent : now + 1;
+  }
+
   /// Ready reads since the last drain (caller clears).
   std::vector<ReadReady>& ready() { return ready_; }
 
@@ -125,7 +140,9 @@ class SecurityEngine {
                          Cycle now);
   void gather_read_needs(Txn& txn, std::uint64_t txn_id, Cycle now);
   void gather_write_needs(Txn& txn, std::uint64_t txn_id, Cycle now);
-  void on_meta_arrival(Addr line, Cycle now);
+  /// `finish` is the DRAM completion's finish cycle (stamps done times);
+  /// `now` is the engine tick observing it (drives dependent finishes).
+  void on_meta_arrival(Addr line, Cycle finish, Cycle now);
   void maybe_finish(std::uint64_t txn_id, Cycle now);
   Cycle read_ready_time(const Txn& txn) const;
   void writeback_victim(const SetAssocCache::Result& victim);

@@ -12,10 +12,12 @@ void Core::fetch() {
   // Fill the ROB from the trace. Batches of non-memory instructions may be
   // split so the budget and ROB occupancy stay exact.
   while (rob_occupancy_ < config_.rob_size) {
+    // Budget boundary: stop fetching but keep a partially consumed record
+    // pending so its remaining gap and memory op survive into the next
+    // phase — a raised budget resumes exactly where this one stopped.
+    if (budget_reached()) return;
     if (!have_pending_record_) {
-      if (trace_exhausted_ ||
-          (budget_ != 0 && fetched_instructions_ >= budget_))
-        return;
+      if (trace_exhausted_) return;
       if (!trace_.next(pending_record_)) {
         trace_exhausted_ = true;
         return;
@@ -31,15 +33,10 @@ void Core::fetch() {
       if (budget_ != 0)
         take = static_cast<std::uint32_t>(std::min<std::uint64_t>(
             take, budget_ - fetched_instructions_));
-      if (take == 0) return;
       rob_.push_back({Kind::kBatch, take, 0, true, true});
       rob_occupancy_ += take;
       fetched_instructions_ += take;
       rec.gap -= take;
-      if (budget_ != 0 && fetched_instructions_ >= budget_) {
-        have_pending_record_ = false;  // drop the memory op past the budget
-        return;
-      }
       continue;
     }
 
@@ -53,19 +50,23 @@ void Core::fetch() {
 }
 
 void Core::issue_pending() {
-  // Issue every un-issued memory op in the window (oldest first).
-  for (auto& e : rob_) {
-    if (e.issued) continue;
-    if (e.kind == Kind::kLoad) {
-      if (!memory_.issue_load(id_, e.addr, &e.done)) return;
-      e.issued = true;
-      ++stats_.loads;
-    } else if (e.kind == Kind::kStore) {
-      if (!memory_.issue_store(id_, e.addr)) return;
-      e.issued = true;
-      e.done = true;  // stores are posted
-      ++stats_.stores;
+  // Issue every un-issued memory op in the window (oldest first),
+  // resuming at the cursor instead of rescanning the whole ROB.
+  while (issue_cursor_ < rob_.size()) {
+    RobEntry& e = rob_[issue_cursor_];
+    if (!e.issued) {
+      if (e.kind == Kind::kLoad) {
+        if (!memory_.issue_load(id_, e.addr, &e.done)) return;
+        e.issued = true;
+        ++stats_.loads;
+      } else if (e.kind == Kind::kStore) {
+        if (!memory_.issue_store(id_, e.addr)) return;
+        e.issued = true;
+        e.done = true;  // stores are posted
+        ++stats_.stores;
+      }
     }
+    ++issue_cursor_;
   }
 }
 
@@ -80,7 +81,10 @@ void Core::retire() {
       rob_occupancy_ -= take;
       stats_.instructions += take;
       budget -= take;
-      if (head.remaining == 0) rob_.pop_front();
+      if (head.remaining == 0) {
+        rob_.pop_front();
+        if (issue_cursor_ > 0) --issue_cursor_;
+      }
       continue;
     }
     if (!head.issued || !head.done) {
@@ -91,6 +95,7 @@ void Core::retire() {
     stats_.instructions += 1;
     --budget;
     rob_.pop_front();
+    if (issue_cursor_ > 0) --issue_cursor_;
   }
   if (stalled_on_load) ++stats_.load_stall_cycles;
 }
@@ -101,10 +106,49 @@ void Core::tick() {
   fetch();
   issue_pending();
   retire();
-  const bool no_more_fetch =
-      trace_exhausted_ || (budget_ != 0 && fetched_instructions_ >= budget_);
-  if (no_more_fetch && rob_.empty() && !have_pending_record_)
+  // A record retained across the budget boundary belongs to the next
+  // phase and does not keep this one alive.
+  const bool no_more_fetch = trace_exhausted_ || budget_reached();
+  if (no_more_fetch && rob_.empty() &&
+      (budget_reached() || !have_pending_record_))
     finished_ = true;
+}
+
+Cycle Core::next_event_cycle(Cycle now) const {
+  if (finished_) return kNoEvent;
+  // Fetch can make progress (or discover trace exhaustion).
+  if (rob_occupancy_ < config_.rob_size && !budget_reached() &&
+      (have_pending_record_ || !trace_exhausted_))
+    return now + 1;
+  // An un-issued memory op retries (and touches cache stats) every cycle.
+  if (issue_cursor_ < rob_.size()) return now + 1;
+  // Retirement can make progress.
+  if (!rob_.empty()) {
+    if (rob_.front().done) return now + 1;
+    return kNoEvent;  // head blocked on an outstanding load
+  }
+  return now + 1;  // empty ROB: the next tick marks the core finished
+}
+
+bool Core::blocked_on_issue(Addr* addr) const {
+  if (finished_ || issue_cursor_ >= rob_.size()) return false;
+  // Fetch can still make progress?
+  if (rob_occupancy_ < config_.rob_size && !budget_reached() &&
+      (have_pending_record_ || !trace_exhausted_))
+    return false;
+  if (rob_.front().done) return false;  // retirement can make progress
+  *addr = rob_[issue_cursor_].addr;
+  return true;
+}
+
+void Core::advance_idle(Cycle cycles) {
+  if (finished_) return;
+  stats_.cycles += cycles;
+  // The only idle state with work in flight: ROB head blocked on a load,
+  // which retire() counts as a load-stall cycle on every tick.
+  if (!rob_.empty() && rob_.front().kind == Kind::kLoad &&
+      !rob_.front().done)
+    stats_.load_stall_cycles += cycles;
 }
 
 }  // namespace secddr::sim

@@ -57,6 +57,31 @@ class Core {
   /// Runs one core cycle (fetch + issue + retire). No-op once finished.
   void tick();
 
+  /// Event query for the event-driven simulation loop. `now` is the cycle
+  /// of the most recent tick(); returns the earliest cycle at which the
+  /// core could make progress: `now + 1` when it can fetch, has an
+  /// un-issued memory op to (re)try, or can retire, and kNoEvent when it
+  /// is finished or the ROB head is blocked on an outstanding load (the
+  /// memory system's completion queue bounds that wait). While the query
+  /// reports kNoEvent, tick() would change nothing except the stall
+  /// accounting that advance_idle() replays.
+  Cycle next_event_cycle(Cycle now) const;
+
+  /// Accounts `cycles` skipped ticks taken while next_event_cycle()
+  /// reported no work: bumps `stats_.cycles` and, when the ROB head is an
+  /// outstanding load, `stats_.load_stall_cycles` — exactly what `cycles`
+  /// calls to tick() would have recorded. No-op once finished.
+  /// Also used for skipped blocked_on_issue() ticks, whose only other
+  /// effect (the failing issue call) MemorySystem replays.
+  void advance_idle(Cycle cycles);
+
+  /// True when the core's only possible activity next cycle is retrying
+  /// the issue of one memory op (fetch and retire are both stalled);
+  /// *addr receives that op's address. The memory system decides whether
+  /// the retry is guaranteed to keep failing (see
+  /// MemorySystem::issue_blocked_for), making the cycle skippable.
+  bool blocked_on_issue(Addr* addr) const;
+
   /// Stops fetching after this many instructions (0 = trace length).
   /// Raising the budget resumes a budget-finished core.
   void set_instruction_budget(std::uint64_t budget) {
@@ -87,6 +112,9 @@ class Core {
   void fetch();
   void issue_pending();
   void retire();
+  bool budget_reached() const {
+    return budget_ != 0 && fetched_instructions_ >= budget_;
+  }
 
   unsigned id_;
   CoreConfig config_;
@@ -94,6 +122,10 @@ class Core {
   MemoryPort& memory_;
 
   std::deque<RobEntry> rob_;
+  /// Index of the first ROB entry issue_pending() has not yet issued.
+  /// Issue is strictly in program order, so everything before the cursor
+  /// is issued and the cursor only moves forward (minus head retires).
+  std::size_t issue_cursor_ = 0;
   std::uint64_t rob_occupancy_ = 0;  ///< instructions currently in the ROB
   std::uint64_t fetched_instructions_ = 0;
   std::uint64_t budget_ = 0;

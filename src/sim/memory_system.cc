@@ -17,13 +17,31 @@ MemorySystem::MemorySystem(const MemConfig& config,
   for (unsigned c = 0; c < config.cores; ++c)
     l1s_.emplace_back(config.l1_bytes, config.l1_assoc);
   stats_.llc_demand_misses_per_core.assign(config.cores, 0);
+  mshr_map_.reserve(config.mshrs);
+  mshr_free_.reserve(config.mshrs);
+  // Descending so the LIFO free list hands out the lowest index first.
+  for (unsigned i = config.mshrs; i-- > 0;) mshr_free_.push_back(i);
 }
 
 int MemorySystem::find_mshr(Addr line) const {
-  for (std::size_t i = 0; i < mshrs_.size(); ++i)
-    if (mshrs_[i].valid && mshrs_[i].line == line)
-      return static_cast<int>(i);
-  return -1;
+  const auto it = mshr_map_.find(line);
+  return it == mshr_map_.end() ? -1 : static_cast<int>(it->second);
+}
+
+int MemorySystem::alloc_mshr(Addr line) {
+  if (mshr_free_.empty()) return -1;
+  const unsigned idx = mshr_free_.back();
+  mshr_free_.pop_back();
+  mshr_map_.emplace(line, idx);
+  return static_cast<int>(idx);
+}
+
+void MemorySystem::release_mshr(std::size_t idx) {
+  Mshr& m = mshrs_[idx];
+  mshr_map_.erase(m.line);
+  mshr_free_.push_back(static_cast<unsigned>(idx));
+  m.valid = false;
+  m.waiters.clear();
 }
 
 void MemorySystem::complete_at(Cycle at, bool* flag) {
@@ -49,13 +67,7 @@ bool MemorySystem::access_llc(unsigned core_id, Addr line, bool dirty,
   }
 
   // LLC miss: allocate an MSHR and start the secure read.
-  int free = -1;
-  for (std::size_t i = 0; i < mshrs_.size(); ++i) {
-    if (!mshrs_[i].valid) {
-      free = static_cast<int>(i);
-      break;
-    }
-  }
+  const int free = alloc_mshr(line);
   if (free < 0) return false;  // caller retries next cycle
 
   ++stats_.llc_demand_misses;
@@ -67,7 +79,6 @@ bool MemorySystem::access_llc(unsigned core_id, Addr line, bool dirty,
   m.demand = true;
   m.waiters.clear();
   if (done) m.waiters.push_back(done);
-  ++active_mshrs_;
 
   // Install now; arrival is defined by the MSHR. Dirty victims write back
   // through the security engine.
@@ -88,21 +99,14 @@ void MemorySystem::issue_prefetches(Addr line) {
   for (Addr p : candidates) {
     if (llc_.probe(p) || find_mshr(p) >= 0) continue;
     // Keep at least a quarter of the MSHRs for demand traffic.
-    if (active_mshrs_ + config_.mshrs / 4 >= config_.mshrs) return;
-    int free = -1;
-    for (std::size_t i = 0; i < mshrs_.size(); ++i) {
-      if (!mshrs_[i].valid) {
-        free = static_cast<int>(i);
-        break;
-      }
-    }
+    if (mshr_free_.size() <= config_.mshrs / 4) return;
+    const int free = alloc_mshr(p);
     if (free < 0) return;
     Mshr& m = mshrs_[static_cast<std::size_t>(free)];
     m.valid = true;
     m.line = p;
     m.demand = false;
     m.waiters.clear();
-    ++active_mshrs_;
     ++stats_.prefetch_fills;
     const auto victim = llc_.install(p, false);
     if (victim.evicted && victim.victim_dirty) {
@@ -176,9 +180,7 @@ void MemorySystem::tick() {
     Mshr& m = mshrs_[idx];
     const Cycle at = std::max(r.at, now_) + config_.l1_latency;
     for (bool* w : m.waiters) complete_at(at, w);
-    m.valid = false;
-    m.waiters.clear();
-    --active_mshrs_;
+    release_mshr(idx);
   }
   engine_.ready().clear();
 
@@ -186,6 +188,32 @@ void MemorySystem::tick() {
     *done_q_.top().flag = true;
     done_q_.pop();
   }
+}
+
+bool MemorySystem::issue_blocked_for(unsigned core_id, Addr addr) const {
+  const Addr line = line_base(addr);
+  return mshr_free_.empty() && !l1s_[core_id].probe(line) &&
+         find_mshr(line) < 0 && !llc_.probe(line);
+}
+
+Cycle MemorySystem::idle_cycles() const {
+  // The engine retries deferred DRAM issues on every tick.
+  if (engine_.next_event_cycle(now_) != kNoEvent) return 0;
+  // A completion produced after this cycle's DRAM tick (write forwarding
+  // or merging during an engine-issued enqueue) must surface on the very
+  // next tick so its finish stamp matches the per-cycle loop.
+  if (dram_.has_undrained_completions()) return 0;
+  Cycle skip = kNoEvent;
+  // A completion flag scheduled for cycle `at` is raised by the tick that
+  // advances now_ to `at`; that tick must run (at > now_ is an invariant:
+  // matured entries are drained before this query can be called).
+  if (!done_q_.empty()) skip = done_q_.top().at - now_ - 1;
+  return std::min(skip, dram_.idle_core_cycles());
+}
+
+void MemorySystem::advance_idle(Cycle cycles) {
+  now_ += cycles;
+  dram_.advance_idle_core_cycles(cycles);
 }
 
 }  // namespace secddr::sim

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "common/cache.h"
@@ -54,6 +55,31 @@ class MemorySystem final : public MemoryPort {
   /// Advances one core cycle (drives the DRAM clock domain too).
   void tick();
 
+  /// Number of upcoming cycles guaranteed to be no-op ticks: no pending
+  /// load completion matures, the security engine has no deferred issues
+  /// to retry, and the DRAM controller has no event. kNoEvent when fully
+  /// idle (cores then bound the skip).
+  Cycle idle_cycles() const;
+
+  /// Fast-forwards `cycles` ticks previously reported idle by
+  /// idle_cycles(): advances this clock and the DRAM clock domains.
+  void advance_idle(Cycle cycles);
+
+  /// True when an issue of `addr` by `core_id` is guaranteed to keep
+  /// failing until a memory event: the line misses everywhere (its L1,
+  /// the LLC, the in-flight MSHRs) and no MSHR is free. All of that state
+  /// only changes on core activity or MSHR-fill events, so the per-cycle
+  /// retry is a pure stat bump that account_blocked_retries() replays.
+  bool issue_blocked_for(unsigned core_id, Addr addr) const;
+
+  /// Replays the statistics `retries` skipped failing issue calls would
+  /// have recorded (one L1 access+miss and one LLC access each).
+  void account_blocked_retries(std::uint64_t retries) {
+    stats_.l1_accesses += retries;
+    stats_.l1_misses += retries;
+    stats_.llc_demand_accesses += retries;
+  }
+
   const MemStats& stats() const { return stats_; }
   secmem::SecurityEngine& engine() { return engine_; }
   Cycle now() const { return now_; }
@@ -65,7 +91,9 @@ class MemorySystem final : public MemoryPort {
   }
 
   /// Outstanding fills (for drain loops in tests).
-  std::size_t outstanding_fills() const { return active_mshrs_; }
+  std::size_t outstanding_fills() const {
+    return mshrs_.size() - mshr_free_.size();
+  }
 
  private:
   struct Mshr {
@@ -84,6 +112,8 @@ class MemorySystem final : public MemoryPort {
   bool access_llc(unsigned core_id, Addr line, bool dirty, bool* done);
   void issue_prefetches(Addr line);
   int find_mshr(Addr line) const;
+  int alloc_mshr(Addr line);
+  void release_mshr(std::size_t idx);
   void complete_at(Cycle at, bool* flag);
 
   MemConfig config_;
@@ -94,7 +124,8 @@ class MemorySystem final : public MemoryPort {
   SetAssocCache llc_;
   StreamPrefetcher prefetcher_;
   std::vector<Mshr> mshrs_;
-  unsigned active_mshrs_ = 0;
+  std::unordered_map<Addr, unsigned> mshr_map_;  ///< line -> MSHR index
+  std::vector<unsigned> mshr_free_;              ///< free indices (LIFO)
 
   std::priority_queue<PendingDone, std::vector<PendingDone>,
                       std::greater<PendingDone>>

@@ -14,6 +14,7 @@ System::System(const SystemConfig& config, std::vector<TraceSource*> traces)
   dram_ = std::make_unique<dram::DramSystem>(config.geometry, timings,
                                              config.core_mhz,
                                              config.scheduling);
+  dram_->set_event_driven(config.event_driven);
   assert(layout_.end_of_memory() <= config.geometry.capacity_bytes() &&
          "data region + metadata must fit in DRAM");
   engine_ = std::make_unique<secmem::SecurityEngine>(config.security, layout_,
@@ -30,6 +31,11 @@ RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
   auto run_phase = [&](std::uint64_t budget, Cycle limit) -> Cycle {
     for (auto& core : cores_) core->set_instruction_budget(budget);
     Cycle cycle = 0;
+    // Saturation backoff: when the memory system keeps denying skips
+    // (DRAM command bus busy every cycle), pause the skip queries for a
+    // while — attempting a skip is optional, so this cannot change
+    // results, it only sheds query overhead while nothing is skippable.
+    unsigned mem_deny_streak = 0, attempt_pause = 0;
     for (; cycle < limit; ++cycle) {
       bool all_done = true;
       for (auto& core : cores_) {
@@ -38,6 +44,49 @@ RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
       }
       memory_->tick();
       if (all_done) break;
+      if (!config_.event_driven) continue;
+      if (attempt_pause > 0) {
+        --attempt_pause;
+        continue;
+      }
+
+      // Event-driven fast path: when no component can act before some
+      // future cycle, jump straight there. Skipped cycles are provable
+      // no-ops for every component, so results stay bit-identical to the
+      // per-cycle loop; advance_idle() / account_blocked_retries() replay
+      // exactly what the skipped ticks would have recorded (cycle and
+      // load-stall counters, failing-issue cache-stat bumps).
+      Cycle skip = limit - (cycle + 1);
+      std::uint64_t blocked_cores = 0;
+      for (auto& core : cores_) {
+        Addr blocked_addr;
+        if (core->blocked_on_issue(&blocked_addr)) {
+          // Retrying an issue every cycle; skippable only if the retry
+          // provably keeps failing until a memory event.
+          if (!memory_->issue_blocked_for(core->id(), blocked_addr)) {
+            skip = 0;
+            break;
+          }
+          ++blocked_cores;
+          continue;
+        }
+        skip = std::min(skip, core->next_event_cycle(cycle) - (cycle + 1));
+        if (skip == 0) break;
+      }
+      if (skip == 0) continue;
+      skip = std::min(skip, memory_->idle_cycles());
+      if (skip == 0) {
+        if (++mem_deny_streak >= 16) {
+          attempt_pause = 16;
+          mem_deny_streak = 0;
+        }
+        continue;
+      }
+      mem_deny_streak = 0;
+      for (auto& core : cores_) core->advance_idle(skip);
+      memory_->account_blocked_retries(blocked_cores * skip);
+      memory_->advance_idle(skip);
+      cycle += skip;  // the for-increment supplies the final +1
     }
     return cycle;
   };

@@ -24,6 +24,11 @@ struct SystemConfig {
   secmem::SecurityParams security = secmem::SecurityParams::baseline_tree_ctr();
   /// Size of the data region; metadata is laid out above it.
   std::uint64_t data_bytes = 8ull << 30;
+  /// Advance the simulation loop directly to the next component event
+  /// instead of ticking every core cycle. Produces bit-identical
+  /// RunResults (asserted by the SimFastPathDeterminism tests); turn off
+  /// to cross-check or to profile the per-cycle loop (bench/speed.cc).
+  bool event_driven = true;
 };
 
 struct RunResult {

@@ -238,6 +238,86 @@ TEST(Controller, WriteMergingCoalescesSameLine) {
             static_cast<std::uint64_t>(h.t.write_burst_cycles));
 }
 
+TEST(Controller, WriteMergeCompletesEachTagExactlyOnce) {
+  // Three writes to one line merge into a single queue entry. Each
+  // logical write must be counted and completed exactly once: the
+  // superseded writes at merge time, the survivor when it issues.
+  Harness h;
+  ASSERT_TRUE(h.c.enqueue(0x8000, true, 1, 0));
+  ASSERT_TRUE(h.c.enqueue(0x8000, true, 2, 0));
+  ASSERT_TRUE(h.c.enqueue(0x8000, true, 3, 0));
+  std::map<std::uint64_t, unsigned> completions_per_tag;
+  Cycle cyc = 0;
+  while ((h.c.pending() > 0 || cyc == 0) && cyc < 100000) {
+    h.c.tick(cyc);
+    for (const auto& comp : h.c.completions()) {
+      EXPECT_TRUE(comp.is_write);
+      ++completions_per_tag[comp.tag];
+    }
+    h.c.completions().clear();
+    ++cyc;
+  }
+  EXPECT_EQ(completions_per_tag[1], 1u);
+  EXPECT_EQ(completions_per_tag[2], 1u);
+  EXPECT_EQ(completions_per_tag[3], 1u);
+  EXPECT_EQ(h.c.stats().writes_enqueued, 3u);
+  EXPECT_EQ(h.c.stats().writes_completed, 3u);
+  // Only the surviving entry touches the bus.
+  EXPECT_EQ(h.c.stats().data_bus_busy_cycles,
+            static_cast<std::uint64_t>(h.t.write_burst_cycles));
+}
+
+TEST(Controller, ForwardedReadsAreNotCountedAsEnqueued) {
+  Harness h;
+  ASSERT_TRUE(h.c.enqueue(0x4000, true, 1, 0));
+  ASSERT_TRUE(h.c.enqueue(0x4000, false, 2, 0));  // forwarded
+  EXPECT_EQ(h.c.stats().reads_enqueued, 0u)
+      << "a forwarded read never enters the read queue";
+  EXPECT_EQ(h.c.stats().write_forwards, 1u);
+  EXPECT_EQ(h.c.stats().reads_completed, 1u);
+  // A read that actually queues still counts.
+  ASSERT_TRUE(h.c.enqueue(0x20000, false, 3, 0));
+  EXPECT_EQ(h.c.stats().reads_enqueued, 1u);
+  h.run_until_drained();
+  EXPECT_EQ(h.c.stats().reads_completed, 2u);
+}
+
+TEST(Controller, NextEventCycleNeverMissesAStateChange) {
+  // Property behind the event-driven loop: whenever next_event_cycle()
+  // says "nothing before cycle N", every tick strictly before N must
+  // leave all statistics unchanged and produce no completions.
+  Harness h;
+  Xoshiro256 rng(17);
+  std::uint64_t tag = 0;
+  const auto snapshot = [&] {
+    const ControllerStats& s = h.c.stats();
+    return std::make_tuple(s.reads_enqueued, s.writes_enqueued,
+                           s.reads_completed, s.writes_completed, s.row_hits,
+                           s.row_misses, s.activates, s.precharges,
+                           s.refreshes, s.write_forwards,
+                           s.data_bus_busy_cycles, s.total_read_latency,
+                           h.c.pending());
+  };
+  for (Cycle cyc = 0; cyc < 30000; ++cyc) {
+    if (rng.chance(0.05)) {
+      const Addr a = line_base(rng.next() % h.g.capacity_bytes());
+      const bool w = rng.chance(0.4);
+      if ((w && h.c.can_accept_write()) || (!w && h.c.can_accept_read()))
+        h.c.enqueue(a, w, ++tag, cyc);
+      h.c.completions().clear();  // enqueue may forward/merge-complete
+    }
+    const Cycle next_event = h.c.next_event_cycle(cyc);
+    const auto before = snapshot();
+    h.c.tick(cyc);
+    if (next_event > cyc) {
+      EXPECT_EQ(before, snapshot()) << "state changed at " << cyc
+                                    << " despite next event " << next_event;
+      EXPECT_TRUE(h.c.completions().empty());
+    }
+    h.c.completions().clear();
+  }
+}
+
 TEST(Controller, RefreshesHappenAtTrefiRate) {
   Harness h;
   const Cycle horizon = static_cast<Cycle>(h.t.tREFI) * 10;

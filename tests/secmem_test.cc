@@ -284,6 +284,32 @@ TEST(Engine, SecDdrReadReadyAfterMacLatency) {
   EXPECT_EQ(r1[0].at, r2[0].at);
 }
 
+TEST(Engine, MetaArrivalStampsDramFinishNotTickTime) {
+  // Metadata done times must come from the DRAM completion's finish
+  // cycle (as the data path's data_done already does), so the verified
+  // ready time cannot drift with how often the engine is ticked.
+  const auto ready_at = [](Cycle step) {
+    Rig rig(SecurityParams::encrypt_only_ctr());
+    rig.engine.start_read(0x1000, 1, 0);
+    std::vector<ReadReady> out;
+    while (rig.engine.outstanding() > 0 && rig.now < 100000) {
+      ++rig.now;
+      rig.dram.tick_core_cycle();
+      if (rig.now % step == 0) {
+        rig.engine.tick(rig.now);
+        for (const auto& r : rig.engine.ready()) out.push_back(r);
+        rig.engine.ready().clear();
+      }
+    }
+    EXPECT_EQ(out.size(), 1u);
+    return out.empty() ? Cycle{0} : out[0].at;
+  };
+  const Cycle fine = ready_at(1);
+  EXPECT_GT(fine, 0u);
+  EXPECT_EQ(ready_at(7), fine);
+  EXPECT_EQ(ready_at(13), fine);
+}
+
 TEST(Engine, SharedFetchesAreDeduplicated) {
   Rig rig(SecurityParams::encrypt_only_ctr());
   // Two reads under the same counter line, back to back.

@@ -1,0 +1,165 @@
+// Slow-vs-fast determinism: the event-driven simulation loop must be a
+// pure optimization. Every statistic of every component — core cycles,
+// stall accounting, cache/MSHR traffic, engine metadata fetches, DRAM
+// command and latency counters — must be bit-identical to the
+// tick-every-cycle loop, across the fig6 sweep configurations, DRAM
+// timing presets (including a non-integer core:memory clock ratio), both
+// scheduling policies, and a run that hits the cycle limit.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "secmem/params.h"
+#include "sim/system.h"
+#include "workloads/generator.h"
+#include "workloads/workload.h"
+
+namespace secddr::sim {
+namespace {
+
+struct Variant {
+  std::string name;
+  secmem::SecurityParams security;
+  dram::Timings timings = dram::Timings::ddr4_3200();
+  dram::SchedulingPolicy scheduling = dram::SchedulingPolicy::kFrFcfs;
+};
+
+std::vector<Variant> sweep_variants() {
+  return {
+      {"tree64", secmem::SecurityParams::baseline_tree_ctr()},
+      {"secddr_ctr", secmem::SecurityParams::secddr_ctr()},
+      {"enc_ctr", secmem::SecurityParams::encrypt_only_ctr()},
+      {"secddr_xts", secmem::SecurityParams::secddr_xts()},
+      {"enc_xts", secmem::SecurityParams::encrypt_only_xts()},
+      // Non-integer 3:8 memory:core clock ratio (InvisiMem's derated
+      // channel) exercises the clock-accumulator inversion.
+      {"invisimem_2400",
+       secmem::SecurityParams::invisimem(secmem::Encryption::kXts),
+       dram::Timings::ddr4_2400()},
+      {"tree64_fcfs", secmem::SecurityParams::baseline_tree_ctr(),
+       dram::Timings::ddr4_3200(), dram::SchedulingPolicy::kFcfs},
+  };
+}
+
+RunResult run_variant(const workloads::WorkloadDesc& desc, const Variant& v,
+                      bool event_driven, Cycle max_cycles = 2'000'000'000) {
+  SystemConfig cfg;
+  cfg.mem.cores = 2;
+  cfg.security = v.security;
+  cfg.timings = v.timings;
+  cfg.scheduling = v.scheduling;
+  cfg.data_bytes = 4ull << 30;  // two cores at 2GB trace stride
+  cfg.event_driven = event_driven;
+  workloads::SyntheticTrace t0(desc, 0), t1(desc, 1);
+  System sys(cfg, {&t0, &t1});
+  return sys.run(3000, max_cycles, /*warmup=*/800);
+}
+
+void expect_identical(const RunResult& slow, const RunResult& fast) {
+  ASSERT_EQ(slow.cores.size(), fast.cores.size());
+  for (std::size_t i = 0; i < slow.cores.size(); ++i) {
+    SCOPED_TRACE("core " + std::to_string(i));
+    EXPECT_EQ(slow.cores[i].instructions, fast.cores[i].instructions);
+    EXPECT_EQ(slow.cores[i].cycles, fast.cores[i].cycles);
+    EXPECT_EQ(slow.cores[i].loads, fast.cores[i].loads);
+    EXPECT_EQ(slow.cores[i].stores, fast.cores[i].stores);
+    EXPECT_EQ(slow.cores[i].load_stall_cycles, fast.cores[i].load_stall_cycles);
+  }
+  EXPECT_EQ(slow.cycles, fast.cycles);
+  EXPECT_EQ(slow.hit_cycle_limit, fast.hit_cycle_limit);
+  // Derived doubles come from identical integers, so exact equality holds.
+  EXPECT_EQ(slow.total_ipc, fast.total_ipc);
+  EXPECT_EQ(slow.llc_mpki, fast.llc_mpki);
+  EXPECT_EQ(slow.metadata_miss_rate, fast.metadata_miss_rate);
+  EXPECT_EQ(slow.metadata_accesses, fast.metadata_accesses);
+
+  EXPECT_EQ(slow.mem.l1_accesses, fast.mem.l1_accesses);
+  EXPECT_EQ(slow.mem.l1_misses, fast.mem.l1_misses);
+  EXPECT_EQ(slow.mem.llc_demand_accesses, fast.mem.llc_demand_accesses);
+  EXPECT_EQ(slow.mem.llc_demand_misses, fast.mem.llc_demand_misses);
+  EXPECT_EQ(slow.mem.llc_writebacks, fast.mem.llc_writebacks);
+  EXPECT_EQ(slow.mem.prefetch_fills, fast.mem.prefetch_fills);
+  EXPECT_EQ(slow.mem.llc_demand_misses_per_core,
+            fast.mem.llc_demand_misses_per_core);
+
+  EXPECT_EQ(slow.engine.data_reads, fast.engine.data_reads);
+  EXPECT_EQ(slow.engine.data_writes, fast.engine.data_writes);
+  EXPECT_EQ(slow.engine.counter_fetches, fast.engine.counter_fetches);
+  EXPECT_EQ(slow.engine.mac_line_fetches, fast.engine.mac_line_fetches);
+  EXPECT_EQ(slow.engine.tree_node_fetches, fast.engine.tree_node_fetches);
+  EXPECT_EQ(slow.engine.meta_writebacks, fast.engine.meta_writebacks);
+  EXPECT_EQ(slow.engine.reads_with_tree_walk, fast.engine.reads_with_tree_walk);
+
+  EXPECT_EQ(slow.dram.reads_enqueued, fast.dram.reads_enqueued);
+  EXPECT_EQ(slow.dram.writes_enqueued, fast.dram.writes_enqueued);
+  EXPECT_EQ(slow.dram.reads_completed, fast.dram.reads_completed);
+  EXPECT_EQ(slow.dram.writes_completed, fast.dram.writes_completed);
+  EXPECT_EQ(slow.dram.row_hits, fast.dram.row_hits);
+  EXPECT_EQ(slow.dram.row_misses, fast.dram.row_misses);
+  EXPECT_EQ(slow.dram.activates, fast.dram.activates);
+  EXPECT_EQ(slow.dram.precharges, fast.dram.precharges);
+  EXPECT_EQ(slow.dram.refreshes, fast.dram.refreshes);
+  EXPECT_EQ(slow.dram.write_forwards, fast.dram.write_forwards);
+  EXPECT_EQ(slow.dram.data_bus_busy_cycles, fast.dram.data_bus_busy_cycles);
+  EXPECT_EQ(slow.dram.total_read_latency, fast.dram.total_read_latency);
+}
+
+TEST(SimFastPathDeterminism, BitIdenticalAcrossSweepConfigs) {
+  for (const char* wl : {"mcf", "povray", "lbm"}) {
+    const auto* desc = workloads::find(wl);
+    ASSERT_NE(desc, nullptr);
+    for (const Variant& v : sweep_variants()) {
+      SCOPED_TRACE(std::string(wl) + " / " + v.name);
+      expect_identical(run_variant(*desc, v, /*event_driven=*/false),
+                       run_variant(*desc, v, /*event_driven=*/true));
+    }
+  }
+}
+
+TEST(SimFastPathDeterminism, BitIdenticalUnderWriteDrainPressure) {
+  // Small MSHR pool + small LLC + write-heavy high-MPKI traffic keeps the
+  // write queue crossing the drain watermarks and the MSHRs saturated —
+  // the regime that exercises the drain-flip events and the
+  // blocked-issue retry replay.
+  // A synthetic stress workload (random, high MPKI, write-heavy) on top
+  // of the suite's worst cases.
+  workloads::WorkloadDesc stress{
+      "drain-stress", 120.0, 400.0, 0.5, 1ull << 30,
+      workloads::Pattern::kRandom, true, 7};
+  std::vector<workloads::WorkloadDesc> descs{stress, *workloads::find("lbm"),
+                                             *workloads::find("mcf")};
+  for (const auto& desc : descs) {
+    auto run = [&](bool event_driven) {
+      SystemConfig cfg;
+      cfg.mem.cores = 4;
+      cfg.mem.mshrs = 16;
+      cfg.mem.llc_bytes = 1ull << 20;
+      cfg.security = secmem::SecurityParams::encrypt_only_xts();
+      cfg.data_bytes = 8ull << 30;  // four cores at 2GB trace stride
+      cfg.event_driven = event_driven;
+      workloads::SyntheticTrace t0(desc, 0), t1(desc, 1), t2(desc, 2),
+          t3(desc, 3);
+      System sys(cfg, {&t0, &t1, &t2, &t3});
+      return sys.run(30000, 2'000'000'000, /*warmup=*/5000);
+    };
+    SCOPED_TRACE(desc.name);
+    expect_identical(run(false), run(true));
+  }
+}
+
+TEST(SimFastPathDeterminism, BitIdenticalWhenCycleLimitHits) {
+  const auto* desc = workloads::find("mcf");
+  ASSERT_NE(desc, nullptr);
+  const Variant v{"tree64", secmem::SecurityParams::baseline_tree_ctr()};
+  const RunResult slow =
+      run_variant(*desc, v, /*event_driven=*/false, /*max_cycles=*/3000);
+  const RunResult fast =
+      run_variant(*desc, v, /*event_driven=*/true, /*max_cycles=*/3000);
+  ASSERT_TRUE(slow.hit_cycle_limit) << "limit chosen too high for the test";
+  expect_identical(slow, fast);
+}
+
+}  // namespace
+}  // namespace secddr::sim

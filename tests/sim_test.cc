@@ -120,6 +120,54 @@ TEST(Core, InstructionBudgetHonored) {
   EXPECT_LE(core.stats().instructions, 5100u);
 }
 
+TEST(Core, BudgetBoundaryKeepsPendingTraceRecord) {
+  // One record: 5 gap instructions then a load. A budget of exactly 5
+  // ends the phase on the batch boundary; the memory op must survive
+  // into the next phase instead of being silently dropped.
+  VectorTrace trace({{5, false, 0x1000}});
+  FakeMemory mem(3);
+  Core core(0, {224, 6}, trace, mem);
+  core.set_instruction_budget(5);
+  for (int i = 0; i < 100 && !core.finished(); ++i) {
+    core.tick();
+    mem.tick();
+  }
+  ASSERT_TRUE(core.finished());
+  EXPECT_EQ(core.stats().instructions, 5u);
+  EXPECT_EQ(mem.loads, 0u) << "the load is beyond this phase's budget";
+  core.set_instruction_budget(0);  // next phase: unlimited
+  for (int i = 0; i < 100 && !core.finished(); ++i) {
+    core.tick();
+    mem.tick();
+  }
+  ASSERT_TRUE(core.finished());
+  EXPECT_EQ(mem.loads, 1u) << "memory op lost at the budget boundary";
+  EXPECT_EQ(core.stats().instructions, 6u);
+}
+
+TEST(Core, BudgetBoundaryMidGapResumesRemainder) {
+  // Budget lands inside the gap batch: the remaining gap and the memory
+  // op both carry over to the next phase.
+  VectorTrace trace({{10, true, 0x2000}});
+  FakeMemory mem(3);
+  Core core(0, {224, 6}, trace, mem);
+  core.set_instruction_budget(6);
+  for (int i = 0; i < 100 && !core.finished(); ++i) {
+    core.tick();
+    mem.tick();
+  }
+  ASSERT_TRUE(core.finished());
+  EXPECT_EQ(core.stats().instructions, 6u);
+  core.set_instruction_budget(11);  // 4 remaining gap + the store
+  for (int i = 0; i < 100 && !core.finished(); ++i) {
+    core.tick();
+    mem.tick();
+  }
+  ASSERT_TRUE(core.finished());
+  EXPECT_EQ(mem.stores, 1u);
+  EXPECT_EQ(core.stats().instructions, 11u);
+}
+
 TEST(Core, StoresDoNotBlockRetirement) {
   VectorTrace trace(make_trace(500, 0, /*writes=*/true));
   FakeMemory mem(1000);  // huge latency, but stores are posted
