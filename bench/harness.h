@@ -1,10 +1,11 @@
 // Shared harness for the figure/table reproduction binaries.
 //
 // Environment knobs (all optional):
-//   SECDDR_INSTR   measured instructions per core   (default 150000)
-//   SECDDR_WARMUP  warmup instructions per core     (default 75000)
-//   SECDDR_CORES   simulated cores                  (default 4, Table I)
-//   SECDDR_FILTER  comma-free substring filter on workload names
+//   SECDDR_INSTR     measured instructions per core (default 150000)
+//   SECDDR_WARMUP    warmup instructions per core   (default 75000)
+//   SECDDR_CORES     simulated cores                (default 4, Table I)
+//   SECDDR_CHANNELS  DDR channels (power of two; default 1, Table I)
+//   SECDDR_FILTER    comma-free substring filter on workload names
 //
 // Every binary prints an aligned text table with the same rows/series as
 // the paper's figure, plus the paper's headline numbers for comparison.
@@ -27,6 +28,7 @@ struct BenchOptions {
   std::uint64_t instructions = 150000;
   std::uint64_t warmup = 75000;
   unsigned cores = 4;
+  unsigned channels = 1;
   std::string filter;
 
   static BenchOptions from_env() {
@@ -34,7 +36,16 @@ struct BenchOptions {
     if (const char* s = std::getenv("SECDDR_INSTR")) o.instructions = std::strtoull(s, nullptr, 10);
     if (const char* s = std::getenv("SECDDR_WARMUP")) o.warmup = std::strtoull(s, nullptr, 10);
     if (const char* s = std::getenv("SECDDR_CORES")) o.cores = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+    if (const char* s = std::getenv("SECDDR_CHANNELS")) o.channels = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
     if (const char* s = std::getenv("SECDDR_FILTER")) o.filter = s;
+    // The channel selector needs a power-of-two count; fail loudly here
+    // rather than routing addresses with a broken mask in Release builds
+    // (where the selector's own assert is compiled out).
+    if (o.channels == 0 || (o.channels & (o.channels - 1)) != 0) {
+      std::fprintf(stderr, "SECDDR_CHANNELS=%u is not a power of two\n",
+                   o.channels);
+      std::exit(2);
+    }
     return o;
   }
 
@@ -65,7 +76,9 @@ inline std::vector<std::unique_ptr<workloads::SyntheticTrace>> make_traces(
 
 /// Table I system configuration for a bench run. Keeps the paper's 2:1
 /// capacity:data headroom when SECDDR_CORES grows the data region past the
-/// default 16GB module (rows stay a power of two).
+/// default 16GB module (rows stay a power of two). SECDDR_CHANNELS shards
+/// the same total capacity across that many channel slices, each with its
+/// own controller and security engine.
 inline sim::SystemConfig make_system_config(const BenchOptions& opt,
                                             const secmem::SecurityParams& sec,
                                             dram::Timings timings) {
@@ -74,6 +87,12 @@ inline sim::SystemConfig make_system_config(const BenchOptions& opt,
   cfg.security = sec;
   cfg.timings = timings;
   cfg.data_bytes = data_bytes_for(opt.cores);
+  cfg.geometry.channels = opt.channels;
+  // Total capacity scales with channels, so shrink the per-channel rows
+  // first, then grow until the 2:1 headroom holds again.
+  while (cfg.geometry.rows_per_bank > 1 &&
+         cfg.geometry.capacity_bytes() / 2 >= 2 * cfg.data_bytes)
+    cfg.geometry.rows_per_bank /= 2;
   while (cfg.geometry.capacity_bytes() < 2 * cfg.data_bytes)
     cfg.geometry.rows_per_bank *= 2;
   return cfg;

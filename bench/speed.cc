@@ -5,6 +5,11 @@
 // so this doubles as an end-to-end determinism check; the `perf` CTest
 // smoke runs it with a bounded budget and no wall-time assertion.
 //
+// A channel-scaling section then re-runs the most memory-bound suite
+// workload (mcf) at channels 1/2/4: the sharded backend must relieve the
+// single-command-bus saturation (total IPC at every multi-channel point
+// must not fall below the 1-channel baseline; exit 1 otherwise).
+//
 // Extra knobs:
 //   SECDDR_SPEED_MODE=fast|slow   run only one loop (profiling one side)
 //   SECDDR_SPEED_PER_POINT=1      per-sweep-point wall/cycle lines on stderr
@@ -117,6 +122,51 @@ int main() {
     }
     std::printf("\nevent-driven speedup: %.2fx (identical results)\n",
                 slow.wall_s / (fast.wall_s > 0 ? fast.wall_s : 1e-9));
+  }
+
+  // Channel scaling (fig6-style point): mcf, the suite's most memory-bound
+  // workload, across the multi-channel backend. Each channel adds an
+  // independent command/data bus and security engine, so total IPC must
+  // not degrade as channels grow; at the paper's saturated 4-core config
+  // it improves substantially.
+  std::printf("\n=== Channel scaling: mcf x SecDDR-cnt, %u core(s) ===\n",
+              opt.cores);
+  TablePrinter chan_table(
+      {"channels", "total IPC", "vs 1ch", "avg read lat [mem cyc]",
+       "bus busy [cyc/chan]"});
+  const auto* mcf = workloads::find("mcf");
+  if (mcf == nullptr) {
+    std::fprintf(stderr, "FAIL: workload 'mcf' missing from the suite\n");
+    return 1;
+  }
+  double ipc_1ch = 0.0;
+  unsigned regressed_at = 0;
+  double regressed_ipc = 0.0;
+  for (unsigned ch : {1u, 2u, 4u}) {
+    BenchOptions copt = opt;
+    copt.channels = ch;
+    const sim::RunResult r =
+        bench::run_workload(*mcf, SecurityParams::secddr_ctr(), copt);
+    if (ch == 1) ipc_1ch = r.total_ipc;
+    // Every multi-channel point must hold the 1-channel baseline, not
+    // just the endpoint — a 2-channel-only regression must fail too.
+    if (r.total_ipc < ipc_1ch && regressed_at == 0) {
+      regressed_at = ch;
+      regressed_ipc = r.total_ipc;
+    }
+    chan_table.add_row(
+        {std::to_string(ch), TablePrinter::num(r.total_ipc, 3),
+         TablePrinter::num(ipc_1ch > 0 ? r.total_ipc / ipc_1ch : 0.0, 2),
+         TablePrinter::num(r.dram.avg_read_latency(), 1),
+         TablePrinter::num(
+             static_cast<double>(r.dram.data_bus_busy_cycles) / ch, 0)});
+  }
+  chan_table.print();
+  if (regressed_at != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %u-channel IPC %.4f below 1-channel IPC %.4f\n",
+                 regressed_at, regressed_ipc, ipc_1ch);
+    return 1;
   }
   return 0;
 }

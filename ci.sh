@@ -24,9 +24,15 @@ run_matrix Release build-ci-release
 # build types. It already ran as part of the full suites above; re-run it
 # explicitly so a future CTEST_ARGS filter can never silently skip it.
 for bdir in build-ci-debug build-ci-release; do
-  ctest --test-dir "$bdir" -R SimFastPathDeterminism --no-tests=error \
+  ctest --test-dir "$bdir" -L determinism --no-tests=error \
         --output-on-failure -j "$jobs"
 done
+
+# Dedicated multi-channel step: the determinism label again with the
+# backend sharded across 2 channels (SECDDR_CHANNELS overrides every
+# variant that does not pin its own channel count), Release build.
+SECDDR_CHANNELS=2 ctest --test-dir build-ci-release -L determinism \
+      --no-tests=error --output-on-failure -j "$jobs"
 
 if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then
   CTEST_ARGS=(-L unit)

@@ -33,9 +33,11 @@ enum class LogicPlacement {
 };
 
 struct DimmConfig {
-  dram::Geometry geometry{
-      /*ranks=*/2, /*bank_groups=*/4, /*banks_per_group=*/4,
-      /*rows_per_bank=*/256, /*columns_per_row=*/64};
+  dram::Geometry geometry{.ranks = 2,
+                          .bank_groups = 4,
+                          .banks_per_group = 4,
+                          .rows_per_bank = 256,
+                          .columns_per_row = 64};
   LogicPlacement placement = LogicPlacement::kEccChip;
   /// When false, models SecDDR *without* AI-ECC's write CRC: devices store
   /// whatever burst arrives. Used to demonstrate the Fig. 3 stale-data

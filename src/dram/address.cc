@@ -6,6 +6,16 @@
 
 namespace secddr::dram {
 
+ChannelSelector::ChannelSelector(const Geometry& geometry)
+    : channels_(geometry.channels) {
+  assert(channels_ >= 1 && is_pow2(channels_));
+  assert(is_pow2(geometry.columns_per_row));
+  ch_bits_ = ilog2(channels_);
+  shift_ = kLineBits;
+  if (geometry.channel_interleave == ChannelInterleave::kRow)
+    shift_ += ilog2(geometry.columns_per_row);
+}
+
 AddressMapping::AddressMapping(const Geometry& geometry, bool xor_banks)
     : geometry_(geometry), xor_banks_(xor_banks) {
   assert(is_pow2(geometry.columns_per_row));

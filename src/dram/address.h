@@ -27,9 +27,44 @@ struct DecodedAddr {
   }
 };
 
+/// Extracts the channel-select bits from a global physical address and
+/// converts between the global address space and each channel's dense
+/// local address space (channel bits removed). Controllers, metadata
+/// layouts, and security engines all operate on local addresses, so a
+/// single-channel system (`channels == 1`) sees the identity mapping.
+class ChannelSelector {
+ public:
+  explicit ChannelSelector(const Geometry& geometry);
+
+  unsigned channels() const { return channels_; }
+  /// Bit position of the lowest channel-select bit.
+  unsigned shift() const { return shift_; }
+
+  /// Channel owning `byte_addr`.
+  unsigned channel_of(Addr byte_addr) const {
+    return static_cast<unsigned>((byte_addr >> shift_) & (channels_ - 1));
+  }
+  /// Strips the channel bits: the dense channel-local address.
+  Addr to_local(Addr byte_addr) const {
+    const Addr low = byte_addr & ((Addr{1} << shift_) - 1);
+    const Addr high = byte_addr >> (shift_ + ch_bits_);
+    return (high << shift_) | low;
+  }
+  /// Inverse of to_local: re-inserts the channel bits.
+  Addr to_global(unsigned channel, Addr local) const {
+    const Addr low = local & ((Addr{1} << shift_) - 1);
+    const Addr high = local >> shift_;
+    return (((high << ch_bits_) | channel) << shift_) | low;
+  }
+
+ private:
+  unsigned channels_, ch_bits_, shift_;
+};
+
 /// Row-interleaved mapping (low bits -> column, then bank group, bank, rank,
 /// row) with optional XOR-based bank permutation that spreads row-conflict
-/// streams across banks.
+/// streams across banks. Operates on channel-local addresses (the
+/// ChannelSelector removes the channel bits first).
 class AddressMapping {
  public:
   explicit AddressMapping(const Geometry& geometry, bool xor_banks = true);

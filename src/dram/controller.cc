@@ -76,47 +76,59 @@ bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
   return true;
 }
 
+Cycle Controller::column_ready_at(const Entry& e, bool is_write) const {
+  const Bank& bank = banks_[e.d.flat_bank(geometry_)];
+  Cycle at = is_write ? bank.next_write : bank.next_read;
+
+  // Column-to-column spacing (tCCD_S/tCCD_L).
+  if (have_last_col_) {
+    const bool same_bg =
+        last_col_bg_ == e.d.bank_group && last_col_rank_ == e.d.rank;
+    at = std::max(at, last_col_cmd_ + (same_bg ? timings_.tCCD_L
+                                               : timings_.tCCD_S));
+  }
+
+  // Data-bus availability, including direction/rank turnaround: data starts
+  // `lat` after the command, so the command may go `lat` before the bus
+  // frees.
+  Cycle bus_ready = bus_free_at_;
+  if (bus_free_at_ > 0 && (bus_last_was_write_ != is_write ||
+                           bus_last_rank_ != e.d.rank))
+    bus_ready += timings_.turnaround;
+  const unsigned lat = is_write ? timings_.tCWL : timings_.tCL;
+  return std::max(at, bus_ready > lat ? bus_ready - lat : 0);
+}
+
 bool Controller::column_cmd_allowed(const Entry& e, bool is_write,
                                     Cycle now) const {
   const Bank& bank = banks_[e.d.flat_bank(geometry_)];
   if (!bank.is_open() ||
       bank.open_row != static_cast<std::int64_t>(e.d.row))
     return false;
-  if (now < (is_write ? bank.next_write : bank.next_read)) return false;
+  return now >= column_ready_at(e, is_write);
+}
 
-  // Column-to-column spacing (tCCD_S/tCCD_L).
-  if (have_last_col_) {
-    const bool same_bg =
-        last_col_bg_ == e.d.bank_group && last_col_rank_ == e.d.rank;
-    const unsigned ccd = same_bg ? timings_.tCCD_L : timings_.tCCD_S;
-    if (now < last_col_cmd_ + ccd) return false;
-  }
-
-  // Data-bus availability, including direction/rank turnaround.
-  const Cycle data_start =
-      now + (is_write ? timings_.tCWL : timings_.tCL);
-  Cycle bus_ready = bus_free_at_;
-  if (bus_free_at_ > 0 && (bus_last_was_write_ != is_write ||
-                           bus_last_rank_ != e.d.rank))
-    bus_ready += timings_.turnaround;
-  return data_start >= bus_ready;
+Cycle Controller::act_ready_at(const Entry& e) const {
+  const Bank& bank = banks_[e.d.flat_bank(geometry_)];
+  const RankState& rank = ranks_[e.d.rank];
+  // A refresh-gated bank is woken by the refresh events themselves.
+  if (rank.refresh_pending) return kNoEvent;
+  Cycle at = bank.next_activate;
+  if (rank.act_window.size() >= 4)
+    at = std::max(at, rank.act_window.front() + timings_.tFAW);
+  if (rank.have_last_act)
+    at = std::max(at, rank.last_act + (rank.last_act_bg == e.d.bank_group
+                                           ? timings_.tRRD_L
+                                           : timings_.tRRD_S));
+  return at;
 }
 
 bool Controller::act_allowed(const Entry& e, Cycle now) const {
   const Bank& bank = banks_[e.d.flat_bank(geometry_)];
   if (bank.is_open()) return false;
-  if (now < bank.next_activate) return false;
-  const RankState& rank = ranks_[e.d.rank];
-  if (rank.refresh_pending) return false;
-  if (rank.act_window.size() >= 4 &&
-      now < rank.act_window.front() + timings_.tFAW)
-    return false;
-  if (rank.have_last_act) {
-    const unsigned rrd = rank.last_act_bg == e.d.bank_group ? timings_.tRRD_L
-                                                            : timings_.tRRD_S;
-    if (now < rank.last_act + rrd) return false;
-  }
-  return true;
+  // act_ready_at() is kNoEvent while a refresh gates the rank; `now` can
+  // never reach it, so the refresh case needs no separate check here.
+  return now >= act_ready_at(e);
 }
 
 void Controller::apply_write_to_read_penalty(const Entry& e, Cycle data_end) {
@@ -276,6 +288,9 @@ bool Controller::handle_refresh(Cycle now) {
 }
 
 Cycle Controller::entry_event_bound(const Entry& e, bool is_write) const {
+  // Derived from the same column_ready_at()/act_ready_at() bounds the
+  // issue predicates test against, so "allowed" is exactly "now >= bound"
+  // and the memoized event times can never drift from the predicates.
   const Bank& bank = banks_[e.d.flat_bank(geometry_)];
   if (bank.is_open() && bank.open_row == static_cast<std::int64_t>(e.d.row)) {
     // A write row hit is only a candidate while writes are being served;
@@ -283,37 +298,14 @@ Cycle Controller::entry_event_bound(const Entry& e, bool is_write) const {
     // queue emptying) are themselves observed events, so until then the
     // entry schedules nothing.
     if (is_write && !serving_writes()) return kNoEvent;
-    // Row hit waiting on column timing.
-    Cycle at = is_write ? bank.next_write : bank.next_read;
-    if (have_last_col_) {
-      const bool same_bg =
-          last_col_bg_ == e.d.bank_group && last_col_rank_ == e.d.rank;
-      at = std::max(at, last_col_cmd_ +
-                            (same_bg ? timings_.tCCD_L : timings_.tCCD_S));
-    }
-    Cycle bus_ready = bus_free_at_;
-    if (bus_free_at_ > 0 &&
-        (bus_last_was_write_ != is_write || bus_last_rank_ != e.d.rank))
-      bus_ready += timings_.turnaround;
-    const unsigned lat = is_write ? timings_.tCWL : timings_.tCL;
-    return std::max(at, bus_ready > lat ? bus_ready - lat : 0);
+    return column_ready_at(e, is_write);
   }
   if (bank.is_open()) {
     // Row conflict: a precharge becomes possible.
     return bank.next_precharge;
   }
-  const RankState& rank = ranks_[e.d.rank];
-  // A refresh-gated bank is woken by the refresh events themselves.
-  if (rank.refresh_pending) return kNoEvent;
-  // Closed bank: an activate becomes possible.
-  Cycle at = bank.next_activate;
-  if (rank.act_window.size() >= 4)
-    at = std::max(at, rank.act_window.front() + timings_.tFAW);
-  if (rank.have_last_act)
-    at = std::max(at, rank.last_act + (rank.last_act_bg == e.d.bank_group
-                                           ? timings_.tRRD_L
-                                           : timings_.tRRD_S));
-  return at;
+  // Closed bank: an activate becomes possible (kNoEvent while refresh-gated).
+  return act_ready_at(e);
 }
 
 Cycle Controller::next_event_cycle(Cycle now) const {

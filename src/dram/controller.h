@@ -51,6 +51,23 @@ struct ControllerStats {
                                  static_cast<double>(reads_completed)
                            : 0.0;
   }
+
+  /// Accumulates another channel's counters (multi-channel aggregation).
+  ControllerStats& operator+=(const ControllerStats& o) {
+    reads_enqueued += o.reads_enqueued;
+    writes_enqueued += o.writes_enqueued;
+    reads_completed += o.reads_completed;
+    writes_completed += o.writes_completed;
+    row_hits += o.row_hits;
+    row_misses += o.row_misses;
+    activates += o.activates;
+    precharges += o.precharges;
+    refreshes += o.refreshes;
+    write_forwards += o.write_forwards;
+    data_bus_busy_cycles += o.data_bus_busy_cycles;
+    total_read_latency += o.total_read_latency;
+    return *this;
+  }
 };
 
 /// Request-scheduling policy.
@@ -128,6 +145,16 @@ class Controller {
   bool try_issue_column(std::deque<Entry>& q, bool is_write, Cycle now);
   bool try_issue_bank_prep(std::deque<Entry>& q, Cycle now);
   bool handle_refresh(Cycle now);
+  /// Earliest cycle a column command for `e` (an open row hit) satisfies
+  /// every timing constraint (bank column timing, tCCD, data-bus
+  /// availability + turnaround). Single source of truth: both the issue
+  /// predicate (allowed == now >= bound) and the memoized next-event
+  /// bounds derive from it, so they cannot drift apart.
+  Cycle column_ready_at(const Entry& e, bool is_write) const;
+  /// Earliest cycle an ACT for `e` (a closed bank) satisfies tRC/tFAW/tRRD;
+  /// kNoEvent while the rank's refresh gates activates (refresh events are
+  /// tracked separately).
+  Cycle act_ready_at(const Entry& e) const;
   bool column_cmd_allowed(const Entry& e, bool is_write, Cycle now) const;
   bool act_allowed(const Entry& e, Cycle now) const;
   void apply_write_to_read_penalty(const Entry& e, Cycle data_end);

@@ -14,10 +14,25 @@
 
 namespace secddr::dram {
 
-/// Channel/DIMM organization. Defaults model a 16GB dual-rank DIMM built
+/// Where the channel-select bits sit in the physical address.
+enum class ChannelInterleave : std::uint8_t {
+  /// Channel bits directly above the line offset: consecutive cache lines
+  /// round-robin across channels (maximum bandwidth spreading).
+  kLine,
+  /// Channel bits above the column bits: row-buffer-sized stripes stay on
+  /// one channel (preserves per-channel row locality).
+  kRow,
+};
+
+/// Channel/DIMM organization. Defaults model one 16GB dual-rank DIMM built
 /// from 8Gb x8 devices: 2 ranks x 4 bank groups x 4 banks x 64K rows x
-/// 128 cache lines (8KB row buffer).
+/// 128 cache lines (8KB row buffer). `ranks`..`columns_per_row` describe a
+/// single channel; `channels` replicates that channel (each with its own
+/// controller, command/data bus, and security engine — SecDDR protects
+/// each DDR interface independently).
 struct Geometry {
+  unsigned channels = 1;
+  ChannelInterleave channel_interleave = ChannelInterleave::kLine;
   unsigned ranks = 2;
   unsigned bank_groups = 4;
   unsigned banks_per_group = 4;
@@ -29,9 +44,14 @@ struct Geometry {
   std::uint64_t lines_per_bank() const {
     return rows_per_bank * columns_per_row;
   }
-  std::uint64_t capacity_bytes() const {
+  /// Capacity of one channel.
+  std::uint64_t channel_capacity_bytes() const {
     return static_cast<std::uint64_t>(total_banks()) * lines_per_bank() *
            kLineSize;
+  }
+  /// Total capacity across all channels.
+  std::uint64_t capacity_bytes() const {
+    return channels * channel_capacity_bytes();
   }
 };
 

@@ -50,6 +50,18 @@ struct EngineStats {
   std::uint64_t meta_reads() const {
     return counter_fetches + mac_line_fetches + tree_node_fetches;
   }
+
+  /// Accumulates another channel's counters (multi-channel aggregation).
+  EngineStats& operator+=(const EngineStats& o) {
+    data_reads += o.data_reads;
+    data_writes += o.data_writes;
+    counter_fetches += o.counter_fetches;
+    mac_line_fetches += o.mac_line_fetches;
+    tree_node_fetches += o.tree_node_fetches;
+    meta_writebacks += o.meta_writebacks;
+    reads_with_tree_walk += o.reads_with_tree_walk;
+    return *this;
+  }
 };
 
 /// See file comment. One engine instance per simulated channel.

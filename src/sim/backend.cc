@@ -1,0 +1,146 @@
+#include "sim/backend.h"
+
+#include <cassert>
+
+namespace secddr::sim {
+
+MemoryBackend::MemoryBackend(const BackendConfig& config)
+    : selector_(config.geometry) {
+  const unsigned n = config.geometry.channels;
+  assert(n >= 1);
+  // Each channel's local data slice must be dense: the selector removes
+  // the channel bits, so the data region has to be a whole number of
+  // interleave stripes per channel.
+  [[maybe_unused]] const std::uint64_t stripe = Addr{1} << selector_.shift();
+  assert(config.data_bytes % (static_cast<std::uint64_t>(n) * stripe) == 0 &&
+         "data_bytes must be a multiple of channels * interleave stripe");
+  const std::uint64_t local_data = config.data_bytes / n;
+
+  // Apply the eWCRC write-burst extension where the config requires it —
+  // per channel, since each DDR interface carries its own CRC beat.
+  dram::Timings timings = config.timings;
+  if (config.security.ewcrc) timings = timings.with_ewcrc_burst();
+
+  channels_.reserve(n);
+  for (unsigned c = 0; c < n; ++c) {
+    Channel ch;
+    ch.layout =
+        std::make_unique<secmem::MetadataLayout>(config.security, local_data);
+    assert(ch.layout->end_of_memory() <=
+               config.geometry.channel_capacity_bytes() &&
+           "per-channel data slice + metadata must fit in the channel");
+    ch.dram = std::make_unique<dram::DramSystem>(
+        config.geometry, timings, config.core_mhz, config.scheduling);
+    ch.dram->set_event_driven(config.event_driven);
+    ch.engine = std::make_unique<secmem::SecurityEngine>(
+        config.security, *ch.layout, *ch.dram);
+    channels_.push_back(std::move(ch));
+  }
+}
+
+void MemoryBackend::start_read(Addr addr, std::uint64_t tag, Cycle now) {
+  const unsigned c = selector_.channel_of(addr);
+  channels_[c].engine->start_read(selector_.to_local(addr), tag, now);
+}
+
+void MemoryBackend::start_write(Addr addr, Cycle now) {
+  const unsigned c = selector_.channel_of(addr);
+  channels_[c].engine->start_write(selector_.to_local(addr), now);
+}
+
+void MemoryBackend::tick(Cycle now) {
+  for (Channel& ch : channels_) {
+    ch.dram->tick_core_cycle();
+    ch.engine->tick(now);
+    auto& r = ch.engine->ready();
+    if (!r.empty()) {
+      ready_.insert(ready_.end(), r.begin(), r.end());
+      r.clear();
+    }
+  }
+}
+
+Cycle MemoryBackend::next_event_cycle(Cycle now) const {
+  Cycle next = kNoEvent;
+  for (const Channel& ch : channels_)
+    next = std::min(next, ch.engine->next_event_cycle(now));
+  return next;
+}
+
+bool MemoryBackend::has_undrained_completions() const {
+  for (const Channel& ch : channels_)
+    if (ch.dram->has_undrained_completions()) return true;
+  return false;
+}
+
+Cycle MemoryBackend::idle_core_cycles() const {
+  Cycle idle = kNoEvent;
+  for (const Channel& ch : channels_)
+    idle = std::min(idle, ch.dram->idle_core_cycles());
+  return idle;
+}
+
+void MemoryBackend::advance_idle(Cycle cycles) {
+  for (Channel& ch : channels_) ch.dram->advance_idle_core_cycles(cycles);
+}
+
+std::size_t MemoryBackend::outstanding() const {
+  std::size_t n = ready_.size();
+  for (const Channel& ch : channels_) n += ch.engine->outstanding();
+  return n;
+}
+
+secmem::EngineStats MemoryBackend::engine_stats() const {
+  secmem::EngineStats total;
+  for (const Channel& ch : channels_) total += ch.engine->stats();
+  return total;
+}
+
+dram::ControllerStats MemoryBackend::dram_stats() const {
+  dram::ControllerStats total;
+  for (const Channel& ch : channels_) total += ch.dram->stats();
+  return total;
+}
+
+std::vector<secmem::EngineStats> MemoryBackend::engine_stats_per_channel()
+    const {
+  std::vector<secmem::EngineStats> v;
+  v.reserve(channels_.size());
+  for (const Channel& ch : channels_) v.push_back(ch.engine->stats());
+  return v;
+}
+
+std::vector<dram::ControllerStats> MemoryBackend::dram_stats_per_channel()
+    const {
+  std::vector<dram::ControllerStats> v;
+  v.reserve(channels_.size());
+  for (const Channel& ch : channels_) v.push_back(ch.dram->stats());
+  return v;
+}
+
+std::uint64_t MemoryBackend::metadata_accesses() const {
+  std::uint64_t n = 0;
+  for (const Channel& ch : channels_)
+    n += ch.engine->metadata_cache().accesses();
+  return n;
+}
+
+double MemoryBackend::metadata_miss_rate() const {
+  std::uint64_t accesses = 0, misses = 0;
+  for (const Channel& ch : channels_) {
+    accesses += ch.engine->metadata_cache().accesses();
+    misses += ch.engine->metadata_cache().misses();
+  }
+  return accesses ? static_cast<double>(misses) /
+                        static_cast<double>(accesses)
+                  : 0.0;
+}
+
+void MemoryBackend::reset_stats() {
+  for (Channel& ch : channels_) {
+    ch.engine->reset_stats();
+    ch.dram->reset_stats();
+  }
+}
+
+}  // namespace secddr::sim

@@ -1,0 +1,122 @@
+// Multi-channel memory backend: the single seam the cache hierarchy talks
+// to, owning `channels` x (DRAM channel + security engine + metadata
+// layout slice).
+//
+// SecDDR's E-MAC/eWCRC protection is per-DDR-interface, so every channel
+// carries its own SecurityEngine (and metadata cache) in front of its own
+// DramSystem. Global physical addresses are routed by the address-
+// interleaved ChannelSelector; each channel then operates on its dense
+// local address space, with its metadata region carved above its local
+// data slice — channel-local metadata never crosses the interface it
+// protects.
+//
+// `channels == 1` (the default) is the identity configuration: one
+// engine, one controller, addresses unchanged — bit-identical to the
+// pre-backend single-channel pipeline (asserted by the
+// SimFastPathDeterminism golden tests).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/address.h"
+#include "dram/system.h"
+#include "secmem/layout.h"
+#include "secmem/model.h"
+
+namespace secddr::sim {
+
+/// Everything the backend needs to build its channels. The geometry's
+/// `ranks`..`columns_per_row` describe one channel; `geometry.channels`
+/// replicates it.
+struct BackendConfig {
+  dram::Geometry geometry;
+  dram::Timings timings = dram::Timings::ddr4_3200();
+  dram::SchedulingPolicy scheduling = dram::SchedulingPolicy::kFrFcfs;
+  secmem::SecurityParams security = secmem::SecurityParams::baseline_tree_ctr();
+  double core_mhz = 3200.0;
+  /// Size of the (global) data region; each channel lays its metadata out
+  /// above its `data_bytes / channels` local slice.
+  std::uint64_t data_bytes = 8ull << 30;
+  bool event_driven = true;
+};
+
+/// See file comment.
+class MemoryBackend {
+ public:
+  explicit MemoryBackend(const BackendConfig& config);
+
+  unsigned channels() const { return static_cast<unsigned>(channels_.size()); }
+
+  /// Starts a secure data-line read; `tag` is reported via ready() when
+  /// the decrypted and verified line is available. Routed to the owning
+  /// channel's engine.
+  void start_read(Addr addr, std::uint64_t tag, Cycle now);
+  /// Posted secure data-line write, routed to the owning channel.
+  void start_write(Addr addr, Cycle now);
+
+  /// Advances one core cycle: every channel's DRAM clock domain and
+  /// engine tick, gathering finished reads into ready().
+  void tick(Cycle now);
+
+  /// Ready reads since the last drain, across all channels (caller clears).
+  std::vector<secmem::ReadReady>& ready() { return ready_; }
+
+  /// Engine-event query for the event-driven loop: min over channels (a
+  /// deferred issue retry on any channel means the next tick can act).
+  Cycle next_event_cycle(Cycle now) const;
+  /// True while any channel holds a completion that must surface on the
+  /// very next tick (skipping would stamp it late).
+  bool has_undrained_completions() const;
+  /// Upcoming core cycles every channel's DRAM guarantees are no-ops
+  /// (min over channels); kNoEvent when all are fully idle.
+  Cycle idle_core_cycles() const;
+  /// Fast-forwards `cycles` ticks previously reported idle: advances every
+  /// channel's clock domains without running no-op ticks.
+  void advance_idle(Cycle cycles);
+
+  /// True when no channel holds outstanding work of any kind — the drain
+  /// condition for tests and harness drain loops.
+  bool drain_ready() const { return outstanding() == 0; }
+  /// Outstanding transactions summed over channels.
+  std::size_t outstanding() const;
+
+  // --- statistics -----------------------------------------------------
+  /// Aggregate over channels (integer sums; equals channel 0's stats when
+  /// channels == 1).
+  secmem::EngineStats engine_stats() const;
+  dram::ControllerStats dram_stats() const;
+  std::vector<secmem::EngineStats> engine_stats_per_channel() const;
+  std::vector<dram::ControllerStats> dram_stats_per_channel() const;
+  /// Metadata-cache traffic summed over the per-channel caches.
+  std::uint64_t metadata_accesses() const;
+  double metadata_miss_rate() const;
+  /// Clears statistics after warmup; cache/queue state is preserved.
+  void reset_stats();
+
+  // --- per-channel access (tests, analyses) ---------------------------
+  const dram::ChannelSelector& selector() const { return selector_; }
+  secmem::SecurityEngine& engine(unsigned channel = 0) {
+    return *channels_[channel].engine;
+  }
+  dram::DramSystem& dram(unsigned channel = 0) {
+    return *channels_[channel].dram;
+  }
+  const secmem::MetadataLayout& layout(unsigned channel = 0) const {
+    return *channels_[channel].layout;
+  }
+
+ private:
+  struct Channel {
+    std::unique_ptr<secmem::MetadataLayout> layout;
+    std::unique_ptr<dram::DramSystem> dram;
+    std::unique_ptr<secmem::SecurityEngine> engine;
+  };
+
+  dram::ChannelSelector selector_;
+  std::vector<Channel> channels_;
+  std::vector<secmem::ReadReady> ready_;
+};
+
+}  // namespace secddr::sim

@@ -4,12 +4,9 @@
 
 namespace secddr::sim {
 
-MemorySystem::MemorySystem(const MemConfig& config,
-                           secmem::SecurityEngine& engine,
-                           dram::DramSystem& dram)
+MemorySystem::MemorySystem(const MemConfig& config, MemoryBackend& backend)
     : config_(config),
-      engine_(engine),
-      dram_(dram),
+      backend_(backend),
       llc_(config.llc_bytes, config.llc_assoc),
       prefetcher_(config.prefetcher),
       mshrs_(config.mshrs) {
@@ -85,9 +82,9 @@ bool MemorySystem::access_llc(unsigned core_id, Addr line, bool dirty,
   const auto victim = llc_.install(line, dirty);
   if (victim.evicted && victim.victim_dirty) {
     ++stats_.llc_writebacks;
-    engine_.start_write(victim.victim_addr, now_);
+    backend_.start_write(victim.victim_addr, now_);
   }
-  engine_.start_read(line, static_cast<std::uint64_t>(free), now_);
+  backend_.start_read(line, static_cast<std::uint64_t>(free), now_);
 
   if (config_.prefetch) issue_prefetches(line);
   return true;
@@ -111,9 +108,9 @@ void MemorySystem::issue_prefetches(Addr line) {
     const auto victim = llc_.install(p, false);
     if (victim.evicted && victim.victim_dirty) {
       ++stats_.llc_writebacks;
-      engine_.start_write(victim.victim_addr, now_);
+      backend_.start_write(victim.victim_addr, now_);
     }
-    engine_.start_read(p, static_cast<std::uint64_t>(free), now_);
+    backend_.start_read(p, static_cast<std::uint64_t>(free), now_);
   }
 }
 
@@ -136,7 +133,7 @@ bool MemorySystem::issue_load(unsigned core_id, Addr addr, bool* done) {
       const auto v2 = llc_.install(victim.victim_addr, true);
       if (v2.evicted && v2.victim_dirty) {
         ++stats_.llc_writebacks;
-        engine_.start_write(v2.victim_addr, now_);
+        backend_.start_write(v2.victim_addr, now_);
       }
     }
   }
@@ -161,7 +158,7 @@ bool MemorySystem::issue_store(unsigned core_id, Addr addr) {
       const auto v2 = llc_.install(victim.victim_addr, true);
       if (v2.evicted && v2.victim_dirty) {
         ++stats_.llc_writebacks;
-        engine_.start_write(v2.victim_addr, now_);
+        backend_.start_write(v2.victim_addr, now_);
       }
     }
   }
@@ -170,11 +167,10 @@ bool MemorySystem::issue_store(unsigned core_id, Addr addr) {
 
 void MemorySystem::tick() {
   ++now_;
-  dram_.tick_core_cycle();
-  engine_.tick(now_);
+  backend_.tick(now_);
 
   // Secure reads that are ready fill the LLC and wake their waiters.
-  for (const auto& r : engine_.ready()) {
+  for (const auto& r : backend_.ready()) {
     const std::size_t idx = static_cast<std::size_t>(r.tag);
     assert(idx < mshrs_.size() && mshrs_[idx].valid);
     Mshr& m = mshrs_[idx];
@@ -182,7 +178,7 @@ void MemorySystem::tick() {
     for (bool* w : m.waiters) complete_at(at, w);
     release_mshr(idx);
   }
-  engine_.ready().clear();
+  backend_.ready().clear();
 
   while (!done_q_.empty() && done_q_.top().at <= now_) {
     *done_q_.top().flag = true;
@@ -197,23 +193,23 @@ bool MemorySystem::issue_blocked_for(unsigned core_id, Addr addr) const {
 }
 
 Cycle MemorySystem::idle_cycles() const {
-  // The engine retries deferred DRAM issues on every tick.
-  if (engine_.next_event_cycle(now_) != kNoEvent) return 0;
+  // An engine (on any channel) retries deferred DRAM issues on every tick.
+  if (backend_.next_event_cycle(now_) != kNoEvent) return 0;
   // A completion produced after this cycle's DRAM tick (write forwarding
   // or merging during an engine-issued enqueue) must surface on the very
   // next tick so its finish stamp matches the per-cycle loop.
-  if (dram_.has_undrained_completions()) return 0;
+  if (backend_.has_undrained_completions()) return 0;
   Cycle skip = kNoEvent;
   // A completion flag scheduled for cycle `at` is raised by the tick that
   // advances now_ to `at`; that tick must run (at > now_ is an invariant:
   // matured entries are drained before this query can be called).
   if (!done_q_.empty()) skip = done_q_.top().at - now_ - 1;
-  return std::min(skip, dram_.idle_core_cycles());
+  return std::min(skip, backend_.idle_core_cycles());
 }
 
 void MemorySystem::advance_idle(Cycle cycles) {
   now_ += cycles;
-  dram_.advance_idle_core_cycles(cycles);
+  backend_.advance_idle(cycles);
 }
 
 }  // namespace secddr::sim

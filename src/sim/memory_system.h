@@ -1,9 +1,10 @@
 // The memory hierarchy: private L1 data caches, a shared LLC with MSHRs
-// and a stream prefetcher, and the secure-memory engine in front of DRAM.
+// and a stream prefetcher, in front of the multi-channel MemoryBackend.
 //
-// All LLC fills and dirty writebacks flow through the SecurityEngine, so
-// every configuration's metadata traffic and crypto latency lands on the
-// same DRAM model the paper's Ramulator setup used.
+// All LLC fills and dirty writebacks flow through the backend (which
+// routes them to the owning channel's SecurityEngine), so every
+// configuration's metadata traffic and crypto latency lands on the same
+// DRAM model the paper's Ramulator setup used.
 #pragma once
 
 #include <cstdint>
@@ -13,8 +14,7 @@
 
 #include "common/cache.h"
 #include "common/types.h"
-#include "dram/system.h"
-#include "secmem/model.h"
+#include "sim/backend.h"
 #include "sim/core.h"
 #include "sim/prefetcher.h"
 
@@ -45,20 +45,19 @@ struct MemStats {
 
 class MemorySystem final : public MemoryPort {
  public:
-  MemorySystem(const MemConfig& config, secmem::SecurityEngine& engine,
-               dram::DramSystem& dram);
+  MemorySystem(const MemConfig& config, MemoryBackend& backend);
 
   // MemoryPort:
   bool issue_load(unsigned core_id, Addr addr, bool* done) override;
   bool issue_store(unsigned core_id, Addr addr) override;
 
-  /// Advances one core cycle (drives the DRAM clock domain too).
+  /// Advances one core cycle (drives every channel's DRAM clock too).
   void tick();
 
   /// Number of upcoming cycles guaranteed to be no-op ticks: no pending
-  /// load completion matures, the security engine has no deferred issues
-  /// to retry, and the DRAM controller has no event. kNoEvent when fully
-  /// idle (cores then bound the skip).
+  /// load completion matures, no channel's security engine has deferred
+  /// issues to retry, and no channel's DRAM controller has an event.
+  /// kNoEvent when fully idle (cores then bound the skip).
   Cycle idle_cycles() const;
 
   /// Fast-forwards `cycles` ticks previously reported idle by
@@ -81,7 +80,7 @@ class MemorySystem final : public MemoryPort {
   }
 
   const MemStats& stats() const { return stats_; }
-  secmem::SecurityEngine& engine() { return engine_; }
+  MemoryBackend& backend() { return backend_; }
   Cycle now() const { return now_; }
 
   /// Clears statistics after warmup; cache/MSHR state is preserved.
@@ -117,8 +116,7 @@ class MemorySystem final : public MemoryPort {
   void complete_at(Cycle at, bool* flag);
 
   MemConfig config_;
-  secmem::SecurityEngine& engine_;
-  dram::DramSystem& dram_;
+  MemoryBackend& backend_;
 
   std::vector<SetAssocCache> l1s_;
   SetAssocCache llc_;

@@ -5,21 +5,18 @@
 namespace secddr::sim {
 
 System::System(const SystemConfig& config, std::vector<TraceSource*> traces)
-    : config_(config),
-      layout_(config.security, config.data_bytes) {
+    : config_(config) {
   assert(traces.size() == config.mem.cores);
-  // Apply the eWCRC write-burst extension where the config requires it.
-  dram::Timings timings = config.timings;
-  if (config.security.ewcrc) timings = timings.with_ewcrc_burst();
-  dram_ = std::make_unique<dram::DramSystem>(config.geometry, timings,
-                                             config.core_mhz,
-                                             config.scheduling);
-  dram_->set_event_driven(config.event_driven);
-  assert(layout_.end_of_memory() <= config.geometry.capacity_bytes() &&
-         "data region + metadata must fit in DRAM");
-  engine_ = std::make_unique<secmem::SecurityEngine>(config.security, layout_,
-                                                     *dram_);
-  memory_ = std::make_unique<MemorySystem>(config.mem, *engine_, *dram_);
+  BackendConfig bc;
+  bc.geometry = config.geometry;
+  bc.timings = config.timings;
+  bc.scheduling = config.scheduling;
+  bc.security = config.security;
+  bc.core_mhz = config.core_mhz;
+  bc.data_bytes = config.data_bytes;
+  bc.event_driven = config.event_driven;
+  backend_ = std::make_unique<MemoryBackend>(bc);
+  memory_ = std::make_unique<MemorySystem>(config.mem, *backend_);
   cores_.reserve(traces.size());
   for (unsigned c = 0; c < config.mem.cores; ++c)
     cores_.push_back(
@@ -91,19 +88,25 @@ RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
     return cycle;
   };
 
+  // hit_cycle_limit aggregates across phases: a warmup that ran into the
+  // limit must be reported even when the (freshly counted) measured phase
+  // finishes under it — otherwise the result silently covers fewer warmup
+  // instructions than requested. Every channel is ticked on every memory
+  // tick up to the limit cycle itself, so no completion can be stranded
+  // in a non-ticked channel when the limit hits.
+  bool hit_limit = false;
   if (warmup_instructions > 0) {
-    run_phase(warmup_instructions, max_cycles);
+    hit_limit = run_phase(warmup_instructions, max_cycles) >= max_cycles;
     for (auto& core : cores_) core->reset_stats();
     memory_->reset_stats();
-    engine_->reset_stats();
-    dram_->reset_stats();
+    backend_->reset_stats();
   }
   const Cycle cycle =
       run_phase(warmup_instructions + instructions_per_core, max_cycles);
 
   RunResult r;
   r.cycles = cycle;
-  r.hit_cycle_limit = cycle >= max_cycles;
+  r.hit_cycle_limit = hit_limit || cycle >= max_cycles;
   std::uint64_t total_instr = 0;
   for (auto& core : cores_) {
     r.cores.push_back(core->stats());
@@ -111,14 +114,16 @@ RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
     total_instr += core->stats().instructions;
   }
   r.mem = memory_->stats();
-  r.engine = engine_->stats();
-  r.dram = dram_->stats();
+  r.engine = backend_->engine_stats();
+  r.dram = backend_->dram_stats();
+  r.engine_per_channel = backend_->engine_stats_per_channel();
+  r.dram_per_channel = backend_->dram_stats_per_channel();
   r.llc_mpki = total_instr ? 1000.0 *
                                  static_cast<double>(r.mem.llc_demand_misses) /
                                  static_cast<double>(total_instr)
                            : 0.0;
-  r.metadata_accesses = engine_->metadata_cache().accesses();
-  r.metadata_miss_rate = engine_->metadata_cache().miss_rate();
+  r.metadata_accesses = backend_->metadata_accesses();
+  r.metadata_miss_rate = backend_->metadata_miss_rate();
   return r;
 }
 

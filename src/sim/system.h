@@ -6,8 +6,7 @@
 #include <memory>
 #include <vector>
 
-#include "dram/system.h"
-#include "secmem/model.h"
+#include "sim/backend.h"
 #include "sim/core.h"
 #include "sim/memory_system.h"
 #include "sim/trace.h"
@@ -18,6 +17,10 @@ struct SystemConfig {
   CoreConfig core;
   MemConfig mem;
   double core_mhz = 3200.0;
+  /// Memory topology: `geometry.channels` (default 1) shards the backend
+  /// into that many independent DDR channels, each with its own
+  /// controller and security engine; `geometry.channel_interleave` picks
+  /// the channel-bit position.
   dram::Geometry geometry;
   dram::Timings timings = dram::Timings::ddr4_3200();
   dram::SchedulingPolicy scheduling = dram::SchedulingPolicy::kFrFcfs;
@@ -39,8 +42,12 @@ struct RunResult {
   double metadata_miss_rate = 0.0;
   std::uint64_t metadata_accesses = 0;
   MemStats mem;
-  secmem::EngineStats engine;
-  dram::ControllerStats dram;
+  secmem::EngineStats engine;      ///< aggregated over channels
+  dram::ControllerStats dram;      ///< aggregated over channels
+  /// Per-channel breakdowns (one entry per channel; index = channel id).
+  std::vector<secmem::EngineStats> engine_per_channel;
+  std::vector<dram::ControllerStats> dram_per_channel;
+  /// True when any phase (warmup or measured) ran into `max_cycles`.
   bool hit_cycle_limit = false;
 };
 
@@ -60,14 +67,14 @@ class System {
                 Cycle max_cycles = 2'000'000'000,
                 std::uint64_t warmup_instructions = 0);
 
-  secmem::SecurityEngine& engine() { return *engine_; }
-  dram::DramSystem& dram() { return *dram_; }
+  MemoryBackend& backend() { return *backend_; }
+  /// Channel-0 conveniences (single-channel tests/analyses).
+  secmem::SecurityEngine& engine() { return backend_->engine(0); }
+  dram::DramSystem& dram() { return backend_->dram(0); }
 
  private:
   SystemConfig config_;
-  std::unique_ptr<dram::DramSystem> dram_;
-  secmem::MetadataLayout layout_;
-  std::unique_ptr<secmem::SecurityEngine> engine_;
+  std::unique_ptr<MemoryBackend> backend_;
   std::unique_ptr<MemorySystem> memory_;
   std::vector<std::unique_ptr<Core>> cores_;
 };

@@ -1,12 +1,20 @@
 // Slow-vs-fast determinism: the event-driven simulation loop must be a
 // pure optimization. Every statistic of every component — core cycles,
 // stall accounting, cache/MSHR traffic, engine metadata fetches, DRAM
-// command and latency counters — must be bit-identical to the
-// tick-every-cycle loop, across the fig6 sweep configurations, DRAM
-// timing presets (including a non-integer core:memory clock ratio), both
-// scheduling policies, and a run that hits the cycle limit.
+// command and latency counters, per-channel breakdowns — must be
+// bit-identical to the tick-every-cycle loop, across the fig6 sweep
+// configurations, DRAM timing presets (including a non-integer
+// core:memory clock ratio), both scheduling policies, multi-channel
+// backends (both channel-bit positions), and a run that hits the cycle
+// limit. A golden test additionally pins channels=1 results to the exact
+// numbers the pre-backend single-channel pipeline produced.
+//
+// SECDDR_CHANNELS overrides the channel count of every variant that does
+// not pin one itself (ci.sh runs the determinism label with
+// SECDDR_CHANNELS=2 as a dedicated step).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +32,8 @@ struct Variant {
   secmem::SecurityParams security;
   dram::Timings timings = dram::Timings::ddr4_3200();
   dram::SchedulingPolicy scheduling = dram::SchedulingPolicy::kFrFcfs;
+  unsigned channels = 0;  ///< 0 = default (1, or $SECDDR_CHANNELS)
+  dram::ChannelInterleave interleave = dram::ChannelInterleave::kLine;
 };
 
 std::vector<Variant> sweep_variants() {
@@ -40,7 +50,25 @@ std::vector<Variant> sweep_variants() {
        dram::Timings::ddr4_2400()},
       {"tree64_fcfs", secmem::SecurityParams::baseline_tree_ctr(),
        dram::Timings::ddr4_3200(), dram::SchedulingPolicy::kFcfs},
+      // Multi-channel backends: line-interleaved 2-channel, and
+      // row-interleaved 4-channel (the other channel-bit position).
+      {"secddr_ctr_2ch", secmem::SecurityParams::secddr_ctr(),
+       dram::Timings::ddr4_3200(), dram::SchedulingPolicy::kFrFcfs, 2,
+       dram::ChannelInterleave::kLine},
+      {"tree64_4ch_row", secmem::SecurityParams::baseline_tree_ctr(),
+       dram::Timings::ddr4_3200(), dram::SchedulingPolicy::kFrFcfs, 4,
+       dram::ChannelInterleave::kRow},
   };
+}
+
+unsigned env_channels() {
+  const char* s = std::getenv("SECDDR_CHANNELS");
+  const unsigned ch = s ? static_cast<unsigned>(std::strtoul(s, nullptr, 10)) : 1;
+  // The channel selector needs a power of two; reject garbage loudly
+  // instead of mis-routing in Release builds.
+  EXPECT_TRUE(ch != 0 && (ch & (ch - 1)) == 0)
+      << "SECDDR_CHANNELS=" << (s ? s : "") << " is not a power of two";
+  return (ch != 0 && (ch & (ch - 1)) == 0) ? ch : 1;
 }
 
 RunResult run_variant(const workloads::WorkloadDesc& desc, const Variant& v,
@@ -50,6 +78,8 @@ RunResult run_variant(const workloads::WorkloadDesc& desc, const Variant& v,
   cfg.security = v.security;
   cfg.timings = v.timings;
   cfg.scheduling = v.scheduling;
+  cfg.geometry.channels = v.channels ? v.channels : env_channels();
+  cfg.geometry.channel_interleave = v.interleave;
   cfg.data_bytes = 4ull << 30;  // two cores at 2GB trace stride
   cfg.event_driven = event_driven;
   workloads::SyntheticTrace t0(desc, 0), t1(desc, 1);
@@ -104,6 +134,34 @@ void expect_identical(const RunResult& slow, const RunResult& fast) {
   EXPECT_EQ(slow.dram.write_forwards, fast.dram.write_forwards);
   EXPECT_EQ(slow.dram.data_bus_busy_cycles, fast.dram.data_bus_busy_cycles);
   EXPECT_EQ(slow.dram.total_read_latency, fast.dram.total_read_latency);
+
+  // Per-channel breakdowns must match channel by channel, not just in sum.
+  ASSERT_EQ(slow.engine_per_channel.size(), fast.engine_per_channel.size());
+  ASSERT_EQ(slow.dram_per_channel.size(), fast.dram_per_channel.size());
+  for (std::size_t c = 0; c < slow.engine_per_channel.size(); ++c) {
+    SCOPED_TRACE("channel " + std::to_string(c));
+    const auto& se = slow.engine_per_channel[c];
+    const auto& fe = fast.engine_per_channel[c];
+    EXPECT_EQ(se.data_reads, fe.data_reads);
+    EXPECT_EQ(se.data_writes, fe.data_writes);
+    EXPECT_EQ(se.counter_fetches, fe.counter_fetches);
+    EXPECT_EQ(se.mac_line_fetches, fe.mac_line_fetches);
+    EXPECT_EQ(se.tree_node_fetches, fe.tree_node_fetches);
+    EXPECT_EQ(se.meta_writebacks, fe.meta_writebacks);
+    const auto& sd = slow.dram_per_channel[c];
+    const auto& fd = fast.dram_per_channel[c];
+    EXPECT_EQ(sd.reads_enqueued, fd.reads_enqueued);
+    EXPECT_EQ(sd.writes_enqueued, fd.writes_enqueued);
+    EXPECT_EQ(sd.reads_completed, fd.reads_completed);
+    EXPECT_EQ(sd.writes_completed, fd.writes_completed);
+    EXPECT_EQ(sd.row_hits, fd.row_hits);
+    EXPECT_EQ(sd.row_misses, fd.row_misses);
+    EXPECT_EQ(sd.activates, fd.activates);
+    EXPECT_EQ(sd.precharges, fd.precharges);
+    EXPECT_EQ(sd.refreshes, fd.refreshes);
+    EXPECT_EQ(sd.data_bus_busy_cycles, fd.data_bus_busy_cycles);
+    EXPECT_EQ(sd.total_read_latency, fd.total_read_latency);
+  }
 }
 
 TEST(SimFastPathDeterminism, BitIdenticalAcrossSweepConfigs) {
@@ -159,6 +217,110 @@ TEST(SimFastPathDeterminism, BitIdenticalWhenCycleLimitHits) {
       run_variant(*desc, v, /*event_driven=*/true, /*max_cycles=*/3000);
   ASSERT_TRUE(slow.hit_cycle_limit) << "limit chosen too high for the test";
   expect_identical(slow, fast);
+}
+
+TEST(SimFastPathDeterminism, CycleLimitDrainsAllChannels) {
+  // Regression (multi-channel cycle-limit path): when the limit fires,
+  // every channel must have been ticked up to the limit cycle — no
+  // completion may be stranded in a non-ticked channel — and both loops
+  // must agree on the truncated state, channel by channel.
+  const auto* desc = workloads::find("mcf");
+  ASSERT_NE(desc, nullptr);
+  Variant v{"secddr_ctr_2ch", secmem::SecurityParams::secddr_ctr()};
+  v.channels = 2;
+  const RunResult slow =
+      run_variant(*desc, v, /*event_driven=*/false, /*max_cycles=*/3000);
+  const RunResult fast =
+      run_variant(*desc, v, /*event_driven=*/true, /*max_cycles=*/3000);
+  ASSERT_TRUE(slow.hit_cycle_limit) << "limit chosen too high for the test";
+  ASSERT_EQ(slow.dram_per_channel.size(), 2u);
+  expect_identical(slow, fast);
+  // Both channels saw traffic before the limit (line interleave spreads
+  // consecutive lines), so a stranded channel would show up as enqueued
+  // but never-completed work on exactly one side.
+  for (const auto& d : fast.dram_per_channel)
+    EXPECT_GT(d.reads_enqueued, 0u);
+}
+
+TEST(SimFastPathDeterminism, HitCycleLimitAggregatesAcrossPhases) {
+  // A warmup phase that runs into max_cycles must be reported even when
+  // the measured phase finishes under the limit: the result covers fewer
+  // warmup instructions than requested.
+  const auto* desc = workloads::find("povray");
+  ASSERT_NE(desc, nullptr);
+  SystemConfig cfg;
+  cfg.mem.cores = 2;
+  cfg.security = secmem::SecurityParams::encrypt_only_xts();
+  cfg.data_bytes = 4ull << 30;
+  workloads::SyntheticTrace t0(*desc, 0), t1(*desc, 1);
+  System sys(cfg, {&t0, &t1});
+  // povray needs ~45000 cycles for 20000 warmup instructions per core, so
+  // a 40000-cycle limit truncates the warmup; the measured phase
+  // (remaining budget + 100, fresh cycle counter, warm caches) then
+  // finishes in ~5000 cycles — well under its own limit.
+  const RunResult r = sys.run(100, /*max_cycles=*/40000,
+                              /*warmup_instructions=*/20000);
+  EXPECT_LT(r.cycles, 40000u) << "measured phase unexpectedly hit the limit "
+                                 "— warmup aggregation is untested";
+  EXPECT_TRUE(r.hit_cycle_limit) << "warmup hit the limit but was not "
+                                    "reported";
+}
+
+// Golden pre-backend results: the multi-channel MemoryBackend refactor
+// must leave channels=1 runs bit-identical to the single-channel pipeline
+// it replaced. These numbers were captured from the tree at the commit
+// before the backend existed (event-driven loop, which the determinism
+// tests above tie to the per-cycle loop). All-integer fields only, so
+// they are exact on any platform.
+TEST(SimFastPathDeterminism, Channels1MatchesPreBackendGolden) {
+  struct Golden {
+    const char* workload;
+    secmem::SecurityParams security;
+    std::uint64_t cycles, llc_misses, data_reads, counter_fetches,
+        tree_node_fetches, reads_enqueued, reads_completed, row_hits,
+        row_misses, activates, precharges, refreshes, data_bus_busy_cycles,
+        total_read_latency, metadata_accesses, core0_cycles,
+        core0_load_stalls, core1_cycles, core1_load_stalls;
+  };
+  const std::vector<Golden> goldens = {
+      {"mcf", secmem::SecurityParams::secddr_ctr(), 18817, 1100, 1106, 855,
+       0, 1961, 1961, 171, 1790, 2094, 2094, 2, 7844, 567909, 1106, 18818,
+       18352, 18714, 18251},
+      {"lbm", secmem::SecurityParams::baseline_tree_ctr(), 11876, 523, 761,
+       11, 21, 793, 793, 737, 56, 62, 68, 2, 3172, 193221, 982, 11877,
+       11409, 9214, 8743},
+  };
+  for (const Golden& g : goldens) {
+    SCOPED_TRACE(g.workload);
+    Variant v{"golden", g.security};
+    v.channels = 1;  // golden numbers are channels=1 by definition
+    const auto* desc = workloads::find(g.workload);
+    ASSERT_NE(desc, nullptr);
+    const RunResult r = run_variant(*desc, v, /*event_driven=*/true);
+    EXPECT_EQ(r.cycles, g.cycles);
+    EXPECT_EQ(r.mem.llc_demand_misses, g.llc_misses);
+    EXPECT_EQ(r.engine.data_reads, g.data_reads);
+    EXPECT_EQ(r.engine.counter_fetches, g.counter_fetches);
+    EXPECT_EQ(r.engine.tree_node_fetches, g.tree_node_fetches);
+    EXPECT_EQ(r.dram.reads_enqueued, g.reads_enqueued);
+    EXPECT_EQ(r.dram.reads_completed, g.reads_completed);
+    EXPECT_EQ(r.dram.row_hits, g.row_hits);
+    EXPECT_EQ(r.dram.row_misses, g.row_misses);
+    EXPECT_EQ(r.dram.activates, g.activates);
+    EXPECT_EQ(r.dram.precharges, g.precharges);
+    EXPECT_EQ(r.dram.refreshes, g.refreshes);
+    EXPECT_EQ(r.dram.data_bus_busy_cycles, g.data_bus_busy_cycles);
+    EXPECT_EQ(r.dram.total_read_latency, g.total_read_latency);
+    EXPECT_EQ(r.metadata_accesses, g.metadata_accesses);
+    ASSERT_EQ(r.cores.size(), 2u);
+    EXPECT_EQ(r.cores[0].cycles, g.core0_cycles);
+    EXPECT_EQ(r.cores[0].load_stall_cycles, g.core0_load_stalls);
+    EXPECT_EQ(r.cores[1].cycles, g.core1_cycles);
+    EXPECT_EQ(r.cores[1].load_stall_cycles, g.core1_load_stalls);
+    // The aggregate equals the sole channel's breakdown.
+    ASSERT_EQ(r.dram_per_channel.size(), 1u);
+    EXPECT_EQ(r.dram_per_channel[0].reads_completed, g.reads_completed);
+  }
 }
 
 }  // namespace

@@ -287,6 +287,31 @@ TEST(System, EveryLoadEventuallyCompletes) {
   EXPECT_FALSE(r.hit_cycle_limit) << "simulation wedged";
 }
 
+TEST(System, MultiChannelSpreadsTrafficAndAggregates) {
+  auto desc = *workloads::find("mcf");
+  workloads::SyntheticTrace t0(desc, 0), t1(desc, 1);
+  auto cfg = small_system(secmem::SecurityParams::secddr_ctr());
+  cfg.geometry.channels = 2;
+  System sys(cfg, {&t0, &t1});
+  const RunResult r = sys.run(15000, 2'000'000'000, /*warmup=*/5000);
+  EXPECT_FALSE(r.hit_cycle_limit);
+  ASSERT_EQ(r.dram_per_channel.size(), 2u);
+  ASSERT_EQ(r.engine_per_channel.size(), 2u);
+  // Line interleave spreads a memory-bound workload across both channels.
+  std::uint64_t reads = 0, engine_reads = 0;
+  for (const auto& d : r.dram_per_channel) {
+    EXPECT_GT(d.reads_completed, 0u);
+    reads += d.reads_completed;
+  }
+  for (const auto& e : r.engine_per_channel) {
+    EXPECT_GT(e.data_reads, 0u);
+    engine_reads += e.data_reads;
+  }
+  // Aggregates are exactly the per-channel sums.
+  EXPECT_EQ(reads, r.dram.reads_completed);
+  EXPECT_EQ(engine_reads, r.engine.data_reads);
+}
+
 TEST(System, DramSeesTraffic) {
   auto desc = *workloads::find("lbm");
   workloads::SyntheticTrace t0(desc, 0), t1(desc, 1);
