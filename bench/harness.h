@@ -1,11 +1,22 @@
 // Shared harness for the figure/table reproduction binaries.
 //
 // Environment knobs (all optional):
-//   SECDDR_INSTR     measured instructions per core (default 150000)
-//   SECDDR_WARMUP    warmup instructions per core   (default 75000)
-//   SECDDR_CORES     simulated cores                (default 4, Table I)
-//   SECDDR_CHANNELS  DDR channels (power of two; default 1, Table I)
-//   SECDDR_FILTER    comma-free substring filter on workload names
+//   SECDDR_INSTR        measured instructions per core (default 150000)
+//   SECDDR_WARMUP       warmup instructions per core   (default 75000)
+//   SECDDR_CORES        simulated cores                (default 4, Table I)
+//   SECDDR_CHANNELS     DDR channels (power of two; default 1, Table I)
+//   SECDDR_MEM_THREADS  per-channel memory tick threads inside each
+//                       sim::System (default 1 = serial; results are
+//                       bit-identical either way)
+//   SECDDR_FILTER       comma-free substring filter on workload names
+//
+// Thread-knob interplay: SECDDR_JOBS parallelizes across sweep points
+// (one System per worker) while SECDDR_MEM_THREADS parallelizes the
+// channels inside each System, so a sweep can run jobs x mem_threads
+// threads at once. from_env() clamps mem_threads so that product cannot
+// exceed the hardware concurrency — sweep-level parallelism keeps
+// priority because whole independent Systems scale better than
+// barrier-synchronized channel ticks.
 //
 // Every binary prints an aligned text table with the same rows/series as
 // the paper's figure, plus the paper's headline numbers for comparison.
@@ -15,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "secmem/params.h"
@@ -24,11 +36,31 @@
 
 namespace secddr::bench {
 
+/// Worker count for bench sweeps: SECDDR_JOBS if set (plain positive
+/// decimal only — strtoul would wrap "-1" to ULONG_MAX and stop at the
+/// 'x' in "2x" without complaint), else hardware concurrency. Lives here
+/// so the SECDDR_MEM_THREADS oversubscription clamp below and the sweep
+/// runner share one parse.
+inline unsigned sweep_jobs() {
+  if (const char* s = std::getenv("SECDDR_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v =
+        (*s >= '0' && *s <= '9') ? std::strtoul(s, &end, 10) : 0;
+    if (end && *end == '\0' && v >= 1) return static_cast<unsigned>(v);
+    std::fprintf(stderr,
+                 "SECDDR_JOBS='%s' is not a positive integer; using default\n",
+                 s);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1u;
+}
+
 struct BenchOptions {
   std::uint64_t instructions = 150000;
   std::uint64_t warmup = 75000;
   unsigned cores = 4;
   unsigned channels = 1;
+  unsigned mem_threads = 1;
   std::string filter;
 
   static BenchOptions from_env() {
@@ -37,6 +69,7 @@ struct BenchOptions {
     if (const char* s = std::getenv("SECDDR_WARMUP")) o.warmup = std::strtoull(s, nullptr, 10);
     if (const char* s = std::getenv("SECDDR_CORES")) o.cores = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
     if (const char* s = std::getenv("SECDDR_CHANNELS")) o.channels = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+    if (const char* s = std::getenv("SECDDR_MEM_THREADS")) o.mem_threads = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
     if (const char* s = std::getenv("SECDDR_FILTER")) o.filter = s;
     // The channel selector needs a power-of-two count; fail loudly here
     // rather than routing addresses with a broken mask in Release builds
@@ -45,6 +78,26 @@ struct BenchOptions {
       std::fprintf(stderr, "SECDDR_CHANNELS=%u is not a power of two\n",
                    o.channels);
       std::exit(2);
+    }
+    if (o.mem_threads == 0) o.mem_threads = 1;
+    // Oversubscription guard: sweep workers each build their own System,
+    // so jobs x mem_threads spinning barrier threads would thrash the
+    // machine. When SECDDR_JOBS is set explicitly, clamp mem_threads to
+    // the share those workers leave over; when it is not, asking for
+    // mem_threads implies the user wants in-System parallelism, so only
+    // the hardware itself bounds it (sweeps then budget jobs around it).
+    // Results are unaffected either way (threaded ticking is
+    // bit-identical).
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned jobs =
+        std::getenv("SECDDR_JOBS") != nullptr ? sweep_jobs() : 1;
+    const unsigned max_mem_threads = std::max(1u, hw / std::max(1u, jobs));
+    if (o.mem_threads > max_mem_threads) {
+      std::fprintf(stderr,
+                   "SECDDR_MEM_THREADS=%u clamped to %u: SECDDR_JOBS=%u x "
+                   "mem_threads exceeds hardware concurrency (%u)\n",
+                   o.mem_threads, max_mem_threads, jobs, hw);
+      o.mem_threads = max_mem_threads;
     }
     return o;
   }
@@ -88,6 +141,7 @@ inline sim::SystemConfig make_system_config(const BenchOptions& opt,
   cfg.timings = timings;
   cfg.data_bytes = data_bytes_for(opt.cores);
   cfg.geometry.channels = opt.channels;
+  cfg.mem_threads = opt.mem_threads;
   // Total capacity scales with channels, so shrink the per-channel rows
   // first, then grow until the 2:1 headroom holds again.
   while (cfg.geometry.rows_per_bank > 1 &&

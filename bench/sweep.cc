@@ -9,21 +9,6 @@
 
 namespace secddr::bench {
 
-unsigned sweep_jobs() {
-  if (const char* s = std::getenv("SECDDR_JOBS")) {
-    // Accept only a plain positive decimal; strtoul would wrap "-1" to
-    // ULONG_MAX and stop at the 'x' in "2x" without complaint.
-    char* end = nullptr;
-    const unsigned long v =
-        (*s >= '0' && *s <= '9') ? std::strtoul(s, &end, 10) : 0;
-    if (end && *end == '\0' && v >= 1)
-      return static_cast<unsigned>(v);
-    std::fprintf(stderr, "SECDDR_JOBS='%s' is not a positive integer; using default\n", s);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw ? hw : 1u;
-}
-
 void parallel_for(std::size_t n, unsigned jobs,
                   const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;

@@ -26,9 +26,8 @@ struct SweepPoint {
   dram::Timings timings = dram::Timings::ddr4_3200();
 };
 
-/// Worker count for sweeps: SECDDR_JOBS if set (clamped to >= 1), else
-/// std::thread::hardware_concurrency().
-unsigned sweep_jobs();
+// (sweep_jobs() lives in harness.h so the SECDDR_MEM_THREADS clamp can
+// share it.)
 
 /// Runs `fn(0) .. fn(n-1)` on a pool of `jobs` threads. `jobs <= 1` runs
 /// everything on the calling thread. Indices are handed out atomically, so

@@ -34,9 +34,21 @@ done
 SECDDR_CHANNELS=2 ctest --test-dir build-ci-release -L determinism \
       --no-tests=error --output-on-failure -j "$jobs"
 
+# Threaded-memory step: the determinism label with every variant's
+# channels ticked on 2 worker threads (SECDDR_MEM_THREADS; single-channel
+# variants clamp back to serial), Release build. Threaded and serial runs
+# must be bit-identical.
+SECDDR_MEM_THREADS=2 ctest --test-dir build-ci-release -L determinism \
+      --no-tests=error --output-on-failure -j "$jobs"
+
 if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then
   CTEST_ARGS=(-L unit)
   run_matrix Debug build-ci-asan -DSECDDR_SANITIZE=address,undefined
+  # ThreadSanitizer over the threaded-backend paths: the backend-level
+  # thread tests plus the threaded determinism tests, with the backend
+  # forced multi-threaded.
+  CTEST_ARGS=(-R "Threaded|SimFastPathDeterminism")
+  SECDDR_MEM_THREADS=2 run_matrix Debug build-ci-tsan -DSECDDR_SANITIZE=thread
 fi
 
 echo "CI OK"

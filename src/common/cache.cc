@@ -1,6 +1,10 @@
 #include "common/cache.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/bitops.h"
 
@@ -9,57 +13,68 @@ namespace secddr {
 SetAssocCache::SetAssocCache(std::uint64_t size_bytes, unsigned assoc)
     : sets_count_(size_bytes / (static_cast<std::uint64_t>(assoc) * kLineSize)),
       assoc_(assoc),
-      ways_(sets_count_ * assoc) {
+      full_mask_(assoc >= 32 ? ~0u : (1u << assoc) - 1u),
+      tags_(sets_count_ * assoc),
+      lru_(sets_count_ * assoc),
+      valid_(sets_count_, 0),
+      dirty_(sets_count_, 0) {
+  // The per-set way bitmasks are 32 bits; fail loudly in Release too —
+  // a silent UB shift would corrupt hit/victim decisions in an
+  // associativity sweep instead of stopping it.
+  if (assoc < 1 || assoc > 32) {
+    std::fprintf(stderr,
+                 "SetAssocCache: associativity %u unsupported (1..32)\n",
+                 assoc);
+    std::abort();
+  }
   assert(sets_count_ > 0);
   assert(size_bytes % (static_cast<std::uint64_t>(assoc) * kLineSize) == 0);
 }
 
-SetAssocCache::Way* SetAssocCache::find(Addr addr) {
-  const std::uint64_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  Way* base = &ways_[set * assoc_];
-  for (unsigned w = 0; w < assoc_; ++w)
-    if (base[w].valid && base[w].tag == tag) return &base[w];
-  return nullptr;
+bool SetAssocCache::probe(Addr addr) const {
+  return find_way(set_of(addr), tag_of(addr)) >= 0;
 }
-
-const SetAssocCache::Way* SetAssocCache::find(Addr addr) const {
-  return const_cast<SetAssocCache*>(this)->find(addr);
-}
-
-bool SetAssocCache::probe(Addr addr) const { return find(addr) != nullptr; }
 
 SetAssocCache::Result SetAssocCache::fill(Addr addr, bool dirty) {
   const std::uint64_t set = set_of(addr);
-  Way* base = &ways_[set * assoc_];
-  Way* victim = &base[0];
-  for (unsigned w = 0; w < assoc_; ++w) {
-    if (!base[w].valid) {
-      victim = &base[w];
-      break;
-    }
-    if (base[w].lru < victim->lru) victim = &base[w];
+  const std::uint32_t mask = valid_[set];
+  unsigned victim;
+  if (mask != full_mask_) {
+    // First invalid way in index order (as the AoS loop picked).
+    victim = static_cast<unsigned>(std::countr_one(mask));
+  } else {
+    // Oldest LRU stamp; strict < keeps the lowest index on ties.
+    const std::uint64_t* l = &lru_[set * assoc_];
+    victim = 0;
+    for (unsigned w = 1; w < assoc_; ++w)
+      if (l[w] < l[victim]) victim = w;
   }
   Result r;
-  if (victim->valid) {
+  const std::uint32_t bit = 1u << victim;
+  if ((mask & bit) != 0) {
     r.evicted = true;
-    r.victim_addr = addr_of(set, victim->tag);
-    r.victim_dirty = victim->dirty;
+    r.victim_addr = addr_of(set, tags_[set * assoc_ + victim]);
+    r.victim_dirty = (dirty_[set] & bit) != 0;
     ++stats_.evictions;
-    if (victim->dirty) ++stats_.dirty_evictions;
+    if (r.victim_dirty) ++stats_.dirty_evictions;
   }
-  victim->valid = true;
-  victim->dirty = dirty;
-  victim->tag = tag_of(addr);
-  victim->lru = ++lru_clock_;
+  valid_[set] |= bit;
+  if (dirty)
+    dirty_[set] |= bit;
+  else
+    dirty_[set] &= ~bit;
+  tags_[set * assoc_ + victim] = tag_of(addr);
+  lru_[set * assoc_ + victim] = ++lru_clock_;
   return r;
 }
 
 SetAssocCache::Result SetAssocCache::access(Addr addr, bool mark_dirty) {
   ++stats_.accesses;
-  if (Way* w = find(addr)) {
-    w->lru = ++lru_clock_;
-    w->dirty = w->dirty || mark_dirty;
+  const std::uint64_t set = set_of(addr);
+  const int w = find_way(set, tag_of(addr));
+  if (w >= 0) {
+    lru_[set * assoc_ + static_cast<unsigned>(w)] = ++lru_clock_;
+    if (mark_dirty) dirty_[set] |= 1u << static_cast<unsigned>(w);
     Result r;
     r.hit = true;
     return r;
@@ -69,9 +84,11 @@ SetAssocCache::Result SetAssocCache::access(Addr addr, bool mark_dirty) {
 }
 
 SetAssocCache::Result SetAssocCache::install(Addr addr, bool dirty) {
-  if (Way* w = find(addr)) {
-    w->lru = ++lru_clock_;
-    w->dirty = w->dirty || dirty;
+  const std::uint64_t set = set_of(addr);
+  const int w = find_way(set, tag_of(addr));
+  if (w >= 0) {
+    lru_[set * assoc_ + static_cast<unsigned>(w)] = ++lru_clock_;
+    if (dirty) dirty_[set] |= 1u << static_cast<unsigned>(w);
     Result r;
     r.hit = true;
     return r;
@@ -80,29 +97,28 @@ SetAssocCache::Result SetAssocCache::install(Addr addr, bool dirty) {
 }
 
 bool SetAssocCache::touch(Addr addr, bool mark_dirty) {
-  if (Way* w = find(addr)) {
-    w->lru = ++lru_clock_;
-    w->dirty = w->dirty || mark_dirty;
-    return true;
-  }
-  return false;
+  const std::uint64_t set = set_of(addr);
+  const int w = find_way(set, tag_of(addr));
+  if (w < 0) return false;
+  lru_[set * assoc_ + static_cast<unsigned>(w)] = ++lru_clock_;
+  if (mark_dirty) dirty_[set] |= 1u << static_cast<unsigned>(w);
+  return true;
 }
 
 bool SetAssocCache::invalidate(Addr addr) {
-  if (Way* w = find(addr)) {
-    const bool dirty = w->dirty;
-    w->valid = false;
-    w->dirty = false;
-    return dirty;
-  }
-  return false;
+  const std::uint64_t set = set_of(addr);
+  const int w = find_way(set, tag_of(addr));
+  if (w < 0) return false;
+  const std::uint32_t bit = 1u << static_cast<unsigned>(w);
+  const bool was_dirty = (dirty_[set] & bit) != 0;
+  valid_[set] &= ~bit;
+  dirty_[set] &= ~bit;
+  return was_dirty;
 }
 
 void SetAssocCache::flush_all() {
-  for (auto& w : ways_) {
-    w.valid = false;
-    w.dirty = false;
-  }
+  std::fill(valid_.begin(), valid_.end(), 0u);
+  std::fill(dirty_.begin(), dirty_.end(), 0u);
 }
 
 }  // namespace secddr

@@ -63,25 +63,32 @@ class SetAssocCache {
   unsigned associativity() const { return assoc_; }
 
  private:
-  struct Way {
-    bool valid = false;
-    bool dirty = false;
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;  ///< larger = more recent
-  };
-
+  // Structure-of-arrays layout: probes — the per-cycle hot path — scan
+  // only the dense tag array (a 16-way set is two cache lines instead of
+  // six), with validity in a per-set bitmask. Dirty bits and LRU stamps
+  // are touched only on hits and fills.
   std::uint64_t set_of(Addr addr) const { return line_index(addr) % sets_count_; }
   std::uint64_t tag_of(Addr addr) const { return line_index(addr) / sets_count_; }
   Addr addr_of(std::uint64_t set, std::uint64_t tag) const {
     return (tag * sets_count_ + set) << kLineBits;
   }
-  Way* find(Addr addr);
-  const Way* find(Addr addr) const;
+  /// Way index of `tag` within `set`, or -1.
+  int find_way(std::uint64_t set, std::uint64_t tag) const {
+    const std::uint32_t mask = valid_[set];
+    const std::uint64_t* t = &tags_[set * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+      if (((mask >> w) & 1u) != 0 && t[w] == tag) return static_cast<int>(w);
+    return -1;
+  }
   Result fill(Addr addr, bool dirty);
 
   std::uint64_t sets_count_;
   unsigned assoc_;
-  std::vector<Way> ways_;  ///< sets_count_ * assoc_
+  std::uint32_t full_mask_;
+  std::vector<std::uint64_t> tags_;   ///< sets_count_ * assoc_
+  std::vector<std::uint64_t> lru_;    ///< sets_count_ * assoc_ (larger = newer)
+  std::vector<std::uint32_t> valid_;  ///< per-set way bitmask
+  std::vector<std::uint32_t> dirty_;  ///< per-set way bitmask
   std::uint64_t lru_clock_ = 0;
   CacheStats stats_;
 };

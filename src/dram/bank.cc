@@ -1,7 +1,30 @@
-// Bank is header-only; this translation unit anchors the module in the
-// build so the library always has at least the header's checks compiled.
 #include "dram/bank.h"
 
 namespace secddr::dram {
-static_assert(Bank::kClosed == -1);
+
+int BankQueue::first_match(std::uint64_t row, std::uint64_t* visited) const {
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (visited) ++*visited;
+    if (q[i].d.row == row) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int BankQueue::first_mismatch(std::uint64_t row,
+                              std::uint64_t* visited) const {
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (visited) ++*visited;
+    if (q[i].d.row != row) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void BankQueue::recount(std::int64_t open_row) {
+  match_count = 0;
+  if (open_row == Bank::kClosed) return;
+  const std::uint64_t row = static_cast<std::uint64_t>(open_row);
+  for (const Request& r : q)
+    if (r.d.row == row) ++match_count;
+}
+
 }  // namespace secddr::dram

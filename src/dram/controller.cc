@@ -23,21 +23,103 @@ Controller::Controller(const Geometry& geometry, const Timings& timings,
     ranks_[r].next_refresh_due =
         timings_.tREFI / (geometry_.ranks + 1) * (r + 1);
   }
-  col_checked_[0].assign(geometry_.total_banks(), 0);
-  col_checked_[1].assign(geometry_.total_banks(), 0);
-  act_checked_.assign(geometry_.total_banks(), 0);
+  for (unsigned dir = 0; dir < 2; ++dir) {
+    queues_[dir].resize(geometry_.total_banks());
+    active_[dir].init(geometry_.total_banks());
+    col_idx_[dir].init(geometry_.total_banks());
+    pre_idx_[dir].init(geometry_.total_banks());
+    closed_idx_[dir].resize(geometry_.ranks);
+    for (auto& idx : closed_idx_[dir]) idx.init(geometry_.total_banks());
+  }
+  col_bus_floor_.assign(geometry_.ranks, 0);
+  act_floor_.assign(geometry_.ranks, ActFloor{});
+}
+
+void Controller::prime_col_floors(bool is_write) const {
+  if (have_last_col_) {
+    col_ccd_same_ = last_col_cmd_ + timings_.tCCD_L;
+    col_ccd_diff_ = last_col_cmd_ + timings_.tCCD_S;
+  }
+  const unsigned lat = is_write ? timings_.tCWL : timings_.tCL;
+  for (unsigned r = 0; r < geometry_.ranks; ++r) {
+    Cycle bus_ready = bus_free_at_;
+    if (bus_free_at_ > 0 &&
+        (bus_last_was_write_ != is_write || bus_last_rank_ != r))
+      bus_ready += timings_.turnaround;
+    col_bus_floor_[r] = bus_ready > lat ? bus_ready - lat : 0;
+  }
+}
+
+void Controller::prime_act_floors() const {
+  for (unsigned r = 0; r < geometry_.ranks; ++r) {
+    const RankState& rank = ranks_[r];
+    ActFloor& f = act_floor_[r];
+    f.gated = rank.refresh_pending;
+    if (f.gated) continue;
+    const Cycle faw = rank.act_window.size() >= 4
+                          ? rank.act_window.front() + timings_.tFAW
+                          : 0;
+    f.same_bg = rank.have_last_act
+                    ? std::max(faw, rank.last_act + timings_.tRRD_L)
+                    : faw;
+    f.diff_bg = rank.have_last_act
+                    ? std::max(faw, rank.last_act + timings_.tRRD_S)
+                    : faw;
+  }
+}
+
+void Controller::sync_indexes(unsigned dir, unsigned flat) {
+  const BankQueue& bq = queues_[dir][flat];
+  const bool nonempty = !bq.q.empty();
+  const bool open = banks_[flat].is_open();
+  active_[dir].set(flat, nonempty);
+  col_idx_[dir].set(flat, nonempty && open && bq.match_count > 0);
+  pre_idx_[dir].set(flat, nonempty && open && bq.match_count < bq.q.size());
+  closed_idx_[dir][flat / geometry_.banks_per_rank()].set(
+      flat, nonempty && !open);
+}
+
+void Controller::close_bank(unsigned flat, Cycle now) {
+  banks_[flat].precharge(now, timings_.tRP);
+  ++stats_.precharges;
+  sync_indexes(0, flat);
+  sync_indexes(1, flat);
+}
+
+int Controller::oldest_bank(unsigned dir) const {
+  int best = -1;
+  std::uint64_t best_seq = ~std::uint64_t{0};
+  for (const unsigned flat : active_[dir].items) {
+    const std::uint64_t s = queues_[dir][flat].q.front().seq;
+    if (s < best_seq) {
+      best_seq = s;
+      best = static_cast<int>(flat);
+    }
+  }
+  return best;
+}
+
+void Controller::recount_bank(unsigned flat) {
+  const std::int64_t row = banks_[flat].open_row;
+  queues_[0][flat].recount(row);
+  queues_[1][flat].recount(row);
+  sync_indexes(0, flat);
+  sync_indexes(1, flat);
 }
 
 bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
                          Cycle now) {
-  Entry e{addr, mapping_.decode(addr), tag, now, false};
+  Request e{addr, mapping_.decode(addr), tag, now, next_seq_, false};
+  const unsigned flat = e.d.flat_bank(geometry_);
   if (is_write) {
-    if (write_q_.size() >= wq_size_) return false;
+    if (q_size_[1] >= wq_size_) return false;
     // Write merging: a newer write to the same line supersedes the queued
     // one. The superseded write completes (exactly once) here; the
     // surviving entry carries the new tag and completes when it issues,
-    // so each logical write is counted and completed exactly once.
-    for (auto& w : write_q_) {
+    // so each logical write is counted and completed exactly once. A
+    // same-line write lives in the same bank FIFO by construction, so
+    // only that FIFO needs scanning.
+    for (auto& w : queues_[1][flat].q) {
       if (line_base(w.addr) == line_base(addr)) {
         ++stats_.writes_enqueued;
         ++stats_.writes_completed;
@@ -47,20 +129,27 @@ bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
         return true;
       }
     }
-    write_q_.push_back(e);
+    ++next_seq_;
+    const Bank& bank = banks_[flat];
+    if (bank.is_open() &&
+        bank.open_row == static_cast<std::int64_t>(e.d.row))
+      ++queues_[1][flat].match_count;
+    queues_[1][flat].q.push_back(e);
+    ++q_size_[1];
+    sync_indexes(1, flat);
     ++stats_.writes_enqueued;
     observe_event_candidate(entry_event_bound(e, true));
     // Crossing the drain watermark flips the next tick into write
     // service, making every queued write column a candidate.
-    if (!draining_writes_ && write_q_.size() >= drain_high_)
+    if (!draining_writes_ && q_size_[1] >= drain_high_)
       observe_event_candidate(now);
     return true;
   }
-  if (read_q_.size() >= rq_size_) return false;
+  if (q_size_[0] >= rq_size_) return false;
   // Write forwarding: serve the read from the pending write data. The
   // read completes here and never enters the read queue, so it does not
-  // count as enqueued.
-  for (const auto& w : write_q_) {
+  // count as enqueued. Same line => same bank FIFO.
+  for (const auto& w : queues_[1][flat].q) {
     if (line_base(w.addr) == line_base(addr)) {
       ++stats_.write_forwards;
       ++stats_.reads_completed;
@@ -70,13 +159,19 @@ bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
       return true;
     }
   }
-  read_q_.push_back(e);
+  ++next_seq_;
+  const Bank& bank = banks_[flat];
+  if (bank.is_open() && bank.open_row == static_cast<std::int64_t>(e.d.row))
+    ++queues_[0][flat].match_count;
+  queues_[0][flat].q.push_back(e);
+  ++q_size_[0];
+  sync_indexes(0, flat);
   ++stats_.reads_enqueued;
   observe_event_candidate(entry_event_bound(e, false));
   return true;
 }
 
-Cycle Controller::column_ready_at(const Entry& e, bool is_write) const {
+Cycle Controller::column_ready_at(const Request& e, bool is_write) const {
   const Bank& bank = banks_[e.d.flat_bank(geometry_)];
   Cycle at = is_write ? bank.next_write : bank.next_read;
 
@@ -99,16 +194,7 @@ Cycle Controller::column_ready_at(const Entry& e, bool is_write) const {
   return std::max(at, bus_ready > lat ? bus_ready - lat : 0);
 }
 
-bool Controller::column_cmd_allowed(const Entry& e, bool is_write,
-                                    Cycle now) const {
-  const Bank& bank = banks_[e.d.flat_bank(geometry_)];
-  if (!bank.is_open() ||
-      bank.open_row != static_cast<std::int64_t>(e.d.row))
-    return false;
-  return now >= column_ready_at(e, is_write);
-}
-
-Cycle Controller::act_ready_at(const Entry& e) const {
+Cycle Controller::act_ready_at(const Request& e) const {
   const Bank& bank = banks_[e.d.flat_bank(geometry_)];
   const RankState& rank = ranks_[e.d.rank];
   // A refresh-gated bank is woken by the refresh events themselves.
@@ -123,15 +209,8 @@ Cycle Controller::act_ready_at(const Entry& e) const {
   return at;
 }
 
-bool Controller::act_allowed(const Entry& e, Cycle now) const {
-  const Bank& bank = banks_[e.d.flat_bank(geometry_)];
-  if (bank.is_open()) return false;
-  // act_ready_at() is kNoEvent while a refresh gates the rank; `now` can
-  // never reach it, so the refresh case needs no separate check here.
-  return now >= act_ready_at(e);
-}
-
-void Controller::apply_write_to_read_penalty(const Entry& e, Cycle data_end) {
+void Controller::apply_write_to_read_penalty(const Request& e,
+                                             Cycle data_end) {
   // After write data ends, reads to the same rank must wait tWTR_S/L.
   for (unsigned bg = 0; bg < geometry_.bank_groups; ++bg) {
     const unsigned wtr =
@@ -144,103 +223,204 @@ void Controller::apply_write_to_read_penalty(const Entry& e, Cycle data_end) {
   }
 }
 
-bool Controller::try_issue_column(std::deque<Entry>& q, bool is_write,
-                                  Cycle now) {
-  // FR-FCFS: oldest row-hit first; strict FCFS considers only the head.
-  std::vector<Cycle>& checked = col_checked_[is_write ? 1 : 0];
-  for (auto it = q.begin(); it != q.end(); ++it) {
-    if (policy_ == SchedulingPolicy::kFcfs && it != q.begin()) break;
-    // Cheap rejects first: only open row hits are column candidates, and
-    // same-bank row hits share every timing constraint, so one failed
-    // check per (bank, direction) covers the whole scan. The odd stamp
-    // marks "checked and disallowed at `now`" (compute_next_event_cycle
-    // shares the arrays with even stamps, so the passes never alias).
-    const unsigned flat = it->d.flat_bank(geometry_);
-    {
-      const Bank& bank = banks_[flat];
-      if (!bank.is_open() ||
-          bank.open_row != static_cast<std::int64_t>(it->d.row))
-        continue;
-      if (checked[flat] == 2 * now + 1) continue;
-    }
-    if (!column_cmd_allowed(*it, is_write, now)) {
-      checked[flat] = 2 * now + 1;
-      continue;
-    }
-    Entry e = *it;
-    q.erase(it);
+void Controller::issue_column(unsigned flat, std::size_t pos, bool is_write,
+                              Cycle now) {
+  const unsigned dir = is_write ? 1 : 0;
+  BankQueue& bq = queues_[dir][flat];
+  Request e = bq.q[pos];
+  bq.q.erase(bq.q.begin() + static_cast<std::ptrdiff_t>(pos));
+  --bq.match_count;  // a column candidate always targets the open row
+  --q_size_[dir];
+  sync_indexes(dir, flat);
 
-    Bank& bank = banks_[e.d.flat_bank(geometry_)];
-    if (e.activated_for)
-      ++stats_.row_misses;
-    else
-      ++stats_.row_hits;
+  Bank& bank = banks_[flat];
+  if (e.activated_for)
+    ++stats_.row_misses;
+  else
+    ++stats_.row_hits;
 
-    const unsigned burst = is_write ? timings_.write_burst_cycles
-                                    : timings_.read_burst_cycles;
-    const Cycle data_start = now + (is_write ? timings_.tCWL : timings_.tCL);
-    const Cycle data_end = data_start + burst;
-    bus_free_at_ = data_end;
-    bus_last_was_write_ = is_write;
-    bus_last_rank_ = e.d.rank;
-    stats_.data_bus_busy_cycles += burst;
-    last_col_cmd_ = now;
-    have_last_col_ = true;
-    last_col_bg_ = e.d.bank_group;
-    last_col_rank_ = e.d.rank;
+  const unsigned burst = is_write ? timings_.write_burst_cycles
+                                  : timings_.read_burst_cycles;
+  const Cycle data_start = now + (is_write ? timings_.tCWL : timings_.tCL);
+  const Cycle data_end = data_start + burst;
+  bus_free_at_ = data_end;
+  bus_last_was_write_ = is_write;
+  bus_last_rank_ = e.d.rank;
+  stats_.data_bus_busy_cycles += burst;
+  last_col_cmd_ = now;
+  have_last_col_ = true;
+  last_col_bg_ = e.d.bank_group;
+  last_col_rank_ = e.d.rank;
 
-    if (is_write) {
-      bank.next_precharge =
-          std::max(bank.next_precharge, data_end + timings_.tWR);
-      apply_write_to_read_penalty(e, data_end);
-      ++stats_.writes_completed;
-      completions_.push_back({e.tag, e.addr, true, e.arrival, data_end});
-    } else {
-      bank.next_precharge =
-          std::max(bank.next_precharge, now + timings_.tRTP);
-      inflight_reads_.push_back({e, data_end});
-    }
-    return true;
+  if (is_write) {
+    bank.next_precharge =
+        std::max(bank.next_precharge, data_end + timings_.tWR);
+    apply_write_to_read_penalty(e, data_end);
+    ++stats_.writes_completed;
+    completions_.push_back({e.tag, e.addr, true, e.arrival, data_end});
+  } else {
+    bank.next_precharge =
+        std::max(bank.next_precharge, now + timings_.tRTP);
+    inflight_reads_.push_back({e, data_end});
+    inflight_min_finish_ = std::min(inflight_min_finish_, data_end);
   }
-  return false;
 }
 
-bool Controller::try_issue_bank_prep(std::deque<Entry>& q, Cycle now) {
-  // Issue ACT or PRE for the oldest request whose bank is not ready.
-  std::size_t scanned = 0;
-  for (auto& e : q) {
-    if (policy_ == SchedulingPolicy::kFcfs && scanned++ > 0) break;
-    const unsigned flat = e.d.flat_bank(geometry_);
+bool Controller::try_issue_column(bool is_write, Cycle now) {
+  const unsigned dir = is_write ? 1 : 0;
+  ++scan_stats_.issue_scans;
+  scan_stats_.queue_depth_sum += q_size_[dir];
+
+  if (policy_ == SchedulingPolicy::kFcfs) {
+    // Strict FCFS considers only the globally oldest entry.
+    const int flat = oldest_bank(dir);
+    scan_stats_.entries_visited += active_[dir].items.size();
+    if (flat < 0) return false;
+    const Request& e = queues_[dir][static_cast<unsigned>(flat)].q.front();
+    const Bank& bank = banks_[static_cast<unsigned>(flat)];
+    if (!bank.is_open() ||
+        bank.open_row != static_cast<std::int64_t>(e.d.row) ||
+        now < column_ready_at(e, is_write))
+      return false;
+    issue_column(static_cast<unsigned>(flat), 0, is_write, now);
+    ++scan_stats_.commands_issued;
+    return true;
+  }
+
+  // FR-FCFS: the oldest row hit whose column command is allowed. Row hits
+  // of the same bank share every timing constraint, so each bank
+  // contributes (at most) its oldest open-row entry and the winner is the
+  // minimum arrival seq across allowed banks — exactly the entry a
+  // front-to-back scan of one global arrival-ordered deque would pick.
+  if (col_idx_[dir].items.empty()) return false;
+  bool primed = false;
+  int best_flat = -1;
+  std::size_t best_pos = 0;
+  std::uint64_t best_seq = ~std::uint64_t{0};
+  for (const unsigned flat : col_idx_[dir].items) {
+    ++scan_stats_.entries_visited;
+    const Bank& bank = banks_[flat];
+    const BankQueue& bq = queues_[dir][flat];
+    const Request& rep = bq.q.front();
+    // Bank-level pre-filter: the full bound is a max including this term,
+    // so a bank not yet column-ready by its own timing needs no floors.
+    if (now < (is_write ? bank.next_write : bank.next_read)) continue;
+    if (!primed) {
+      prime_col_floors(is_write);
+      primed = true;
+    }
+    if (now < column_ready_primed(bank, rep.d, is_write)) continue;
+    const int pos = bq.first_match(
+        static_cast<std::uint64_t>(bank.open_row),
+        &scan_stats_.entries_visited);
+    assert(pos >= 0);
+    const std::uint64_t s = bq.q[static_cast<std::size_t>(pos)].seq;
+    if (s < best_seq) {
+      best_seq = s;
+      best_flat = static_cast<int>(flat);
+      best_pos = static_cast<std::size_t>(pos);
+    }
+  }
+  if (best_flat < 0) return false;
+  issue_column(static_cast<unsigned>(best_flat), best_pos, is_write, now);
+  ++scan_stats_.commands_issued;
+  return true;
+}
+
+bool Controller::try_issue_bank_prep(bool is_write, Cycle now) {
+  const unsigned dir = is_write ? 1 : 0;
+  ++scan_stats_.issue_scans;
+  scan_stats_.queue_depth_sum += q_size_[dir];
+
+  const auto do_act = [&](unsigned flat, Request& e) {
+    Bank& bank = banks_[flat];
+    bank.activate(e.d.row, now, timings_.tRCD, timings_.tRAS);
+    RankState& rank = ranks_[e.d.rank];
+    rank.act_window.push_back(now);
+    while (rank.act_window.size() > 4) rank.act_window.pop_front();
+    rank.last_act = now;
+    rank.have_last_act = true;
+    rank.last_act_bg = e.d.bank_group;
+    e.activated_for = true;
+    ++stats_.activates;
+    recount_bank(flat);
+    ++scan_stats_.commands_issued;
+  };
+  const auto do_pre = [&](unsigned flat) {
+    close_bank(flat, now);
+    ++scan_stats_.commands_issued;
+  };
+
+  if (policy_ == SchedulingPolicy::kFcfs) {
+    const int flat_i = oldest_bank(dir);
+    scan_stats_.entries_visited += active_[dir].items.size();
+    if (flat_i < 0) return false;
+    const unsigned flat = static_cast<unsigned>(flat_i);
+    Request& e = queues_[dir][flat].q.front();
     Bank& bank = banks_[flat];
     if (bank.is_open() &&
         bank.open_row == static_cast<std::int64_t>(e.d.row))
-      continue;  // row hit waiting on timing only
+      return false;  // row hit waiting on timing only
     if (!bank.is_open()) {
-      // act_allowed() depends on the entry only through its bank/rank, so
-      // a failed check covers every later same-bank entry in this pass
-      // (odd stamp; see try_issue_column).
-      if (act_checked_[flat] == 2 * now + 1) continue;
-      if (act_allowed(e, now)) {
-        bank.activate(e.d.row, now, timings_.tRCD, timings_.tRAS);
-        RankState& rank = ranks_[e.d.rank];
-        rank.act_window.push_back(now);
-        while (rank.act_window.size() > 4) rank.act_window.pop_front();
-        rank.last_act = now;
-        rank.have_last_act = true;
-        rank.last_act_bg = e.d.bank_group;
-        e.activated_for = true;
-        ++stats_.activates;
-        return true;
-      }
-      act_checked_[flat] = 2 * now + 1;
-    } else if (now >= bank.next_precharge) {
-      // Conflict: close the current row.
-      bank.precharge(now, timings_.tRP);
-      ++stats_.precharges;
+      if (now < act_ready_at(e)) return false;
+      do_act(flat, e);
       return true;
     }
+    if (now < bank.next_precharge) return false;
+    do_pre(flat);
+    return true;
   }
-  return false;
+
+  // FR-FCFS: ACT or PRE for the oldest request whose bank is not ready.
+  // Per bank the candidate is its oldest non-row-hit entry (the whole
+  // FIFO when the bank is closed); the action's predicate is bank-level,
+  // so the arbitration is again min seq across allowed banks. Closed
+  // banks are grouped per rank: when the rank's tFAW/tRRD floor alone
+  // blocks every ACT (one comparison), the whole group is skipped.
+  enum class Action { kAct, kPre };
+  prime_act_floors();
+  int best_flat = -1;
+  Action best_action = Action::kAct;
+  std::uint64_t best_seq = ~std::uint64_t{0};
+  for (unsigned r = 0; r < geometry_.ranks; ++r) {
+    const BankIndex& idx = closed_idx_[dir][r];
+    if (idx.items.empty()) continue;
+    ++scan_stats_.entries_visited;
+    const ActFloor& f = act_floor_[r];
+    if (f.gated || (now < f.same_bg && now < f.diff_bg)) continue;
+    for (const unsigned flat : idx.items) {
+      ++scan_stats_.entries_visited;
+      const Request& head = queues_[dir][flat].q.front();
+      if (head.seq >= best_seq) continue;
+      if (now < act_ready_primed(banks_[flat], head.d)) continue;
+      best_seq = head.seq;
+      best_flat = static_cast<int>(flat);
+      best_action = Action::kAct;
+    }
+  }
+  for (const unsigned flat : pre_idx_[dir].items) {
+    ++scan_stats_.entries_visited;
+    const Bank& bank = banks_[flat];
+    if (now < bank.next_precharge) continue;
+    const BankQueue& bq = queues_[dir][flat];
+    const int pos = bq.first_mismatch(
+        static_cast<std::uint64_t>(bank.open_row),
+        &scan_stats_.entries_visited);
+    assert(pos >= 0);
+    const std::uint64_t s = bq.q[static_cast<std::size_t>(pos)].seq;
+    if (s < best_seq) {
+      best_seq = s;
+      best_flat = static_cast<int>(flat);
+      best_action = Action::kPre;
+    }
+  }
+  if (best_flat < 0) return false;
+  const unsigned flat = static_cast<unsigned>(best_flat);
+  if (best_action == Action::kAct)
+    do_act(flat, queues_[dir][flat].q.front());
+  else
+    do_pre(flat);
+  return true;
 }
 
 bool Controller::handle_refresh(Cycle now) {
@@ -253,12 +433,11 @@ bool Controller::handle_refresh(Cycle now) {
     // Precharge all open banks in the rank, then refresh.
     bool all_closed = true;
     for (unsigned b = 0; b < geometry_.banks_per_rank(); ++b) {
-      Bank& bank = banks_[r * geometry_.banks_per_rank() + b];
-      if (bank.is_open()) {
+      const unsigned flat = r * geometry_.banks_per_rank() + b;
+      if (banks_[flat].is_open()) {
         all_closed = false;
-        if (now >= bank.next_precharge) {
-          bank.precharge(now, timings_.tRP);
-          ++stats_.precharges;
+        if (now >= banks_[flat].next_precharge) {
+          close_bank(flat, now);
           return true;
         }
       }
@@ -287,7 +466,7 @@ bool Controller::handle_refresh(Cycle now) {
   return false;
 }
 
-Cycle Controller::entry_event_bound(const Entry& e, bool is_write) const {
+Cycle Controller::entry_event_bound(const Request& e, bool is_write) const {
   // Derived from the same column_ready_at()/act_ready_at() bounds the
   // issue predicates test against, so "allowed" is exactly "now >= bound"
   // and the memoized event times can never drift from the predicates.
@@ -320,7 +499,6 @@ Cycle Controller::next_event_cycle(Cycle now) const {
 }
 
 Cycle Controller::compute_next_event_cycle(Cycle now) const {
-  compute_epoch_ += 2;  // fresh even scratch stamp for this pass
   Cycle next = kNoEvent;
   // Every timing constraint below is of the form "allowed once now >= X",
   // so the earliest cycle an entry *could* act is the max of its X values
@@ -328,15 +506,20 @@ Cycle Controller::compute_next_event_cycle(Cycle now) const {
   // this query admits may still lose the one-command-per-cycle arbitration
   // in tick(); that only wakes the caller early, never late.
   const auto consider = [&](Cycle at) { next = std::min(next, std::max(at, now)); };
+  // `consider` clamps to >= now, so once the running minimum hits `now`
+  // nothing can lower it further — the remaining scans are skipped. The
+  // returned value is identical either way.
 
   // The write-drain hysteresis flip is itself a state change the next
   // tick performs (even though no command issues that cycle), and it
   // changes which columns are servable right after.
-  if (draining_writes_ ? write_q_.size() <= drain_low_
-                       : write_q_.size() >= drain_high_)
-    consider(now);
+  if (draining_writes_ ? q_size_[1] <= drain_low_ : q_size_[1] >= drain_high_)
+    return now;
 
-  for (const auto& fr : inflight_reads_) consider(fr.finish);
+  if (inflight_min_finish_ != kNoEvent) {
+    consider(inflight_min_finish_);
+    if (next == now) return now;
+  }
 
   for (unsigned r = 0; r < geometry_.ranks; ++r) {
     const RankState& rank = ranks_[r];
@@ -359,72 +542,98 @@ Cycle Controller::compute_next_event_cycle(Cycle now) const {
     }
     if (all_closed) consider(refresh_ready);
   }
+  if (next == now) return now;
 
-  const auto scan_queue = [&](const std::deque<Entry>& q, bool is_write) {
-    // Same-bank entries in the same state share their earliest-allowed
-    // time, so one computation per (bank, kind) covers the scan. The
-    // stamps double as scratch for try_issue_* (odd values); computes use
-    // a fresh even epoch each call so neither pass ever aliases another.
-    const Cycle stamp = compute_epoch_;
-    std::vector<Cycle>& col_seen = col_checked_[is_write ? 1 : 0];
-    for (const auto& e : q) {
-      const unsigned flat = e.d.flat_bank(geometry_);
-      const Bank& bank = banks_[flat];
-      if (bank.is_open() &&
-          bank.open_row == static_cast<std::int64_t>(e.d.row)) {
-        if (col_seen[flat] == stamp) continue;
-        col_seen[flat] = stamp;
-      } else {
-        // Conflict-precharge and closed-activate bounds are bank-level;
-        // a bank is in exactly one of those states during a scan, so the
-        // two cases can share the dedup array.
-        if (act_checked_[flat] == stamp) continue;
-        act_checked_[flat] = stamp;
-      }
-      const Cycle at = entry_event_bound(e, is_write);
+  if (policy_ == SchedulingPolicy::kFcfs) {
+    // Strict FCFS only ever considers the globally oldest entry of each
+    // direction's queue.
+    for (unsigned dir = 0; dir < 2; ++dir) {
+      const int flat = oldest_bank(dir);
+      if (flat < 0) continue;
+      const Cycle at = entry_event_bound(
+          queues_[dir][static_cast<unsigned>(flat)].q.front(), dir == 1);
       if (at != kNoEvent) consider(at);
-      // Strict FCFS only ever considers the queue head.
-      if (policy_ == SchedulingPolicy::kFcfs) break;
     }
-  };
-  scan_queue(read_q_, false);
-  scan_queue(write_q_, true);
+    return next;
+  }
+
+  // FR-FCFS: per (bank, direction) there are at most two distinct bounds —
+  // the shared column time of its row hits and the bank-level
+  // precharge/activate time of its other entries — so the scan is
+  // O(active banks), no per-entry work and no dedup scratch needed.
+  bool act_primed = false;
+  for (unsigned dir = 0; dir < 2; ++dir) {
+    const bool is_write = dir == 1;
+    for (unsigned r = 0; r < geometry_.ranks; ++r) {
+      if (closed_idx_[dir][r].items.empty()) continue;
+      if (!act_primed) {
+        prime_act_floors();
+        act_primed = true;
+      }
+      // A refresh-gated rank contributes no ACT bounds at all (the
+      // refresh's own events wake the controller), exactly as
+      // act_ready_primed would report per bank.
+      if (act_floor_[r].gated) continue;
+      for (const unsigned flat : closed_idx_[dir][r].items)
+        consider(act_ready_primed(banks_[flat],
+                                  queues_[dir][flat].q.front().d));
+      if (next == now) return now;
+    }
+    for (const unsigned flat : pre_idx_[dir].items)
+      consider(banks_[flat].next_precharge);
+    if (next == now) return now;
+    // Column candidates live in their own index (write hits schedule
+    // nothing while writes are not being served; the transitions into
+    // write service are observed events themselves).
+    if (is_write && !serving_writes()) continue;
+    if (col_idx_[dir].items.empty()) continue;
+    prime_col_floors(is_write);
+    for (const unsigned flat : col_idx_[dir].items)
+      consider(column_ready_primed(banks_[flat],
+                                   queues_[dir][flat].q.front().d, is_write));
+  }
   return next;
 }
 
 void Controller::tick(Cycle now) {
-  // Retire reads whose data has arrived.
-  for (std::size_t i = 0; i < inflight_reads_.size();) {
-    if (inflight_reads_[i].finish <= now) {
-      const auto& fr = inflight_reads_[i];
-      ++stats_.reads_completed;
-      stats_.total_read_latency += fr.finish - fr.entry.arrival;
-      completions_.push_back(
-          {fr.entry.tag, fr.entry.addr, false, fr.entry.arrival, fr.finish});
-      inflight_reads_[i] = inflight_reads_.back();
-      inflight_reads_.pop_back();
-    } else {
-      ++i;
+  // Retire reads whose data has arrived. The pass visits every entry, so
+  // the surviving minimum finish is recomputed for free.
+  if (inflight_min_finish_ <= now) {
+    Cycle min_finish = kNoEvent;
+    for (std::size_t i = 0; i < inflight_reads_.size();) {
+      if (inflight_reads_[i].finish <= now) {
+        const auto& fr = inflight_reads_[i];
+        ++stats_.reads_completed;
+        stats_.total_read_latency += fr.finish - fr.entry.arrival;
+        completions_.push_back(
+            {fr.entry.tag, fr.entry.addr, false, fr.entry.arrival, fr.finish});
+        inflight_reads_[i] = inflight_reads_.back();
+        inflight_reads_.pop_back();
+      } else {
+        min_finish = std::min(min_finish, inflight_reads_[i].finish);
+        ++i;
+      }
     }
+    inflight_min_finish_ = min_finish;
   }
 
   // Update write-drain mode.
-  if (write_q_.size() >= drain_high_) draining_writes_ = true;
-  if (write_q_.size() <= drain_low_) draining_writes_ = false;
+  if (q_size_[1] >= drain_high_) draining_writes_ = true;
+  if (q_size_[1] <= drain_low_) draining_writes_ = false;
   const bool serve_writes = serving_writes();
 
   // One command slot per cycle: refresh first, then columns, then prep.
   if (handle_refresh(now)) return;
   if (serve_writes) {
-    if (try_issue_column(write_q_, true, now)) return;
-    if (try_issue_column(read_q_, false, now)) return;  // opportunistic reads
-    if (try_issue_bank_prep(write_q_, now)) return;
-    if (try_issue_bank_prep(read_q_, now)) return;
+    if (try_issue_column(true, now)) return;
+    if (try_issue_column(false, now)) return;  // opportunistic reads
+    if (try_issue_bank_prep(true, now)) return;
+    if (try_issue_bank_prep(false, now)) return;
   } else {
-    if (try_issue_column(read_q_, false, now)) return;
-    if (try_issue_bank_prep(read_q_, now)) return;
+    if (try_issue_column(false, now)) return;
+    if (try_issue_bank_prep(false, now)) return;
     // Idle read path: prep writes in the background.
-    if (try_issue_bank_prep(write_q_, now)) return;
+    if (try_issue_bank_prep(true, now)) return;
   }
 }
 

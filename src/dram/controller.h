@@ -1,12 +1,22 @@
-// Cycle-level DDR memory controller: FR-FCFS scheduling, separate read and
-// write queues with watermark-based write draining, bank/rank/channel
-// timing constraints, and per-rank refresh.
+// Cycle-level DDR memory controller: FR-FCFS scheduling, per-bank read
+// and write request FIFOs with watermark-based write draining,
+// bank/rank/channel timing constraints, and per-rank refresh.
 //
-// Queue sizes follow Table I (64 read + 64 write entries). The data-bus
-// occupancy of writes is `Timings::write_burst_cycles`, which is where
-// SecDDR's eWCRC burst extension (BL8 -> BL10) costs bandwidth.
+// Requests are organized per (bank, direction): each entry carries a
+// global arrival sequence number, so FR-FCFS age ordering is recovered by
+// comparing `seq` across bank FIFO heads instead of walking one global
+// deque. The issue and next-event scans therefore visit O(active banks)
+// records instead of O(queue depth) entries — a bank whose FIFO is empty
+// costs nothing, and a bank with fifty queued row hits costs the same as
+// a bank with one.
+//
+// Queue sizes follow Table I (64 read + 64 write entries, totals across
+// banks). The data-bus occupancy of writes is `Timings::write_burst_cycles`,
+// which is where SecDDR's eWCRC burst extension (BL8 -> BL10) costs
+// bandwidth.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -70,6 +80,27 @@ struct ControllerStats {
   }
 };
 
+/// Scheduler scan-cost accounting, kept out of ControllerStats on purpose:
+/// the per-cycle and event-driven loops run different numbers of scans, so
+/// these counters are loop-mode-dependent and must never enter RunResult
+/// (which the determinism tests compare bit-for-bit). `bench/speed` reads
+/// them to show entries visited per issued command.
+struct ScanStats {
+  std::uint64_t issue_scans = 0;      ///< try_issue_* invocations
+  std::uint64_t entries_visited = 0;  ///< bank/entry records examined
+  std::uint64_t queue_depth_sum = 0;  ///< direction queue depth per scan
+                                      ///< (what a global-deque scan costs)
+  std::uint64_t commands_issued = 0;  ///< scans that issued a command
+
+  ScanStats& operator+=(const ScanStats& o) {
+    issue_scans += o.issue_scans;
+    entries_visited += o.entries_visited;
+    queue_depth_sum += o.queue_depth_sum;
+    commands_issued += o.commands_issued;
+    return *this;
+  }
+};
+
 /// Request-scheduling policy.
 enum class SchedulingPolicy {
   kFrFcfs,  ///< first-ready FCFS: oldest row hit first (default)
@@ -84,8 +115,8 @@ class Controller {
              SchedulingPolicy policy = SchedulingPolicy::kFrFcfs);
 
   /// True if a read (write) can be enqueued this cycle.
-  bool can_accept_read() const { return read_q_.size() < rq_size_; }
-  bool can_accept_write() const { return write_q_.size() < wq_size_; }
+  bool can_accept_read() const { return q_size_[0] < rq_size_; }
+  bool can_accept_write() const { return q_size_[1] < wq_size_; }
 
   /// Enqueues a transaction; returns false if the queue is full.
   /// Reads that hit a pending write are forwarded and complete quickly.
@@ -110,27 +141,24 @@ class Controller {
   bool has_undrained_completions() const { return !completions_.empty(); }
 
   const ControllerStats& stats() const { return stats_; }
+  const ScanStats& scan_stats() const { return scan_stats_; }
   /// Clears statistics after warmup; bank/queue state is preserved.
-  void reset_stats() { stats_ = ControllerStats{}; }
+  void reset_stats() {
+    stats_ = ControllerStats{};
+    scan_stats_ = ScanStats{};
+  }
   const Timings& timings() const { return timings_; }
   const Geometry& geometry() const { return geometry_; }
   const AddressMapping& mapping() const { return mapping_; }
 
   /// Outstanding queued transactions (for drain checks in tests/harness).
   std::size_t pending() const {
-    return read_q_.size() + write_q_.size() + inflight_reads_.size();
+    return q_size_[0] + q_size_[1] + inflight_reads_.size();
   }
 
  private:
-  struct Entry {
-    Addr addr;
-    DecodedAddr d;
-    std::uint64_t tag;
-    Cycle arrival;
-    bool activated_for = false;  ///< an ACT was issued on this entry's behalf
-  };
   struct InflightRead {
-    Entry entry;
+    Request entry;
     Cycle finish;
   };
   struct RankState {
@@ -142,33 +170,33 @@ class Controller {
     bool refresh_pending = false;
   };
 
-  bool try_issue_column(std::deque<Entry>& q, bool is_write, Cycle now);
-  bool try_issue_bank_prep(std::deque<Entry>& q, Cycle now);
+  bool try_issue_column(bool is_write, Cycle now);
+  bool try_issue_bank_prep(bool is_write, Cycle now);
   bool handle_refresh(Cycle now);
-  /// Earliest cycle a column command for `e` (an open row hit) satisfies
-  /// every timing constraint (bank column timing, tCCD, data-bus
-  /// availability + turnaround). Single source of truth: both the issue
-  /// predicate (allowed == now >= bound) and the memoized next-event
-  /// bounds derive from it, so they cannot drift apart.
-  Cycle column_ready_at(const Entry& e, bool is_write) const;
+  void issue_column(unsigned flat, std::size_t pos, bool is_write, Cycle now);
+  /// Earliest cycle a column command for an open row hit in `e`'s bank
+  /// satisfies every timing constraint (bank column timing, tCCD, data-bus
+  /// availability + turnaround). Bank-level: every same-bank row hit
+  /// shares it. Single source of truth: both the issue predicate
+  /// (allowed == now >= bound) and the memoized next-event bounds derive
+  /// from it, so they cannot drift apart.
+  Cycle column_ready_at(const Request& e, bool is_write) const;
   /// Earliest cycle an ACT for `e` (a closed bank) satisfies tRC/tFAW/tRRD;
   /// kNoEvent while the rank's refresh gates activates (refresh events are
   /// tracked separately).
-  Cycle act_ready_at(const Entry& e) const;
-  bool column_cmd_allowed(const Entry& e, bool is_write, Cycle now) const;
-  bool act_allowed(const Entry& e, Cycle now) const;
-  void apply_write_to_read_penalty(const Entry& e, Cycle data_end);
+  Cycle act_ready_at(const Request& e) const;
+  void apply_write_to_read_penalty(const Request& e, Cycle data_end);
   Cycle compute_next_event_cycle(Cycle now) const;
   /// Whether the next tick would serve write columns (same predicate the
   /// tick uses, against the current drain flag and queue states).
   bool serving_writes() const {
-    return draining_writes_ || (read_q_.empty() && !write_q_.empty());
+    return draining_writes_ || (q_size_[0] == 0 && q_size_[1] != 0);
   }
   /// Earliest cycle at which `e` could act given current bank state
   /// (column for a row hit, precharge for a conflict, activate for a
   /// closed bank); kNoEvent when gated by a pending refresh (whose own
   /// events are tracked separately).
-  Cycle entry_event_bound(const Entry& e, bool is_write) const;
+  Cycle entry_event_bound(const Request& e, bool is_write) const;
   /// Folds a possibly-earlier event into the memoized next-event cache.
   /// Mutations made *inside* tick() never need this: a mutating tick only
   /// runs once the cached event time has been reached, so the cache
@@ -177,6 +205,44 @@ class Controller {
   void observe_event_candidate(Cycle at) const {
     if (next_event_valid_ && at < next_event_cache_) next_event_cache_ = at;
   }
+
+  // Scan-invariant timing floors, primed once per bank scan. Each scan
+  // visits O(active banks) records; the channel/rank-level parts of
+  // column_ready_at()/act_ready_at() (tCCD vs the last column, bus
+  // turnaround, tFAW/tRRD vs the last activate) are identical for every
+  // bank of a rank, so hoisting them leaves one max() over two or three
+  // precomputed values per bank. The primed forms are exact value-level
+  // equivalents of the *_ready_at functions.
+  void prime_col_floors(bool is_write) const;
+  void prime_act_floors() const;
+  Cycle column_ready_primed(const Bank& bank, const DecodedAddr& d,
+                            bool is_write) const {
+    Cycle at = is_write ? bank.next_write : bank.next_read;
+    if (have_last_col_)
+      at = std::max(at, d.bank_group == last_col_bg_ &&
+                                d.rank == last_col_rank_
+                            ? col_ccd_same_
+                            : col_ccd_diff_);
+    return std::max(at, col_bus_floor_[d.rank]);
+  }
+  Cycle act_ready_primed(const Bank& bank, const DecodedAddr& d) const {
+    const ActFloor& f = act_floor_[d.rank];
+    if (f.gated) return kNoEvent;
+    return std::max(bank.next_activate,
+                    d.bank_group == ranks_[d.rank].last_act_bg ? f.same_bg
+                                                               : f.diff_bg);
+  }
+
+  /// Re-derives `flat`'s membership in the candidate indexes of `dir`
+  /// (column / precharge / closed-per-rank) from its FIFO and bank state.
+  void sync_indexes(unsigned dir, unsigned flat);
+  /// Closes a bank via PRECHARGE and re-syncs its index membership.
+  void close_bank(unsigned flat, Cycle now);
+  /// Oldest entry (min seq) across the direction's bank FIFO heads: the
+  /// strict-FCFS candidate. Returns the owning flat bank or -1 when empty.
+  int oldest_bank(unsigned dir) const;
+  /// Recounts open-row matches for both of `flat`'s FIFOs (after ACT).
+  void recount_bank(unsigned flat);
 
   Geometry geometry_;
   Timings timings_;
@@ -189,9 +255,56 @@ class Controller {
   std::vector<Bank> banks_;
   std::vector<RankState> ranks_;
 
-  std::deque<Entry> read_q_;
-  std::deque<Entry> write_q_;
+  // Per-bank request FIFOs, indexed [is_write][flat_bank], plus the
+  // ready-bank index: the flat ids of banks with a nonempty FIFO
+  // (unordered; selection is by min `seq`, so order cannot matter) and
+  // each bank's position in that list for O(1) removal.
+  std::vector<BankQueue> queues_[2];
+
+  /// Swap-pop membership list over flat bank ids (order arbitrary —
+  /// selection is always by min seq or min bound, so order cannot
+  /// matter).
+  struct BankIndex {
+    std::vector<unsigned> items;
+    std::vector<std::int32_t> pos;
+    void init(unsigned banks) {
+      pos.assign(banks, -1);
+      items.clear();
+      items.reserve(banks);
+    }
+    void set(unsigned flat, bool want) {
+      std::int32_t& p = pos[flat];
+      if (want == (p >= 0)) return;
+      if (want) {
+        p = static_cast<std::int32_t>(items.size());
+        items.push_back(flat);
+      } else {
+        const unsigned last = items.back();
+        items[static_cast<std::size_t>(p)] = last;
+        pos[last] = p;
+        items.pop_back();
+        p = -1;
+      }
+    }
+  };
+  // Bank indexes, per direction: every bank with a nonempty FIFO
+  // (strict-FCFS head lookup), banks a column scan can pick from (open,
+  // >= 1 queued row hit), banks a precharge can serve (open, >= 1 queued
+  // conflict), and closed banks with pending entries grouped by rank —
+  // so a rank whose tFAW/tRRD floor blocks every ACT is skipped as one
+  // comparison instead of one per bank.
+  BankIndex active_[2];
+  BankIndex col_idx_[2];
+  BankIndex pre_idx_[2];
+  std::vector<BankIndex> closed_idx_[2];  ///< [dir][rank]
+  unsigned q_size_[2] = {0, 0};
+  std::uint64_t next_seq_ = 0;
+
   std::vector<InflightRead> inflight_reads_;
+  /// Min finish over inflight_reads_ (kNoEvent when empty), maintained on
+  /// push and during tick()'s retire pass so compute_next_event_cycle()
+  /// reads it in O(1).
+  Cycle inflight_min_finish_ = kNoEvent;
   std::vector<Completion> completions_;
 
   // Channel-level constraints.
@@ -206,16 +319,18 @@ class Controller {
   // next_event_cycle() memo (valid until the next state mutation).
   mutable Cycle next_event_cache_ = 0;
   mutable bool next_event_valid_ = false;
-  // Per-bank scratch stamps so one timing check per (bank, direction)
-  // suffices per scan: same-bank entries in the same state share the same
-  // verdict. Indexed [is_write][flat_bank]. try_issue_* passes stamp with
-  // the odd value 2*now+1 ("checked, not allowed this cycle");
-  // compute_next_event_cycle() stamps with a fresh even epoch per pass.
-  mutable std::vector<Cycle> col_checked_[2];
-  mutable std::vector<Cycle> act_checked_;
-  mutable Cycle compute_epoch_ = 0;
+
+  // Primed-floor scratch (see prime_col_floors / prime_act_floors).
+  struct ActFloor {
+    Cycle same_bg = 0, diff_bg = 0;
+    bool gated = false;
+  };
+  mutable Cycle col_ccd_same_ = 0, col_ccd_diff_ = 0;
+  mutable std::vector<Cycle> col_bus_floor_;  ///< per rank
+  mutable std::vector<ActFloor> act_floor_;   ///< per rank
 
   ControllerStats stats_;
+  ScanStats scan_stats_;
 };
 
 }  // namespace secddr::dram

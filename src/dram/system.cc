@@ -1,5 +1,6 @@
 #include "dram/system.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace secddr::dram {
@@ -32,11 +33,16 @@ void DramSystem::tick_core_cycle() {
         --gate_burst_;
       } else if (controller_.next_event_cycle(mem_cycle_) > mem_cycle_) {
         gate_streak_ = 0;
+        gate_burst_len_ = kGateBurst;
         ++mem_cycle_;
         continue;
       } else if (++gate_streak_ >= kGateBurst) {
+        // Saturated: tick without querying for a burst, doubling the
+        // burst while the saturation persists (every query in between
+        // still answered "tick now").
         gate_streak_ = 0;
-        gate_burst_ = kGateBurst;
+        gate_burst_ = gate_burst_len_;
+        gate_burst_len_ = std::min(gate_burst_len_ * 2, kGateBurstCap);
       }
     }
     controller_.tick(mem_cycle_);
@@ -52,6 +58,14 @@ void DramSystem::tick_core_cycle() {
 }
 
 Cycle DramSystem::idle_core_cycles() const {
+  // Saturation burst (see tick_core_cycle): the controller is issuing on
+  // nearly every cycle, so the answer would be 0 anyway — return it
+  // without touching the controller's next-event scan. Understating idle
+  // is always exact (a skip is optional), and the burst expires within
+  // at most kGateBurstCap memory ticks (it starts at kGateBurst and
+  // doubles only while every query in between still answers "tick now"),
+  // after which the precise query resumes.
+  if (event_driven_ && gate_burst_ > 0) return 0;
   const Cycle event = controller_.next_event_cycle(mem_cycle_);
   if (event == kNoEvent) return kNoEvent;
   // The controller must run tick(event), which takes `event - mem_cycle_ + 1`

@@ -45,10 +45,17 @@ class DramSystem {
   /// Completions observed since last drain, with finish times converted to
   /// core cycles.
   std::vector<Completion> drain_completions();
+  /// Zero-copy variant: the completion buffer itself (core-cycle finish
+  /// stamps); the caller iterates and then calls clear_completions(),
+  /// which keeps the buffer's capacity (drain_completions() would free it
+  /// every cycle).
+  const std::vector<Completion>& pending_completions() const { return out_; }
+  void clear_completions() { out_.clear(); }
 
   Cycle core_cycle() const { return core_cycle_; }
   Cycle memory_cycle() const { return mem_cycle_; }
   const ControllerStats& stats() const { return controller_.stats(); }
+  const ScanStats& scan_stats() const { return controller_.scan_stats(); }
   void reset_stats() { controller_.reset_stats(); }
   const Timings& timings() const { return controller_.timings(); }
   const Geometry& geometry() const { return controller_.geometry(); }
@@ -71,10 +78,16 @@ class DramSystem {
   Controller controller_;
   double core_clock_mhz_;
   bool event_driven_ = false;
-  /// Saturation backoff for the event gate (see tick_core_cycle).
+  /// Saturation backoff for the event gate (see tick_core_cycle). The
+  /// burst doubles (up to the cap) each time a full burst ends and the
+  /// controller is still issuing every cycle, so sustained saturation
+  /// spends a vanishing fraction of ticks on next-event queries; any
+  /// "future event" answer resets the length.
   static constexpr unsigned kGateBurst = 16;
+  static constexpr unsigned kGateBurstCap = 256;
   unsigned gate_streak_ = 0;
   unsigned gate_burst_ = 0;
+  unsigned gate_burst_len_ = kGateBurst;
   Cycle core_cycle_ = 0;
   Cycle mem_cycle_ = 0;
   // mem_cycles owed = core_cycle * mem_mhz / core_mhz, tracked exactly with

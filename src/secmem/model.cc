@@ -270,7 +270,7 @@ void SecurityEngine::tick(Cycle now) {
     issue_q_.pop_front();
   }
 
-  for (const auto& c : dram_.drain_completions()) {
+  for (const auto& c : dram_.pending_completions()) {
     const auto kind = static_cast<TagKind>(c.tag >> 56);
     const std::uint64_t id = c.tag & ((1ull << 56) - 1);
     switch (kind) {
@@ -290,6 +290,7 @@ void SecurityEngine::tick(Cycle now) {
         break;  // posted
     }
   }
+  dram_.clear_completions();
 }
 
 }  // namespace secddr::secmem

@@ -1,5 +1,6 @@
 #include "sim/backend.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace secddr::sim {
@@ -8,6 +9,17 @@ MemoryBackend::MemoryBackend(const BackendConfig& config)
     : selector_(config.geometry) {
   const unsigned n = config.geometry.channels;
   assert(n >= 1);
+  // Per-channel tick threading: the caller ticks range 0 itself; workers
+  // 1..W-1 tick the rest. Contiguous ranges keep each worker's channels
+  // adjacent in memory.
+  const unsigned want = config.mem_threads > 0 ? config.mem_threads : 1;
+  const unsigned w = std::min(want, n);
+  if (w > 1) {
+    workers_ = w - 1;
+    for (unsigned i = 0; i < w; ++i)
+      ranges_.emplace_back(i * n / w, (i + 1) * n / w);
+    done_ = std::make_unique<DoneSlot[]>(workers_);
+  }
   // Each channel's local data slice must be dense: the selector removes
   // the channel bits, so the data region has to be a whole number of
   // interleave stripes per channel.
@@ -36,6 +48,55 @@ MemoryBackend::MemoryBackend(const BackendConfig& config)
         config.security, *ch.layout, *ch.dram);
     channels_.push_back(std::move(ch));
   }
+  // Spawn workers only after every channel exists.
+  for (unsigned i = 0; i < workers_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+MemoryBackend::~MemoryBackend() {
+  if (workers_ > 0) {
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (auto& t : threads_) t.join();
+  }
+}
+
+void MemoryBackend::tick_channel(Channel& ch, Cycle now) {
+  ch.dram->tick_core_cycle();
+  ch.engine->tick(now);
+}
+
+namespace {
+// Spin briefly, then yield: between ticks (event-driven skips, drain
+// phases) a pure spin would burn a core doing nothing. Shared by the
+// caller-side and worker-side waits so their backoff stays symmetric.
+template <typename Pred>
+void spin_until(Pred&& done) {
+  unsigned spins = 0;
+  while (!done()) {
+    if (++spins >= 4096) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+}  // namespace
+
+void MemoryBackend::worker_loop(unsigned worker) {
+  const auto [begin, end] = ranges_[worker + 1];
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e = seen;
+    spin_until([&] {
+      e = epoch_.load(std::memory_order_acquire);
+      return e != seen;
+    });
+    if (stop_.load(std::memory_order_acquire)) return;
+    const Cycle now = tick_now_;
+    for (unsigned c = begin; c < end; ++c) tick_channel(channels_[c], now);
+    seen = e;
+    done_[worker].v.store(e, std::memory_order_release);
+  }
 }
 
 void MemoryBackend::start_read(Addr addr, std::uint64_t tag, Cycle now) {
@@ -49,9 +110,21 @@ void MemoryBackend::start_write(Addr addr, Cycle now) {
 }
 
 void MemoryBackend::tick(Cycle now) {
+  if (workers_ == 0) {
+    for (Channel& ch : channels_) tick_channel(ch, now);
+  } else {
+    tick_now_ = now;
+    const std::uint64_t e = epoch_.fetch_add(1, std::memory_order_release) + 1;
+    const auto [begin, end] = ranges_[0];
+    for (unsigned c = begin; c < end; ++c) tick_channel(channels_[c], now);
+    for (unsigned w = 0; w < workers_; ++w)
+      spin_until(
+          [&] { return done_[w].v.load(std::memory_order_acquire) == e; });
+  }
+  // Fixed channel-order aggregation barrier: ready results are gathered
+  // serially in channel order whatever thread produced them, so the
+  // MemorySystem observes the exact sequence the serial path produces.
   for (Channel& ch : channels_) {
-    ch.dram->tick_core_cycle();
-    ch.engine->tick(now);
     auto& r = ch.engine->ready();
     if (!r.empty()) {
       ready_.insert(ready_.end(), r.begin(), r.end());

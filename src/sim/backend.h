@@ -16,8 +16,10 @@
 // SimFastPathDeterminism golden tests).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "dram/address.h"
@@ -40,14 +42,26 @@ struct BackendConfig {
   /// above its `data_bytes / channels` local slice.
   std::uint64_t data_bytes = 8ull << 30;
   bool event_driven = true;
+  /// Opt-in per-channel tick parallelism: > 1 spreads the channels'
+  /// controller + security-engine tick loops across that many persistent
+  /// worker threads (clamped to the channel count; 1 = serial). Channels
+  /// share no state between LLC handoff points and results are gathered
+  /// in fixed channel order behind a barrier, so threaded and serial runs
+  /// produce bit-identical RunResults.
+  unsigned mem_threads = 1;
 };
 
 /// See file comment.
 class MemoryBackend {
  public:
   explicit MemoryBackend(const BackendConfig& config);
+  ~MemoryBackend();
+  MemoryBackend(const MemoryBackend&) = delete;
+  MemoryBackend& operator=(const MemoryBackend&) = delete;
 
   unsigned channels() const { return static_cast<unsigned>(channels_.size()); }
+  /// Worker threads actually ticking channels (1 = serial path).
+  unsigned mem_threads() const { return workers_ + 1; }
 
   /// Starts a secure data-line read; `tag` is reported via ready() when
   /// the decrypted and verified line is available. Routed to the owning
@@ -114,9 +128,31 @@ class MemoryBackend {
     std::unique_ptr<secmem::SecurityEngine> engine;
   };
 
+  void tick_channel(Channel& ch, Cycle now);
+  void worker_loop(unsigned worker);
+
   dram::ChannelSelector selector_;
   std::vector<Channel> channels_;
   std::vector<secmem::ReadReady> ready_;
+
+  // --- opt-in per-channel tick threading ------------------------------
+  // Epoch-based spin barrier: tick() publishes `tick_now_` and bumps
+  // `epoch_` (release); each worker ticks its contiguous channel range
+  // and stamps its `done` slot with the epoch (release); tick() spins
+  // until every slot caught up (acquire), then drains the engines' ready
+  // lists in fixed channel order. Between epochs the workers only read
+  // `epoch_`, so all other backend methods stay plain serial code; the
+  // acquire/release pairs order every cross-thread channel access.
+  struct alignas(64) DoneSlot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  unsigned workers_ = 0;  ///< extra threads beyond the caller (0 = serial)
+  std::vector<std::thread> threads_;
+  std::vector<std::pair<unsigned, unsigned>> ranges_;  ///< per worker+caller
+  std::unique_ptr<DoneSlot[]> done_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> stop_{false};
+  Cycle tick_now_ = 0;  ///< published before the epoch release-store
 };
 
 }  // namespace secddr::sim

@@ -1,6 +1,7 @@
 #include "sim/core.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace secddr::sim {
 
@@ -44,6 +45,7 @@ void Core::fetch() {
     rob_.push_back({rec.is_write ? Kind::kStore : Kind::kLoad, 1, rec.addr,
                     false, false});
     rob_occupancy_ += 1;
+    ++mem_ops_in_rob_;
     fetched_instructions_ += 1;
     have_pending_record_ = false;
   }
@@ -94,6 +96,7 @@ void Core::retire() {
     rob_occupancy_ -= 1;
     stats_.instructions += 1;
     --budget;
+    --mem_ops_in_rob_;
     rob_.pop_front();
     if (issue_cursor_ > 0) --issue_cursor_;
   }
@@ -114,8 +117,85 @@ void Core::tick() {
     finished_ = true;
 }
 
+Core::ComputeReplay Core::simulate_compute(Cycle max_ticks) const {
+  // Caller guarantees pure_compute(): the ROB holds only issued+done
+  // batch entries. Simulate upcoming ticks on three scalars — ROB
+  // occupancy R, the pending record's remaining batch gap, and the fetch
+  // budget — collapsing steady-state runs (full window, whole-retire-width
+  // takes) in closed form. A tick is replayable iff fetch would add only
+  // batch instructions (no memory op, no unknown trace record) and
+  // retirement leaves the ROB nonempty (the emptying tick may flip
+  // `finished_`, which the simulation loop must observe itself).
+  const std::uint64_t C = config_.rob_size, W = config_.retire_width;
+  std::uint64_t R = rob_occupancy_;
+  std::uint64_t fetched = fetched_instructions_;
+  std::uint64_t gap = have_pending_record_ ? pending_record_.gap : 0;
+  const bool unknown_next = !have_pending_record_ && !trace_exhausted_;
+  ComputeReplay out;
+  while (out.ticks < max_ticks) {
+    const std::uint64_t bud =
+        budget_ ? (budget_ > fetched ? budget_ - fetched : 0)
+                : ~std::uint64_t{0};
+    const std::uint64_t supply = std::min(gap, bud);
+    const std::uint64_t room = C - R;
+    if (room == W && supply >= 2 * W && C > W) {
+      // Steady state: fetch refills exactly what retirement drains, so
+      // every tick in the run is identical. Leave >= one supply-W tail
+      // for the per-tick checks below.
+      const std::uint64_t runs = std::min<std::uint64_t>(
+          supply / W - 1, max_ticks - out.ticks);
+      out.ticks += runs;
+      out.retired += runs * W;
+      out.consumed += runs * W;
+      gap -= runs * W;
+      fetched += runs * W;
+      continue;
+    }
+    const std::uint64_t take = std::min(room, supply);
+    // Fetch would consume the record's last batch instruction with ROB
+    // room (and budget) left: the memory op itself enters this tick.
+    if (have_pending_record_ && take == gap && take < room &&
+        (budget_ == 0 || fetched + take < budget_))
+      break;
+    // Fetch would read a trace record we cannot see.
+    if (unknown_next && room > 0) break;
+    const std::uint64_t r1 = R + take;
+    if (r1 <= W) break;  // this tick empties the ROB (and may finish)
+    R = r1 - W;
+    gap -= take;
+    fetched += take;
+    ++out.ticks;
+    out.retired += W;
+    out.consumed += take;
+  }
+  out.occupancy = R;
+  return out;
+}
+
+void Core::advance_compute(Cycle ticks) {
+  // Run the same stepper the planner ran; by contract `ticks` does not
+  // exceed the planner's count, so the stepper cannot stop early.
+  const ComputeReplay r = simulate_compute(ticks);
+  assert(r.ticks == ticks && "advance_compute past the replayable window");
+  stats_.cycles += r.ticks;
+  stats_.instructions += r.retired;
+  fetched_instructions_ += r.consumed;
+  if (r.consumed > 0) pending_record_.gap -= r.consumed;
+  // Re-canonicalize: one batch entry carries the surviving occupancy.
+  // Retirement consumes contiguous batch instructions identically however
+  // they are grouped into entries, so this cannot change behaviour.
+  rob_occupancy_ = r.occupancy;
+  rob_.clear();
+  rob_.push_back(
+      {Kind::kBatch, static_cast<std::uint32_t>(r.occupancy), 0, true, true});
+  issue_cursor_ = rob_.size();
+}
+
 Cycle Core::next_event_cycle(Cycle now) const {
   if (finished_) return kNoEvent;
+  // Pure compute: the next k ticks are fetch + bulk retirement that
+  // advance_idle() replays in closed form.
+  if (pure_compute()) return now + 1 + compute_replayable_ticks();
   // Fetch can make progress (or discover trace exhaustion).
   if (rob_occupancy_ < config_.rob_size && !budget_reached() &&
       (have_pending_record_ || !trace_exhausted_))
@@ -142,7 +222,11 @@ bool Core::blocked_on_issue(Addr* addr) const {
 }
 
 void Core::advance_idle(Cycle cycles) {
-  if (finished_) return;
+  if (finished_ || cycles == 0) return;
+  if (pure_compute()) {
+    advance_compute(cycles);
+    return;
+  }
   stats_.cycles += cycles;
   // The only idle state with work in flight: ROB head blocked on a load,
   // which retire() counts as a load-stall cycle on every tick.

@@ -59,18 +59,25 @@ class Core {
 
   /// Event query for the event-driven simulation loop. `now` is the cycle
   /// of the most recent tick(); returns the earliest cycle at which the
-  /// core could make progress: `now + 1` when it can fetch, has an
-  /// un-issued memory op to (re)try, or can retire, and kNoEvent when it
-  /// is finished or the ROB head is blocked on an outstanding load (the
-  /// memory system's completion queue bounds that wait). While the query
-  /// reports kNoEvent, tick() would change nothing except the stall
-  /// accounting that advance_idle() replays.
+  /// core could make progress that advance_idle() cannot replay:
+  /// `now + 1` when it has an un-issued memory op to (re)try or the next
+  /// tick's effect is not expressible in closed form, `now + 1 + k` when
+  /// the next `k` ticks are pure compute (the ROB holds only non-memory
+  /// batches and fetch can only supply more of them — see
+  /// compute_replayable_ticks), and kNoEvent when it is finished or the
+  /// ROB head is blocked on an outstanding load (the memory system's
+  /// completion queue bounds that wait). While the query reports a cycle
+  /// past `now + 1` (or kNoEvent), tick() up to that cycle would change
+  /// nothing except the retirement/stall accounting that advance_idle()
+  /// replays.
   Cycle next_event_cycle(Cycle now) const;
 
   /// Accounts `cycles` skipped ticks taken while next_event_cycle()
-  /// reported no work: bumps `stats_.cycles` and, when the ROB head is an
-  /// outstanding load, `stats_.load_stall_cycles` — exactly what `cycles`
-  /// calls to tick() would have recorded. No-op once finished.
+  /// reported them replayable — exactly what `cycles` calls to tick()
+  /// would have recorded. Blocked states bump `stats_.cycles` and, when
+  /// the ROB head is an outstanding load, `stats_.load_stall_cycles`;
+  /// pure-compute states replay fetch + bulk retirement in closed form
+  /// (instructions, trace gap, ROB occupancy). No-op once finished.
   /// Also used for skipped blocked_on_issue() ticks, whose only other
   /// effect (the failing issue call) MemorySystem replays.
   void advance_idle(Cycle cycles);
@@ -115,6 +122,39 @@ class Core {
   bool budget_reached() const {
     return budget_ != 0 && fetched_instructions_ >= budget_;
   }
+  /// True when the ROB holds only non-memory batches (every entry issued
+  /// and done) — the state whose ticks are pure retirement math.
+  bool pure_compute() const { return mem_ops_in_rob_ == 0 && !rob_.empty(); }
+  /// Outcome of simulate_compute(): how far the scalar compute model
+  /// advanced and what it consumed/retired along the way.
+  struct ComputeReplay {
+    Cycle ticks = 0;               ///< replayable ticks advanced
+    std::uint64_t retired = 0;     ///< instructions retired across them
+    std::uint64_t consumed = 0;    ///< batch instructions fetched from the
+                                   ///< pending record's gap
+    std::uint64_t occupancy = 0;   ///< ROB occupancy afterwards
+  };
+  /// Single source of truth for the pure-compute closed form: advances a
+  /// scalar model (ROB occupancy, pending-record gap, fetch budget) by at
+  /// most `max_ticks` ticks, stopping at the first tick that would not be
+  /// exactly replayable (a memory op or unknown trace record would enter
+  /// the ROB, or retirement would empty it). Both the planner
+  /// (compute_replayable_ticks) and the replayer (advance_compute) run
+  /// this same stepper, so they cannot drift apart.
+  ComputeReplay simulate_compute(Cycle max_ticks) const;
+  /// How many upcoming ticks are pure compute and exactly replayable in
+  /// closed form. 0 when the next trace record is unknown or the very
+  /// next tick breaks the state.
+  Cycle compute_replayable_ticks() const {
+    return simulate_compute(kNoEvent).ticks;
+  }
+  /// Replays `ticks` pure-compute ticks (ticks <= compute_replayable_ticks
+  /// by contract): per tick, fetch tops the ROB up from the pending
+  /// record's batch gap and retirement drains `retire_width` instructions,
+  /// all in closed form. Afterwards the ROB is re-canonicalized as a
+  /// single batch entry — retirement treats contiguous batch instructions
+  /// identically regardless of entry grouping, so behaviour is unchanged.
+  void advance_compute(Cycle ticks);
 
   unsigned id_;
   CoreConfig config_;
@@ -127,6 +167,7 @@ class Core {
   /// is issued and the cursor only moves forward (minus head retires).
   std::size_t issue_cursor_ = 0;
   std::uint64_t rob_occupancy_ = 0;  ///< instructions currently in the ROB
+  std::size_t mem_ops_in_rob_ = 0;   ///< load/store entries in the ROB
   std::uint64_t fetched_instructions_ = 0;
   std::uint64_t budget_ = 0;
   bool trace_exhausted_ = false;

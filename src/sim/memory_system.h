@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/cache.h"
@@ -121,9 +120,86 @@ class MemorySystem final : public MemoryPort {
   std::vector<SetAssocCache> l1s_;
   SetAssocCache llc_;
   StreamPrefetcher prefetcher_;
+  /// line -> MSHR index map, open-addressed with linear probing and
+  /// backward-shift deletion. At most `mshrs` entries live at <= 25% load,
+  /// so lookups are one or two cache lines — this sits on the per-cycle
+  /// issue path where std::unordered_map's node allocations showed up in
+  /// profiles.
+  struct MshrTable {
+    struct Slot {
+      Addr line = 0;
+      unsigned idx = 0;
+      bool used = false;
+    };
+    std::vector<Slot> slots;
+    std::uint64_t mask = 0;
+
+    void init(unsigned mshrs) {
+      std::size_t cap = 8;
+      while (cap < 4ull * mshrs) cap <<= 1;
+      slots.assign(cap, Slot{});
+      mask = cap - 1;
+    }
+    static std::uint64_t hash(Addr line) {
+      return (line * 0x9E3779B97F4A7C15ull) >> 17;
+    }
+    int find(Addr line) const {
+      for (std::uint64_t i = hash(line) & mask;; i = (i + 1) & mask) {
+        const Slot& s = slots[i];
+        if (!s.used) return -1;
+        if (s.line == line) return static_cast<int>(s.idx);
+      }
+    }
+    void insert(Addr line, unsigned idx) {
+      for (std::uint64_t i = hash(line) & mask;; i = (i + 1) & mask) {
+        if (!slots[i].used) {
+          slots[i] = {line, idx, true};
+          return;
+        }
+      }
+    }
+    void erase(Addr line) {
+      std::uint64_t i = hash(line) & mask;
+      for (;; i = (i + 1) & mask) {
+        if (!slots[i].used) return;
+        if (slots[i].line == line) break;
+      }
+      // Backward-shift deletion keeps every remaining probe chain intact
+      // without tombstones.
+      std::uint64_t j = i;
+      for (;;) {
+        slots[i].used = false;
+        for (;;) {
+          j = (j + 1) & mask;
+          if (!slots[j].used) return;
+          const std::uint64_t k = hash(slots[j].line) & mask;
+          // Element at j may fill the hole at i unless its ideal slot k
+          // lies cyclically within (i, j].
+          const bool stays = i <= j ? (k > i && k <= j)
+                                    : (k > i || k <= j);
+          if (!stays) break;
+        }
+        slots[i] = slots[j];
+        i = j;
+      }
+    }
+  };
+
   std::vector<Mshr> mshrs_;
-  std::unordered_map<Addr, unsigned> mshr_map_;  ///< line -> MSHR index
-  std::vector<unsigned> mshr_free_;              ///< free indices (LIFO)
+  MshrTable mshr_map_;               ///< line -> MSHR index
+  std::vector<unsigned> mshr_free_;  ///< free indices (LIFO)
+
+  /// Bumped whenever the inputs of issue_blocked_for can change in the
+  /// unblocking direction (MSHR alloc/release, LLC line installs), so the
+  /// per-core memo below stays exact. Starts at 1 so default-initialized
+  /// memo slots can never produce a false hit.
+  std::uint64_t fill_version_ = 1;
+  struct BlockedMemo {
+    std::uint64_t version = 0;
+    Addr line = 0;
+    bool blocked = false;
+  };
+  mutable std::vector<BlockedMemo> blocked_memo_;
 
   std::priority_queue<PendingDone, std::vector<PendingDone>,
                       std::greater<PendingDone>>

@@ -15,6 +15,7 @@ System::System(const SystemConfig& config, std::vector<TraceSource*> traces)
   bc.core_mhz = config.core_mhz;
   bc.data_bytes = config.data_bytes;
   bc.event_driven = config.event_driven;
+  bc.mem_threads = config.mem_threads;
   backend_ = std::make_unique<MemoryBackend>(bc);
   memory_ = std::make_unique<MemorySystem>(config.mem, *backend_);
   cores_.reserve(traces.size());
@@ -52,8 +53,25 @@ RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
       // no-ops for every component, so results stay bit-identical to the
       // per-cycle loop; advance_idle() / account_blocked_retries() replay
       // exactly what the skipped ticks would have recorded (cycle and
-      // load-stall counters, failing-issue cache-stat bumps).
-      Cycle skip = limit - (cycle + 1);
+      // load-stall counters, failing-issue cache-stat bumps, bulk
+      // compute-batch retirement).
+      //
+      // The memory bound is checked first: it is O(channels) while the
+      // per-core queries walk replay planners and cache probes, and at
+      // DRAM saturation memory denies nearly every skip — so the common
+      // denial costs almost nothing.
+      const Cycle mem_idle = memory_->idle_cycles();
+      if (mem_idle == 0) {
+        if (++mem_deny_streak >= 16) {
+          attempt_pause = 16;
+          mem_deny_streak = 0;
+        }
+        continue;
+      }
+      // The backoff targets *consecutive* memory denials; a grant resets
+      // it even when a core below vetoes the skip.
+      mem_deny_streak = 0;
+      Cycle skip = std::min(mem_idle, limit - (cycle + 1));
       std::uint64_t blocked_cores = 0;
       for (auto& core : cores_) {
         Addr blocked_addr;
@@ -71,15 +89,6 @@ RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
         if (skip == 0) break;
       }
       if (skip == 0) continue;
-      skip = std::min(skip, memory_->idle_cycles());
-      if (skip == 0) {
-        if (++mem_deny_streak >= 16) {
-          attempt_pause = 16;
-          mem_deny_streak = 0;
-        }
-        continue;
-      }
-      mem_deny_streak = 0;
       for (auto& core : cores_) core->advance_idle(skip);
       memory_->account_blocked_retries(blocked_cores * skip);
       memory_->advance_idle(skip);

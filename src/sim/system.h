@@ -32,6 +32,10 @@ struct SystemConfig {
   /// RunResults (asserted by the SimFastPathDeterminism tests); turn off
   /// to cross-check or to profile the per-cycle loop (bench/speed.cc).
   bool event_driven = true;
+  /// Opt-in per-channel memory threading (see BackendConfig::mem_threads):
+  /// > 1 ticks the channels on that many threads, clamped to the channel
+  /// count. Threaded and serial runs are bit-identical.
+  unsigned mem_threads = 1;
 };
 
 struct RunResult {

@@ -402,6 +402,105 @@ TEST(Controller, LongerWriteBurstIncreasesBusBusy) {
   EXPECT_EQ(bl10, bl8 / 4 * 5);  // 4 -> 5 cycles per write burst
 }
 
+// Property + regression: the per-bank request queues must preserve exact
+// FR-FCFS semantics — scheduling order, arrival-order (seq) tie-breaking,
+// write merging/forwarding, and can_accept_read/write backpressure —
+// under randomized address streams. Each stream's full observable
+// behaviour (every Completion field in drain order, final stats, and the
+// drain time, which depends on backpressure) is folded into an FNV-1a
+// hash and compared against hashes captured at the PR 3 commit, whose
+// controller still scanned global arrival-ordered deques. Any
+// reordering, timing drift, or backpressure change perturbs the hash.
+TEST(Controller, PerBankQueuesMatchPr3GoldenStreams) {
+  struct Lcg {
+    std::uint64_t s;
+    std::uint64_t next() {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      return s >> 11;
+    }
+  };
+  struct StreamCfg {
+    const char* name;
+    std::uint64_t seed;
+    SchedulingPolicy policy;
+    unsigned space_bits;  ///< address space spans 1<<bits lines
+    unsigned write_pct;   ///< % of requests that are writes
+    unsigned burst;       ///< max enqueue attempts per cycle
+    unsigned cycles;      ///< driven cycles before the drain phase
+    std::uint64_t golden; ///< hash captured at the PR 3 commit
+  };
+  const std::vector<StreamCfg> streams = {
+      {"frfcfs_mixed", 1, SchedulingPolicy::kFrFcfs, 14, 30, 2, 30000,
+       0xb33ca9850041babaull},
+      {"frfcfs_hot", 2, SchedulingPolicy::kFrFcfs, 6, 30, 3, 30000,
+       0x5359aa359ad4651bull},
+      {"frfcfs_writeheavy", 3, SchedulingPolicy::kFrFcfs, 12, 70, 3, 30000,
+       0x1f6fd8ad5d0b7033ull},
+      {"frfcfs_sparse", 4, SchedulingPolicy::kFrFcfs, 20, 20, 1, 30000,
+       0x5b10ffc69c3d3518ull},
+      {"fcfs_mixed", 5, SchedulingPolicy::kFcfs, 14, 30, 2, 30000,
+       0xa9b94dacf4f85fc7ull},
+      {"fcfs_hot", 6, SchedulingPolicy::kFcfs, 6, 50, 3, 30000,
+       0x1cbd3468f788fdebull},
+  };
+  for (const StreamCfg& cfg : streams) {
+    SCOPED_TRACE(cfg.name);
+    Geometry g;  // default (full Table I) geometry, as captured
+    Controller ctrl(g, Timings::ddr4_3200(), 64, 64, cfg.policy);
+    Lcg rng{cfg.seed};
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    const auto mix = [&](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+      }
+    };
+    std::uint64_t tag = 0;
+    const std::uint64_t space = (1ull << cfg.space_bits) * 64ull;
+    Cycle now = 0;
+    const auto drive = [&](bool inject) {
+      if (inject) {
+        const unsigned n = static_cast<unsigned>(rng.next() % (cfg.burst + 1));
+        for (unsigned i = 0; i < n; ++i) {
+          const bool is_write = rng.next() % 100 < cfg.write_pct;
+          const Addr addr = (rng.next() % space) & ~Addr{63};
+          if (is_write ? ctrl.can_accept_write() : ctrl.can_accept_read())
+            ctrl.enqueue(addr, is_write, tag++, now);
+        }
+      }
+      ctrl.tick(now);
+      for (const auto& done : ctrl.completions()) {
+        mix(done.tag);
+        mix(done.addr);
+        mix(done.is_write ? 1 : 0);
+        mix(done.arrival);
+        mix(done.finish);
+      }
+      ctrl.completions().clear();
+      ++now;
+    };
+    for (Cycle i = 0; i < cfg.cycles; ++i) drive(true);
+    while (ctrl.pending() > 0 && now < cfg.cycles + 200000) drive(false);
+    const auto& s = ctrl.stats();
+    mix(s.reads_enqueued);
+    mix(s.writes_enqueued);
+    mix(s.reads_completed);
+    mix(s.writes_completed);
+    mix(s.row_hits);
+    mix(s.row_misses);
+    mix(s.activates);
+    mix(s.precharges);
+    mix(s.refreshes);
+    mix(s.write_forwards);
+    mix(s.data_bus_busy_cycles);
+    mix(s.total_read_latency);
+    mix(now);
+    EXPECT_EQ(h, cfg.golden) << "per-bank queues diverged from the PR 3 "
+                                "global-deque controller on this stream";
+    EXPECT_EQ(ctrl.pending(), 0u) << "stream failed to drain";
+  }
+}
+
 // ---------------------------------------------------------------- system
 
 TEST(DramSystem, ClockDomainRatioExact) {
