@@ -26,7 +26,7 @@ sim::RunResult run_custom(const workloads::WorkloadDesc& w,
                           bool prefetch = true,
                           dram::SchedulingPolicy policy =
                               dram::SchedulingPolicy::kFrFcfs) {
-  const auto traces = bench::make_traces(w, opt.cores);
+  const auto traces = bench::make_trace_sources(w, opt.cores);
   std::vector<sim::TraceSource*> ptrs;
   for (const auto& t : traces) ptrs.push_back(t.get());
   sim::SystemConfig cfg = bench::make_system_config(opt, sec, timings);

@@ -9,6 +9,10 @@
 //                       sim::System (default 1 = serial; results are
 //                       bit-identical either way)
 //   SECDDR_FILTER       comma-free substring filter on workload names
+//   SECDDR_TRACE_DIR    directory of recorded trace files (see
+//                       trace_file_path); when every core of a workload
+//                       has one, the sweep streams those instead of the
+//                       synthetic generator
 //
 // Thread-knob interplay: SECDDR_JOBS parallelizes across sweep points
 // (one System per worker) while SECDDR_MEM_THREADS parallelizes the
@@ -25,11 +29,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "secmem/params.h"
+#include "sim/stream_trace.h"
 #include "sim/system.h"
 #include "workloads/generator.h"
 #include "workloads/workload.h"
@@ -117,14 +123,39 @@ inline std::uint64_t data_bytes_for(unsigned cores) {
   return std::max<std::uint64_t>(8ull << 30, kCoreStrideBytes * cores);
 }
 
-/// One synthetic trace per core, each in its own address-space stripe.
-inline std::vector<std::unique_ptr<workloads::SyntheticTrace>> make_traces(
+/// Recorded-trace file for core `core` of workload `name` under `dir` —
+/// the naming the SECDDR_TRACE_DIR knob and bench/trace_smoke share.
+inline std::string trace_file_path(const std::string& dir,
+                                   const std::string& name, unsigned core) {
+  return dir + "/" + name + ".core" + std::to_string(core) + ".strace";
+}
+
+/// Per-core trace sources for one workload: when SECDDR_TRACE_DIR holds
+/// a recorded file for every core (trace_file_path naming; binary or
+/// legacy text, dispatched on magic), those files are streamed in loop
+/// mode so short recordings can feed long simulations. Any missing file
+/// falls the whole workload back to the synthetic generator, so a trace
+/// directory can cover just part of the suite.
+inline std::vector<std::unique_ptr<sim::TraceSource>> make_trace_sources(
     const workloads::WorkloadDesc& desc, unsigned cores) {
-  std::vector<std::unique_ptr<workloads::SyntheticTrace>> traces;
+  std::vector<std::unique_ptr<sim::TraceSource>> out;
+  if (const char* dir = std::getenv("SECDDR_TRACE_DIR")) {
+    bool complete = true;
+    for (unsigned c = 0; c < cores && complete; ++c) {
+      auto src = sim::open_trace_if_present(
+          trace_file_path(dir, desc.name, c), /*loop=*/true);
+      if (src)
+        out.push_back(std::move(src));
+      else
+        complete = false;  // missing file: synthetic fallback below
+    }
+    if (complete) return out;
+    out.clear();
+  }
   for (unsigned c = 0; c < cores; ++c)
-    traces.push_back(
+    out.push_back(
         std::make_unique<workloads::SyntheticTrace>(desc, c, kCoreStrideBytes));
-  return traces;
+  return out;
 }
 
 /// Table I system configuration for a bench run. Keeps the paper's 2:1
@@ -159,7 +190,7 @@ inline sim::RunResult run_workload(const workloads::WorkloadDesc& desc,
                                    const BenchOptions& opt,
                                    dram::Timings timings =
                                        dram::Timings::ddr4_3200()) {
-  const auto traces = make_traces(desc, opt.cores);
+  const auto traces = make_trace_sources(desc, opt.cores);
   std::vector<sim::TraceSource*> ptrs;
   for (const auto& t : traces) ptrs.push_back(t.get());
   sim::System sys(make_system_config(opt, sec, timings), ptrs);

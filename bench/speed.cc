@@ -43,7 +43,8 @@ ModeResult run_mode(const std::vector<bench::SweepPoint>& points,
   const auto results =
       bench::sweep_map(points.size(), [&](std::size_t i) -> sim::RunResult {
         const auto p0 = std::chrono::steady_clock::now();
-        const auto traces = bench::make_traces(points[i].workload, opt.cores);
+        const auto traces =
+            bench::make_trace_sources(points[i].workload, opt.cores);
         std::vector<sim::TraceSource*> ptrs;
         for (const auto& t : traces) ptrs.push_back(t.get());
         sim::SystemConfig cfg = bench::make_system_config(
@@ -187,7 +188,7 @@ int main() {
       std::fprintf(stderr, "FAIL: workload '%s' missing\n", wl_name);
       return 1;
     }
-    const auto traces = bench::make_traces(*wl, opt.cores);
+    const auto traces = bench::make_trace_sources(*wl, opt.cores);
     std::vector<sim::TraceSource*> ptrs;
     for (const auto& t : traces) ptrs.push_back(t.get());
     sim::System sys(bench::make_system_config(
@@ -245,7 +246,7 @@ int main() {
     const std::vector<unsigned> thread_counts =
         ch == 1u ? std::vector<unsigned>{1u} : std::vector<unsigned>{1u, ch};
     for (unsigned threads : thread_counts) {
-      const auto traces = bench::make_traces(*mcf, opt.cores);
+      const auto traces = bench::make_trace_sources(*mcf, opt.cores);
       std::vector<sim::TraceSource*> ptrs;
       for (const auto& t : traces) ptrs.push_back(t.get());
       BenchOptions copt = opt;

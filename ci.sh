@@ -41,13 +41,27 @@ SECDDR_CHANNELS=2 ctest --test-dir build-ci-release -L determinism \
 SECDDR_MEM_THREADS=2 ctest --test-dir build-ci-release -L determinism \
       --no-tests=error --output-on-failure -j "$jobs"
 
+# Trace-subsystem battery: the trace label (codec round-trip/property
+# tests, the corruption battery, text-parser regressions, source
+# determinism, trace_convert selftest, record+replay sweep smoke) in both
+# build types. Already covered by the full suites above; re-run
+# explicitly so a future CTEST_ARGS filter can never silently skip it.
+for bdir in build-ci-debug build-ci-release; do
+  ctest --test-dir "$bdir" -L trace --no-tests=error \
+        --output-on-failure -j "$jobs"
+done
+
 if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then
-  CTEST_ARGS=(-L unit)
+  # unit + trace: the corruption battery (including the single-byte-flip
+  # smoke) must be clean under ASan/UBSan, not just throw nicely.
+  CTEST_ARGS=(-L 'unit|trace')
   run_matrix Debug build-ci-asan -DSECDDR_SANITIZE=address,undefined
-  # ThreadSanitizer over the threaded-backend paths: the backend-level
+  # ThreadSanitizer over the threaded-backend paths (backend-level
   # thread tests plus the threaded determinism tests, with the backend
-  # forced multi-threaded.
-  CTEST_ARGS=(-R "Threaded|SimFastPathDeterminism")
+  # forced multi-threaded) and over the trace prefetch thread
+  # (StreamFileTrace producer/consumer handoff, incl. mid-stream
+  # destruction in loop mode).
+  CTEST_ARGS=(-R "Threaded|SimFastPathDeterminism|StreamFileTrace|TraceSourceDeterminism|TraceCodec")
   SECDDR_MEM_THREADS=2 run_matrix Debug build-ci-tsan -DSECDDR_SANITIZE=thread
 fi
 

@@ -13,6 +13,21 @@ FileTrace::FileTrace(const std::string& path, bool loop) : loop_(loop) {
   std::size_t lineno = 0;
   while (std::fgets(line, sizeof line, f)) {
     ++lineno;
+    // A line that fills the buffer without its newline would silently
+    // continue as a "second line" on the next fgets and could mis-parse
+    // as two records. The only legal unterminated line is the file's
+    // last one (peek distinguishes it from an overlong line).
+    const std::size_t len = std::strlen(line);
+    if (len + 1 == sizeof line && line[len - 1] != '\n') {
+      const int peek = std::fgetc(f);
+      if (peek != EOF) {
+        std::fclose(f);
+        throw std::runtime_error(
+            "FileTrace: parse error at " + path + ":" +
+            std::to_string(lineno) + ": line exceeds " +
+            std::to_string(sizeof line - 2) + " bytes");
+      }
+    }
     // Strip comments and blank lines.
     if (char* hash = std::strchr(line, '#')) *hash = '\0';
     std::uint32_t gap = 0;

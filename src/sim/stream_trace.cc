@@ -1,0 +1,254 @@
+#include "sim/stream_trace.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "sim/file_trace.h"
+
+namespace secddr::sim {
+
+using trace_codec::get_u32;
+using trace_codec::get_u64;
+
+StreamFileTrace::StreamFileTrace(const std::string& path, bool loop)
+    : path_(path), loop_(loop) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (!file_)
+    throw std::runtime_error("StreamFileTrace: cannot open " + path);
+  std::uint8_t hdr[trace_codec::kHeaderBytes];
+  const std::size_t n = std::fread(hdr, 1, sizeof hdr, file_);
+  try {
+    header_ = trace_codec::decode_header(hdr, n, path_);
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
+  prefetcher_ = std::thread(&StreamFileTrace::prefetch_loop, this);
+}
+
+StreamFileTrace::~StreamFileTrace() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  can_produce_.notify_all();
+  can_consume_.notify_all();
+  if (prefetcher_.joinable()) prefetcher_.join();
+  if (file_) std::fclose(file_);
+}
+
+bool StreamFileTrace::push_block(Block b) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_produce_.wait(lock,
+                    [&] { return stop_ || queue_.size() < kQueueDepth; });
+  if (stop_) return false;
+  queued_bytes_ += b.payload.capacity();
+  queue_.push_back(std::move(b));
+  lock.unlock();
+  can_consume_.notify_one();
+  return true;
+}
+
+StreamFileTrace::Block StreamFileTrace::pop_block() {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_consume_.wait(lock, [&] { return !queue_.empty(); });
+  Block b = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= b.payload.capacity();
+  lock.unlock();
+  can_produce_.notify_one();
+  return b;
+}
+
+void StreamFileTrace::prefetch_loop() {
+  std::uint64_t offset = trace_codec::kHeaderBytes;
+  std::uint64_t pass_records = 0;
+  auto fail = [&](std::uint64_t at, const std::string& what) {
+    Block b;
+    b.error = std::make_exception_ptr(TraceFormatError(path_, at, what));
+    push_block(std::move(b));
+  };
+  auto rewind_or_end = [&]() -> bool {
+    // Returns true to continue producing (loop rewound), false to stop.
+    if (loop_ && pass_records > 0) {
+      if (std::fseek(file_, static_cast<long>(trace_codec::kHeaderBytes),
+                     SEEK_SET) != 0) {
+        fail(offset, "seek failed while rewinding loop");
+        return false;
+      }
+      offset = trace_codec::kHeaderBytes;
+      pass_records = 0;
+      return true;
+    }
+    Block b;
+    b.end = true;
+    push_block(std::move(b));
+    return false;
+  };
+
+  for (;;) {
+    std::uint8_t bh[trace_codec::kBlockHeaderBytes];
+    const std::size_t n = std::fread(bh, 1, sizeof bh, file_);
+    if (n == 0 && std::feof(file_)) {
+      // Footerless end-of-blocks: the footer is optional, a clean EOF at
+      // a block boundary is a valid end of trace.
+      if (!rewind_or_end()) return;
+      continue;
+    }
+    if (n < sizeof bh) {
+      fail(offset, "truncated block header: " + std::to_string(n) + " of " +
+                       std::to_string(sizeof bh) + " bytes" +
+                       (std::ferror(file_) ? " (read error)" : ""));
+      return;
+    }
+    const std::uint32_t payload_bytes = get_u32(bh);
+    const std::uint32_t record_count = get_u32(bh + 4);
+    const std::uint32_t crc = get_u32(bh + 8);
+
+    if (payload_bytes == 0 && record_count == 0) {
+      // Footer: checksummed total record count, then end of file.
+      std::uint8_t total_buf[trace_codec::kFooterTotalBytes];
+      const std::size_t tn = std::fread(total_buf, 1, sizeof total_buf, file_);
+      if (tn < sizeof total_buf) {
+        fail(offset, "truncated footer: " + std::to_string(tn) + " of " +
+                         std::to_string(sizeof total_buf) + " bytes");
+        return;
+      }
+      const std::uint32_t computed =
+          trace_codec::crc32(total_buf, sizeof total_buf);
+      if (computed != crc) {
+        fail(offset, "bad footer checksum: stored " + std::to_string(crc) +
+                         ", computed " + std::to_string(computed));
+        return;
+      }
+      const std::uint64_t total = get_u64(total_buf);
+      if (total != pass_records) {
+        fail(offset, "record-count footer mismatch: footer says " +
+                         std::to_string(total) + ", blocks held " +
+                         std::to_string(pass_records));
+        return;
+      }
+      if (!rewind_or_end()) return;
+      continue;
+    }
+    if (payload_bytes == 0 || record_count == 0) {
+      fail(offset, "corrupt block header: payload_bytes=" +
+                       std::to_string(payload_bytes) +
+                       " record_count=" + std::to_string(record_count));
+      return;
+    }
+    if (payload_bytes > trace_codec::kMaxPayloadBytes) {
+      fail(offset, "corrupt block header: oversized payload (" +
+                       std::to_string(payload_bytes) + " bytes)");
+      return;
+    }
+    // The format promises 1..block_records per block; without this check
+    // a crafted record_count could legally decode into a multi-gigabyte
+    // records_ vector and defeat the bounded-memory contract.
+    if (record_count > header_.block_records) {
+      fail(offset, "corrupt block header: record_count " +
+                       std::to_string(record_count) +
+                       " exceeds header block_records " +
+                       std::to_string(header_.block_records));
+      return;
+    }
+
+    Block b;
+    b.payload.resize(payload_bytes);
+    b.record_count = record_count;
+    b.crc = crc;
+    b.offset = offset;
+    const std::size_t pn =
+        std::fread(b.payload.data(), 1, payload_bytes, file_);
+    if (pn < payload_bytes) {
+      fail(offset, "truncated block payload: " + std::to_string(pn) + " of " +
+                       std::to_string(payload_bytes) + " bytes" +
+                       (std::ferror(file_) ? " (read error)" : ""));
+      return;
+    }
+    offset += sizeof bh + payload_bytes;
+    pass_records += record_count;
+    if (!push_block(std::move(b))) return;  // reader destroyed
+  }
+}
+
+bool StreamFileTrace::next(TraceRecord& out) {
+  while (pos_ >= records_.size()) {
+    if (done_) return false;
+    Block b = pop_block();
+    if (b.error) {
+      done_ = true;
+      std::rethrow_exception(b.error);
+    }
+    if (b.end) {
+      done_ = true;
+      return false;
+    }
+    const std::uint32_t computed =
+        trace_codec::crc32(b.payload.data(), b.payload.size());
+    if (computed != b.crc) {
+      done_ = true;
+      throw TraceFormatError(path_, b.offset,
+                             "bad block checksum: stored " +
+                                 std::to_string(b.crc) + ", computed " +
+                                 std::to_string(computed));
+    }
+    records_.clear();
+    pos_ = 0;
+    try {
+      trace_codec::decode_block(b.payload.data(), b.payload.size(),
+                                b.record_count, records_, path_, b.offset);
+    } catch (...) {
+      // Drop whatever the failing block decoded: a caller that catches
+      // the error and calls next() again must not be served its records.
+      records_.clear();
+      done_ = true;
+      throw;
+    }
+  }
+  out = records_[pos_++];
+  ++records_streamed_;
+  return true;
+}
+
+std::size_t StreamFileTrace::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_bytes_ + records_.capacity() * sizeof(TraceRecord);
+}
+
+std::unique_ptr<TraceSource> open_trace(const std::string& path, bool loop) {
+  auto src = open_trace_if_present(path, loop);
+  if (!src) throw std::runtime_error("open_trace: cannot open " + path);
+  return src;
+}
+
+std::unique_ptr<TraceSource> open_trace_if_present(const std::string& path,
+                                                   bool loop) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    // Only genuine absence means "fall back"; a present-but-unreadable
+    // file (permissions, I/O error) must fail loudly, or a sweep would
+    // silently report synthetic results as a trace replay.
+    if (errno == ENOENT || errno == ENOTDIR) return nullptr;
+    throw std::runtime_error("open_trace: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  std::uint8_t buf[sizeof trace_codec::kMagic];
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  if (trace_codec::has_magic(buf, n))
+    return std::make_unique<StreamFileTrace>(path, loop);
+  return std::make_unique<FileTrace>(path, loop);
+}
+
+bool is_binary_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("open_trace: cannot open " + path);
+  std::uint8_t buf[sizeof trace_codec::kMagic];
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  return trace_codec::has_magic(buf, n);
+}
+
+}  // namespace secddr::sim

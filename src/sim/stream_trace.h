@@ -1,0 +1,107 @@
+// Streaming reader for binary trace files (trace_codec.h format).
+//
+// StreamFileTrace decodes one block at a time while a background
+// prefetch thread double-buffers the next compressed blocks off disk,
+// so resident memory stays bounded by a few blocks regardless of trace
+// length and file I/O never sits on the simulation hot path. Loop mode
+// rewinds to the first block (blocks are independently decodable).
+//
+// open_trace() is the format dispatcher: binary magic -> this reader,
+// anything else -> the legacy text sim::FileTrace.
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/trace_codec.h"
+
+namespace secddr::sim {
+
+class StreamFileTrace final : public TraceSource {
+ public:
+  /// Validates the header synchronously (throws TraceFormatError on bad
+  /// magic / version / checksum / truncation), then starts the prefetch
+  /// thread. `loop` restarts from the first block at end-of-trace so
+  /// short recordings can feed long simulations; an empty trace still
+  /// ends immediately.
+  explicit StreamFileTrace(const std::string& path, bool loop = false);
+  ~StreamFileTrace() override;
+
+  StreamFileTrace(const StreamFileTrace&) = delete;
+  StreamFileTrace& operator=(const StreamFileTrace&) = delete;
+
+  /// Throws TraceFormatError when the prefetcher or the decoder hits a
+  /// structural violation (truncated block, bad checksum, ...).
+  bool next(TraceRecord& out) override;
+
+  std::uint32_t block_records() const { return header_.block_records; }
+  std::uint64_t records_streamed() const { return records_streamed_; }
+
+  /// Bytes currently held by this reader (decoded block + queued
+  /// compressed blocks). The bounded-memory tests assert this stays a
+  /// small multiple of the block size while streaming multi-million
+  /// record traces.
+  std::size_t resident_bytes() const;
+
+ private:
+  /// One prefetched compressed block, or an end/error marker.
+  struct Block {
+    std::vector<std::uint8_t> payload;
+    std::uint32_t record_count = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t offset = 0;  ///< file offset of the block header
+    bool end = false;
+    std::exception_ptr error;
+  };
+
+  void prefetch_loop();
+  /// Enqueues `b`, blocking while the double buffer is full. Returns
+  /// false when the reader is being destroyed.
+  bool push_block(Block b);
+  Block pop_block();
+
+  std::string path_;
+  bool loop_;
+  trace_codec::Header header_;
+  std::FILE* file_ = nullptr;  ///< owned by the prefetch thread after start
+
+  // Consumer-side state (only touched from next()).
+  std::vector<TraceRecord> records_;
+  std::size_t pos_ = 0;
+  bool done_ = false;
+  std::uint64_t records_streamed_ = 0;
+
+  // Producer/consumer handoff: a depth-2 queue is the double buffer.
+  static constexpr std::size_t kQueueDepth = 2;
+  mutable std::mutex mu_;
+  std::condition_variable can_produce_;
+  std::condition_variable can_consume_;
+  std::deque<Block> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool stop_ = false;
+  std::thread prefetcher_;
+};
+
+/// Opens `path` as a binary StreamFileTrace when it starts with the
+/// trace_codec magic, else as a legacy text FileTrace. Throws
+/// std::runtime_error if the file cannot be opened or parsed.
+std::unique_ptr<TraceSource> open_trace(const std::string& path,
+                                        bool loop = false);
+
+/// Like open_trace, but an unopenable file returns nullptr instead of
+/// throwing — the race-free "use the trace if it exists, else fall
+/// back" probe (SECDDR_TRACE_DIR). Parse errors still throw: a present
+/// but corrupt trace must never silently fall back.
+std::unique_ptr<TraceSource> open_trace_if_present(const std::string& path,
+                                                   bool loop = false);
+
+/// True when `path` exists and starts with the binary-trace magic.
+bool is_binary_trace(const std::string& path);
+
+}  // namespace secddr::sim

@@ -3,7 +3,11 @@
 // A trace is a stream of memory operations, each preceded by `gap`
 // non-memory instructions. This is the interface the synthetic SPEC/GAPBS
 // workload generators implement (substituting for the paper's Pin-based
-// SimPoint traces, see DESIGN.md §2).
+// SimPoint traces, see DESIGN.md §2). To turn any TraceSource — a
+// synthetic generator, or your own Pin/DynamoRIO conversion — into an
+// on-disk trace, use sim::record_trace / TraceWriter (trace_codec.h);
+// sim::open_trace (stream_trace.h) replays recorded files, and the
+// SECDDR_TRACE_DIR knob (bench/harness.h) drives whole sweeps from them.
 #pragma once
 
 #include <cstdint>

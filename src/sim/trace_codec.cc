@@ -1,0 +1,241 @@
+#include "sim/trace_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace secddr::sim {
+namespace trace_codec {
+namespace {
+
+/// Zigzag folds sign into bit 0 so small negative deltas (descending
+/// address streams) encode as short varints too.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? 0xEDB88320u : 0u);
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFF];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::uint8_t** p, const std::uint8_t* end,
+                         const std::string& path,
+                         std::uint64_t block_offset) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (const std::uint8_t* q = *p; q != end; ++q) {
+    if (shift >= 70)
+      throw TraceFormatError(path, block_offset,
+                             "malformed block: varint longer than 10 bytes");
+    v |= static_cast<std::uint64_t>(*q & 0x7F) << shift;
+    shift += 7;
+    if (!(*q & 0x80)) {
+      *p = q + 1;
+      return v;
+    }
+  }
+  throw TraceFormatError(path, block_offset,
+                         "malformed block: varint overruns the payload");
+}
+
+bool has_magic(const std::uint8_t* buf, std::size_t n) {
+  return n >= sizeof kMagic && std::memcmp(buf, kMagic, sizeof kMagic) == 0;
+}
+
+std::array<std::uint8_t, kHeaderBytes> encode_header(
+    std::uint32_t block_records) {
+  std::array<std::uint8_t, kHeaderBytes> h{};
+  std::memcpy(h.data(), kMagic, sizeof kMagic);
+  put_u32(h.data() + 8, kVersion);
+  put_u32(h.data() + 12, block_records);
+  put_u32(h.data() + 16, 0);  // reserved
+  put_u32(h.data() + 20, crc32(h.data(), 20));
+  return h;
+}
+
+Header decode_header(const std::uint8_t* buf, std::size_t n,
+                     const std::string& path) {
+  if (n < kHeaderBytes)
+    throw TraceFormatError(path, n,
+                           "truncated header: " + std::to_string(n) + " of " +
+                               std::to_string(kHeaderBytes) + " bytes");
+  if (!has_magic(buf, n))
+    throw TraceFormatError(path, 0, "bad magic: not a secddr binary trace");
+  const std::uint32_t stored = get_u32(buf + 20);
+  const std::uint32_t computed = crc32(buf, 20);
+  if (stored != computed)
+    throw TraceFormatError(path, 20,
+                           "bad header checksum: stored " +
+                               std::to_string(stored) + ", computed " +
+                               std::to_string(computed));
+  Header h;
+  h.version = get_u32(buf + 8);
+  h.block_records = get_u32(buf + 12);
+  if (h.version != kVersion)
+    throw TraceFormatError(path, 8,
+                           "unsupported trace version " +
+                               std::to_string(h.version) + " (expected " +
+                               std::to_string(kVersion) + ")");
+  if (h.block_records == 0)
+    throw TraceFormatError(path, 12, "header block_records is zero");
+  return h;
+}
+
+std::vector<std::uint8_t> encode_block(const TraceRecord* rec, std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n * 4);  // typical: 1-2 gap bytes + 2-3 delta bytes
+  Addr prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    put_varint(out, (static_cast<std::uint64_t>(rec[i].gap) << 1) |
+                        (rec[i].is_write ? 1 : 0));
+    put_varint(out, zigzag(static_cast<std::int64_t>(rec[i].addr - prev)));
+    prev = rec[i].addr;
+  }
+  return out;
+}
+
+void decode_block(const std::uint8_t* payload, std::size_t n,
+                  std::uint32_t record_count, std::vector<TraceRecord>& out,
+                  const std::string& path, std::uint64_t block_offset) {
+  const std::uint8_t* p = payload;
+  const std::uint8_t* end = payload + n;
+  Addr prev = 0;
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    const std::uint64_t gw = get_varint(&p, end, path, block_offset);
+    if ((gw >> 1) > UINT32_MAX)
+      throw TraceFormatError(path, block_offset,
+                             "malformed block: record gap out of range");
+    const std::uint64_t delta = get_varint(&p, end, path, block_offset);
+    prev += static_cast<Addr>(unzigzag(delta));
+    out.push_back({static_cast<std::uint32_t>(gw >> 1), (gw & 1) != 0, prev});
+  }
+  if (p != end)
+    throw TraceFormatError(
+        path, block_offset,
+        "malformed block: " + std::to_string(end - p) +
+            " trailing payload bytes after the last record");
+}
+
+}  // namespace trace_codec
+
+// ---------------------------------------------------------------- writer
+
+TraceWriter::TraceWriter(const std::string& path,
+                         std::uint32_t block_records)
+    : path_(path),
+      file_(std::fopen(path.c_str(), "wb")),
+      block_records_(std::clamp(block_records, 1u,
+                                trace_codec::kMaxBlockRecords)) {
+  if (!file_) throw std::runtime_error("TraceWriter: cannot create " + path);
+  buf_.reserve(block_records_);
+  const auto header = trace_codec::encode_header(block_records_);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceWriter: write failed on " + path);
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor swallows I/O failures; call close() for durability.
+  }
+}
+
+void TraceWriter::append(const TraceRecord& r) {
+  if (closed_)
+    throw std::logic_error("TraceWriter: append after close on " + path_);
+  buf_.push_back(r);
+  if (buf_.size() >= block_records_) flush_block();
+}
+
+void TraceWriter::flush_block() {
+  if (buf_.empty()) return;
+  const std::vector<std::uint8_t> payload =
+      trace_codec::encode_block(buf_.data(), buf_.size());
+  // The block_records clamp bounds the worst-case payload under
+  // kMaxPayloadBytes (static_assert in the header), so the u32 field
+  // below cannot truncate and the reader's guard cannot reject it.
+  std::uint8_t bh[trace_codec::kBlockHeaderBytes];
+  trace_codec::put_u32(bh, static_cast<std::uint32_t>(payload.size()));
+  trace_codec::put_u32(bh + 4, static_cast<std::uint32_t>(buf_.size()));
+  trace_codec::put_u32(bh + 8,
+                       trace_codec::crc32(payload.data(), payload.size()));
+  if (std::fwrite(bh, 1, sizeof bh, file_) != sizeof bh ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size())
+    throw std::runtime_error("TraceWriter: write failed on " + path_);
+  total_ += buf_.size();
+  buf_.clear();
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  // One shot even on failure: a half-written file cannot be salvaged by
+  // retrying, and the destructor must not re-enter a failing close.
+  closed_ = true;
+  try {
+    flush_block();
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
+  // Footer: zero-sized block marker + checksummed total record count.
+  std::uint8_t footer[trace_codec::kBlockHeaderBytes +
+                      trace_codec::kFooterTotalBytes] = {};
+  std::uint8_t* total = footer + trace_codec::kBlockHeaderBytes;
+  trace_codec::put_u64(total, total_);
+  trace_codec::put_u32(footer + 8,
+                       trace_codec::crc32(total,
+                                          trace_codec::kFooterTotalBytes));
+  const bool ok =
+      std::fwrite(footer, 1, sizeof footer, file_) == sizeof footer;
+  const bool closed_ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!ok || !closed_ok)
+    throw std::runtime_error("TraceWriter: write failed on " + path_);
+}
+
+std::uint64_t record_trace(TraceSource& src, const std::string& path,
+                           std::uint64_t max_records,
+                           std::uint32_t block_records) {
+  TraceWriter writer(path, block_records);
+  TraceRecord r;
+  std::uint64_t n = 0;
+  while (n < max_records && src.next(r)) {
+    writer.append(r);
+    ++n;
+  }
+  writer.close();
+  return n;
+}
+
+}  // namespace secddr::sim

@@ -1,0 +1,194 @@
+// Versioned binary on-disk trace format + writer.
+//
+// Layout (all fields little-endian, independent of host byte order):
+//
+//   Header (24 bytes)
+//     0   char[8]  magic            "SECDDRTB"
+//     8   u32      version          currently 1
+//     12  u32      block_records    writer's max records per block (>= 1)
+//     16  u32      reserved         0
+//     20  u32      header_crc       CRC-32 of bytes [0, 20)
+//
+//   Data block (repeated; independently decodable)
+//     +0  u32      payload_bytes    > 0
+//     +4  u32      record_count     1 .. block_records
+//     +8  u32      payload_crc      CRC-32 of the payload
+//     +12 u8[payload_bytes]         varint-encoded records (below)
+//
+//   Footer (optional; TraceWriter always emits it)
+//     +0  u32      0                payload_bytes == 0 marks the footer
+//     +4  u32      0
+//     +8  u32      footer_crc       CRC-32 of the 8-byte total_records
+//     +12 u64      total_records    must equal the sum of record_count
+//
+// Block payload: per record, LEB128 varint of (gap << 1 | is_write),
+// then a zigzag varint of (addr - prev_addr). prev_addr resets to 0 at
+// every block start, so any block decodes without its predecessors —
+// that is what lets StreamFileTrace rewind to the first block for loop
+// mode and lets the prefetch thread hand blocks over independently.
+//
+// Every structural violation throws TraceFormatError carrying the file
+// path and byte offset; tests/trace_codec_test.cc is the battery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace secddr::sim {
+
+/// Structurally invalid binary trace file: bad magic, unsupported
+/// version, checksum mismatch, truncation, malformed block. `offset()`
+/// is the byte position of the violating structure.
+class TraceFormatError : public std::runtime_error {
+ public:
+  TraceFormatError(std::string path, std::uint64_t offset,
+                   const std::string& what)
+      : std::runtime_error(path + ": " + what + " (offset " +
+                           std::to_string(offset) + ")"),
+        path_(std::move(path)),
+        offset_(offset) {}
+
+  const std::string& path() const { return path_; }
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_;
+};
+
+namespace trace_codec {
+
+inline constexpr std::uint8_t kMagic[8] = {'S', 'E', 'C', 'D',
+                                           'D', 'R', 'T', 'B'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::size_t kBlockHeaderBytes = 12;
+inline constexpr std::size_t kFooterTotalBytes = 8;
+inline constexpr std::uint32_t kDefaultBlockRecords = 4096;
+/// Upper bound on a writer's block_records (TraceWriter clamps to it):
+/// keeps the worst-case encoded block (15 bytes/record: 5-byte gap
+/// varint + 10-byte delta varint) comfortably under kMaxPayloadBytes,
+/// so a flushed block can never overflow the u32 payload_bytes field or
+/// be rejected by the reader's allocation guard.
+inline constexpr std::uint32_t kMaxBlockRecords = 1u << 20;
+/// Allocation guard while reading: a corrupt payload_bytes field must
+/// not trigger a gigabyte malloc. Generous vs the worst real block
+/// (kMaxBlockRecords * max ~15 encoded bytes/record).
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;
+static_assert(15ull * kMaxBlockRecords <= kMaxPayloadBytes);
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), init/xorout 0xFFFFFFFF.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+/// Little-endian field accessors shared by the writer, the stream
+/// reader, and byte-patching tests (host-endianness independent).
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+/// Appends the LEB128 varint encoding of `v` (1..10 bytes).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Decodes one varint from [*p, end). Advances *p past it. Throws
+/// TraceFormatError (overrun / >10 bytes) with `block_offset` context.
+std::uint64_t get_varint(const std::uint8_t** p, const std::uint8_t* end,
+                         const std::string& path, std::uint64_t block_offset);
+
+struct Header {
+  std::uint32_t version = kVersion;
+  std::uint32_t block_records = kDefaultBlockRecords;
+};
+
+/// True when `buf` starts with the binary-trace magic (the open_trace
+/// dispatch test; anything else is treated as the legacy text format).
+bool has_magic(const std::uint8_t* buf, std::size_t n);
+
+/// Serializes a header for a writer using `block_records` per block.
+std::array<std::uint8_t, kHeaderBytes> encode_header(
+    std::uint32_t block_records);
+
+/// Validates magic, header checksum, then version; throws TraceFormatError.
+Header decode_header(const std::uint8_t* buf, std::size_t n,
+                     const std::string& path);
+
+/// Encodes `n` records into a block payload (delta + varint).
+std::vector<std::uint8_t> encode_block(const TraceRecord* rec, std::size_t n);
+
+/// Decodes exactly `record_count` records from a verified payload,
+/// appending to `out`. Throws if the payload ends early, a record field
+/// is out of range, or bytes remain after the last record.
+void decode_block(const std::uint8_t* payload, std::size_t n,
+                  std::uint32_t record_count, std::vector<TraceRecord>& out,
+                  const std::string& path, std::uint64_t block_offset);
+
+}  // namespace trace_codec
+
+/// Streaming writer for the binary format: buffers up to `block_records`
+/// records, flushing each full block to disk, so recording a trace never
+/// holds more than one block in memory. close() (or the destructor)
+/// flushes the tail block and the record-count footer.
+class TraceWriter {
+ public:
+  /// Throws std::runtime_error if the file cannot be created.
+  /// `block_records` is clamped to [1, trace_codec::kMaxBlockRecords].
+  explicit TraceWriter(
+      const std::string& path,
+      std::uint32_t block_records = trace_codec::kDefaultBlockRecords);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const TraceRecord& r);
+
+  /// Flushes the tail block + footer and closes the file. Throws
+  /// std::runtime_error on I/O failure. Idempotent; the destructor calls
+  /// it best-effort (swallowing errors), so call it explicitly when the
+  /// trace must be durable.
+  void close();
+
+  std::uint64_t records_written() const { return total_ + buf_.size(); }
+
+ private:
+  void flush_block();
+
+  std::string path_;
+  std::FILE* file_;
+  std::uint32_t block_records_;
+  std::vector<TraceRecord> buf_;
+  std::uint64_t total_ = 0;  ///< records already flushed to disk
+  bool closed_ = false;
+};
+
+/// Records up to `max_records` from `src` (e.g. a workloads::SyntheticTrace)
+/// into a binary trace file; stops early if the source ends. Returns the
+/// number of records written. This is how DESIGN.md §2's synthetic
+/// substitutes become on-disk traces the stream reader can replay.
+std::uint64_t record_trace(
+    TraceSource& src, const std::string& path, std::uint64_t max_records,
+    std::uint32_t block_records = trace_codec::kDefaultBlockRecords);
+
+}  // namespace secddr::sim

@@ -25,7 +25,8 @@ TEST(Power, Table2X4Row) {
 
 TEST(Power, Table2X8Row) {
   const AesPowerModel m;
-  const PowerRow& x8 = m.table2()[1];
+  // By value: table2() returns a temporary, a reference would dangle.
+  const PowerRow x8 = m.table2()[1];
   EXPECT_EQ(x8.aes_units, 3u);                    // paper: 3 units
   EXPECT_NEAR(x8.aes_power_mw, 106.3, 0.5);       // paper: 106.3mW
   EXPECT_EQ(x8.ecc_chips_per_rank, 1u);
@@ -34,7 +35,7 @@ TEST(Power, Table2X8Row) {
 
 TEST(Power, Ddr5RowMatchesSection5B) {
   const AesPowerModel m;
-  const PowerRow& d5 = m.table2()[2];
+  const PowerRow d5 = m.table2()[2];  // by value, see Table2X8Row
   EXPECT_NEAR(d5.chip_rate_gbps, 35.2, 0.01);  // x4 DDR5-8800
   EXPECT_EQ(d5.aes_units, 3u);                 // paper: 3 engines
   EXPECT_NEAR(d5.aes_power_mw, 89.3, 1.0);     // paper: 89.3mW at 1.1V

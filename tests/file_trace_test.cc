@@ -56,6 +56,38 @@ TEST(FileTrace, MissingFileThrows) {
   EXPECT_THROW(FileTrace("/nonexistent/path.trace"), std::runtime_error);
 }
 
+TEST(FileTrace, LongLineRaisesParseErrorInsteadOfSplitting) {
+  // Regression: a line longer than the fgets buffer used to be silently
+  // split and could parse as two records — here "1 R 0x40 <padding>
+  // 2 W 0x80" would have yielded records at 0x40 *and* 0x80.
+  const std::string path = temp_path("longline.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1 R 0x40", f);
+  for (int i = 0; i < 300; ++i) std::fputc(' ', f);
+  std::fputs("2 W 0x80\n3 R 0xC0\n", f);
+  std::fclose(f);
+  try {
+    FileTrace bad_trace(path);
+    FAIL() << "overlong line was silently split";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path + ":1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FileTrace, UnterminatedFinalLineParses) {
+  // A last line without a trailing newline is legal (and must not be
+  // confused with the overlong-line case above).
+  const std::string path = temp_path("noeol.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("5 R 0x40\n7 W 0x80", f);
+  std::fclose(f);
+  FileTrace trace(path);
+  EXPECT_EQ(trace.record_count(), 2u);
+}
+
 TEST(FileTrace, MalformedLineThrows) {
   const std::string path = temp_path("bad.trace");
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -1,0 +1,185 @@
+// End-to-end trace-source determinism: the same recorded records must
+// produce a bit-identical RunResult whether they are driven from memory
+// (VectorTrace), from the legacy text format (FileTrace), or streamed
+// from the binary format with the prefetch thread on (StreamFileTrace) —
+// in both the per-cycle and the event-driven simulation loops. The trace
+// subsystem is pure plumbing; any divergence here is a decode bug.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "secmem/params.h"
+#include "sim/file_trace.h"
+#include "sim/stream_trace.h"
+#include "sim/system.h"
+#include "sim/trace_codec.h"
+#include "workloads/generator.h"
+#include "workloads/workload.h"
+
+namespace secddr::sim {
+namespace {
+
+constexpr unsigned kCores = 2;
+constexpr std::uint64_t kInstructions = 3000;
+constexpr std::uint64_t kWarmup = 800;
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Records one core's synthetic trace with enough records to cover the
+/// whole warmup + measured budget (each record covers gap+1
+/// instructions), so every source ends by budget, never by exhaustion.
+std::vector<TraceRecord> record_core(const workloads::WorkloadDesc& desc,
+                                     unsigned core) {
+  workloads::SyntheticTrace src(desc, core);
+  std::vector<TraceRecord> records;
+  std::uint64_t covered = 0;
+  TraceRecord r;
+  while (covered < kWarmup + kInstructions + 64 && src.next(r)) {
+    records.push_back(r);
+    covered += static_cast<std::uint64_t>(r.gap) + 1;
+  }
+  return records;
+}
+
+RunResult run_with(const secmem::SecurityParams& sec, bool event_driven,
+                   std::vector<TraceSource*> traces) {
+  SystemConfig cfg;
+  cfg.mem.cores = kCores;
+  cfg.security = sec;
+  cfg.data_bytes = 4ull << 30;  // two cores at 2GB trace stride
+  cfg.event_driven = event_driven;
+  System sys(cfg, std::move(traces));
+  return sys.run(kInstructions, 2'000'000'000, kWarmup);
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t i = 0; i < a.cores.size(); ++i) {
+    SCOPED_TRACE("core " + std::to_string(i));
+    EXPECT_EQ(a.cores[i].instructions, b.cores[i].instructions);
+    EXPECT_EQ(a.cores[i].cycles, b.cores[i].cycles);
+    EXPECT_EQ(a.cores[i].loads, b.cores[i].loads);
+    EXPECT_EQ(a.cores[i].stores, b.cores[i].stores);
+    EXPECT_EQ(a.cores[i].load_stall_cycles, b.cores[i].load_stall_cycles);
+  }
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.hit_cycle_limit, b.hit_cycle_limit);
+  EXPECT_EQ(a.total_ipc, b.total_ipc);
+  EXPECT_EQ(a.llc_mpki, b.llc_mpki);
+  EXPECT_EQ(a.metadata_miss_rate, b.metadata_miss_rate);
+  EXPECT_EQ(a.metadata_accesses, b.metadata_accesses);
+
+  EXPECT_EQ(a.mem.l1_accesses, b.mem.l1_accesses);
+  EXPECT_EQ(a.mem.l1_misses, b.mem.l1_misses);
+  EXPECT_EQ(a.mem.llc_demand_accesses, b.mem.llc_demand_accesses);
+  EXPECT_EQ(a.mem.llc_demand_misses, b.mem.llc_demand_misses);
+  EXPECT_EQ(a.mem.llc_writebacks, b.mem.llc_writebacks);
+  EXPECT_EQ(a.mem.prefetch_fills, b.mem.prefetch_fills);
+
+  EXPECT_EQ(a.engine.data_reads, b.engine.data_reads);
+  EXPECT_EQ(a.engine.data_writes, b.engine.data_writes);
+  EXPECT_EQ(a.engine.counter_fetches, b.engine.counter_fetches);
+  EXPECT_EQ(a.engine.mac_line_fetches, b.engine.mac_line_fetches);
+  EXPECT_EQ(a.engine.tree_node_fetches, b.engine.tree_node_fetches);
+  EXPECT_EQ(a.engine.meta_writebacks, b.engine.meta_writebacks);
+
+  EXPECT_EQ(a.dram.reads_enqueued, b.dram.reads_enqueued);
+  EXPECT_EQ(a.dram.writes_enqueued, b.dram.writes_enqueued);
+  EXPECT_EQ(a.dram.reads_completed, b.dram.reads_completed);
+  EXPECT_EQ(a.dram.writes_completed, b.dram.writes_completed);
+  EXPECT_EQ(a.dram.row_hits, b.dram.row_hits);
+  EXPECT_EQ(a.dram.row_misses, b.dram.row_misses);
+  EXPECT_EQ(a.dram.activates, b.dram.activates);
+  EXPECT_EQ(a.dram.precharges, b.dram.precharges);
+  EXPECT_EQ(a.dram.refreshes, b.dram.refreshes);
+  EXPECT_EQ(a.dram.write_forwards, b.dram.write_forwards);
+  EXPECT_EQ(a.dram.data_bus_busy_cycles, b.dram.data_bus_busy_cycles);
+  EXPECT_EQ(a.dram.total_read_latency, b.dram.total_read_latency);
+}
+
+TEST(TraceSourceDeterminism, VectorTextAndStreamBitIdentical) {
+  for (const char* wl : {"mcf", "lbm"}) {
+    const auto* desc = workloads::find(wl);
+    ASSERT_NE(desc, nullptr);
+    std::vector<std::vector<TraceRecord>> recorded;
+    std::vector<std::string> text_paths, binary_paths;
+    for (unsigned c = 0; c < kCores; ++c) {
+      recorded.push_back(record_core(*desc, c));
+      text_paths.push_back(
+          temp_path(std::string(wl) + ".core" + std::to_string(c) + ".txt"));
+      binary_paths.push_back(temp_path(std::string(wl) + ".core" +
+                                       std::to_string(c) + ".strace"));
+      ASSERT_TRUE(write_trace_file(text_paths.back(), recorded.back()));
+      // A small block count forces multi-block streaming + prefetch
+      // handoffs inside the run.
+      TraceWriter w(binary_paths.back(), /*block_records=*/128);
+      for (const auto& r : recorded.back()) w.append(r);
+      w.close();
+    }
+
+    for (const auto& sec : {secmem::SecurityParams::secddr_ctr(),
+                            secmem::SecurityParams::baseline_tree_ctr()}) {
+      for (bool event_driven : {false, true}) {
+        SCOPED_TRACE(std::string(wl) +
+                     (event_driven ? " event-driven" : " per-cycle"));
+        std::vector<VectorTrace> vec;
+        vec.reserve(kCores);
+        for (unsigned c = 0; c < kCores; ++c) vec.emplace_back(recorded[c]);
+        const RunResult vector_run =
+            run_with(sec, event_driven, {&vec[0], &vec[1]});
+
+        std::vector<std::unique_ptr<TraceSource>> text, stream;
+        for (unsigned c = 0; c < kCores; ++c) {
+          text.push_back(std::make_unique<FileTrace>(text_paths[c]));
+          stream.push_back(std::make_unique<StreamFileTrace>(binary_paths[c]));
+        }
+        {
+          SCOPED_TRACE("legacy text FileTrace");
+          expect_identical(vector_run, run_with(sec, event_driven,
+                                                {text[0].get(), text[1].get()}));
+        }
+        {
+          SCOPED_TRACE("binary StreamFileTrace");
+          expect_identical(
+              vector_run,
+              run_with(sec, event_driven, {stream[0].get(), stream[1].get()}));
+        }
+      }
+    }
+  }
+}
+
+TEST(TraceSourceDeterminism, OpenTraceLoopMatchesUnlooped) {
+  // A looping stream replay of a full-coverage recording must behave
+  // exactly like the unlooped one (the budget ends the run before any
+  // wraparound), pinning the factory + loop plumbing end to end.
+  const auto* desc = workloads::find("mcf");
+  ASSERT_NE(desc, nullptr);
+  std::vector<std::vector<TraceRecord>> recorded;
+  std::vector<std::string> paths;
+  for (unsigned c = 0; c < kCores; ++c) {
+    recorded.push_back(record_core(*desc, c));
+    paths.push_back(temp_path("loop.core" + std::to_string(c) + ".strace"));
+    TraceWriter w(paths[c], 128);
+    for (const auto& r : recorded[c]) w.append(r);
+    w.close();
+  }
+  const auto sec = secmem::SecurityParams::secddr_ctr();
+  std::vector<VectorTrace> vec;
+  vec.reserve(kCores);
+  for (unsigned c = 0; c < kCores; ++c) vec.emplace_back(recorded[c]);
+  const RunResult vector_run =
+      run_with(sec, /*event_driven=*/true, {&vec[0], &vec[1]});
+  std::vector<std::unique_ptr<TraceSource>> looped;
+  for (unsigned c = 0; c < kCores; ++c)
+    looped.push_back(open_trace(paths[c], /*loop=*/true));
+  expect_identical(vector_run, run_with(sec, /*event_driven=*/true,
+                                        {looped[0].get(), looped[1].get()}));
+}
+
+}  // namespace
+}  // namespace secddr::sim
