@@ -51,10 +51,24 @@ for bdir in build-ci-debug build-ci-release; do
         --output-on-failure -j "$jobs"
 done
 
+# Adversarial-fuzz step: the fuzz label (fuzzer unit tests, bounded
+# campaign + cross-jobs/loop-mode reproducibility, checked-in regression
+# replays, and the campaign smoke via bench/fuzz_campaign) in both build
+# types. Bounded well below the default 10k-trial campaign: CI asserts
+# zero undetected corruptions on the bounded run; the full campaign is
+# the bench entry point. Already covered by the full suites above;
+# re-run explicitly so a future CTEST_ARGS filter can never skip it.
+for bdir in build-ci-debug build-ci-release; do
+  ctest --test-dir "$bdir" -L fuzz --no-tests=error \
+        --output-on-failure -j "$jobs"
+done
+
 if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then
-  # unit + trace: the corruption battery (including the single-byte-flip
-  # smoke) must be clean under ASan/UBSan, not just throw nicely.
-  CTEST_ARGS=(-L 'unit|trace')
+  # unit + trace + fuzz: the corruption battery (including the
+  # single-byte-flip smoke) and the adversarial fault injector must be
+  # clean under ASan/UBSan, not just throw nicely. The fuzz campaigns in
+  # that label are already CI-bounded (well under the 10k bench run).
+  CTEST_ARGS=(-L 'unit|trace|fuzz')
   run_matrix Debug build-ci-asan -DSECDDR_SANITIZE=address,undefined
   # ThreadSanitizer over the threaded-backend paths (backend-level
   # thread tests plus the threaded determinism tests, with the backend

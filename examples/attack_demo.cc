@@ -31,9 +31,19 @@ SessionConfig demo_config(bool ewcrc = true,
   return cfg;
 }
 
-void report(const char* attack, const char* expected, bool detected) {
-  std::printf("  %-34s %-44s %s\n", attack, expected,
-              detected ? "[DETECTED]" : "[undetected]");
+/// Attacks that deviate from the paper's predicted outcome (an engine
+/// attack going undetected, or a weakened-design demo failing to
+/// demonstrate its weakness). Nonzero at exit — the CTest smoke run
+/// turns any silent acceptance into a hard failure.
+int failures = 0;
+
+void report(const char* attack, const char* expected, bool detected,
+            bool expect_detected = true) {
+  const bool as_expected = detected == expect_detected;
+  if (!as_expected) ++failures;
+  std::printf("  %-34s %-44s %s%s\n", attack, expected,
+              detected ? "[DETECTED]" : "[undetected]",
+              as_expected ? "" : "  <-- UNEXPECTED");
 }
 
 }  // namespace
@@ -134,7 +144,7 @@ int main() {
     const auto r = s->read(t);
     const bool replayed = r.ok() && r.data == stale;
     report("row redirect, NO eWCRC", "stale data verifies: replay succeeds",
-           !replayed);
+           !replayed, /*expect_detected=*/false);
     if (replayed)
       std::printf("    -> the processor accepted pre-attack data; this is "
                   "why SecDDR needs the encrypted eWCRC.\n");
@@ -153,12 +163,18 @@ int main() {
     const auto r = s->read(t);
     const bool replayed = r.ok() && r.data == stale;
     report("on-DIMM trojan, trusted-DIMM logic",
-           "plaintext MACs on the interconnect: replayable", !replayed);
+           "plaintext MACs on the interconnect: replayable", !replayed,
+           /*expect_detected=*/false);
     if (replayed)
       std::printf("    -> this is why SecDDR places its logic in the ECC "
                   "chip for untrusted DIMMs (Section VI-C).\n");
   }
 
-  std::printf("\nDone.\n");
+  if (failures > 0) {
+    std::printf("\nFAIL: %d attack(s) deviated from the paper's predicted "
+                "outcome.\n", failures);
+    return 1;
+  }
+  std::printf("\nDone: every attack behaved as the paper predicts.\n");
   return 0;
 }

@@ -27,24 +27,34 @@ bool TrackingInterposer::on_activate(ActivateCmd& cmd) {
   return true;
 }
 
-std::uint64_t TrackingInterposer::locate(unsigned rank, unsigned bg,
-                                         unsigned bank, unsigned col) const {
+std::optional<std::uint64_t> TrackingInterposer::open_row_for(
+    unsigned rank, unsigned bg, unsigned bank) const {
   const auto it = open_rows_.find(bank_key(rank, bg, bank));
-  const std::uint64_t row = it == open_rows_.end() ? 0 : it->second;
-  return pack_loc(rank, bg, bank, row, col);
+  if (it == open_rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint64_t> TrackingInterposer::locate(unsigned rank,
+                                                        unsigned bg,
+                                                        unsigned bank,
+                                                        unsigned col) const {
+  const auto row = open_row_for(rank, bg, bank);
+  if (!row) return std::nullopt;  // pre-attachment ACT: cannot attribute
+  return pack_loc(rank, bg, bank, *row, col);
 }
 
 // ------------------------------------------------------------- Snooping
 
 bool SnoopInterposer::on_write(WriteCmd& cmd) {
-  history_[locate(cmd.rank, cmd.bank_group, cmd.bank, cmd.column)].push_back(
-      {cmd.data, cmd.emac, true});
+  if (const auto loc = locate(cmd.rank, cmd.bank_group, cmd.bank, cmd.column))
+    history_[*loc].push_back({cmd.data, cmd.emac, true});
   return true;
 }
 
-void SnoopInterposer::on_read_resp(const ReadCmd& cmd, ReadResp& resp) {
-  history_[locate(cmd.rank, cmd.bank_group, cmd.bank, cmd.column)].push_back(
-      {resp.data, resp.emac, false});
+bool SnoopInterposer::on_read_resp(const ReadCmd& cmd, ReadResp& resp) {
+  if (const auto loc = locate(cmd.rank, cmd.bank_group, cmd.bank, cmd.column))
+    history_[*loc].push_back({resp.data, resp.emac, false});
+  return true;
 }
 
 const std::vector<SnoopInterposer::Observation>* SnoopInterposer::history_for(
@@ -62,20 +72,19 @@ void BusReplayInterposer::arm(unsigned rank, unsigned bg, unsigned bank,
   index_ = index;
 }
 
-void BusReplayInterposer::on_read_resp(const ReadCmd& cmd, ReadResp& resp) {
-  const std::uint64_t loc =
-      locate(cmd.rank, cmd.bank_group, cmd.bank, cmd.column);
-  if (target_ && loc == *target_) {
-    const auto it = history_.find(loc);
+bool BusReplayInterposer::on_read_resp(const ReadCmd& cmd, ReadResp& resp) {
+  const auto loc = locate(cmd.rank, cmd.bank_group, cmd.bank, cmd.column);
+  if (target_ && loc && *loc == *target_) {
+    const auto it = history_.find(*loc);
     if (it != history_.end() && index_ < it->second.size()) {
       resp.data = it->second[index_].data;
       resp.emac = it->second[index_].emac;
       ++replays_;
       target_.reset();
-      return;  // do not also record the forged response
+      return true;  // do not also record the forged response
     }
   }
-  SnoopInterposer::on_read_resp(cmd, resp);
+  return SnoopInterposer::on_read_resp(cmd, resp);
 }
 
 // ------------------------------------------------------------- Redirects
@@ -161,14 +170,13 @@ bool BitFlipInterposer::on_write(WriteCmd& cmd) {
   if (!field_) return true;
   switch (*field_) {
     case Field::kWriteData:
-      cmd.data[(bit_ / 8) % kLineSize] ^=
-          static_cast<std::uint8_t>(1u << (bit_ % 8));
+      flip_line_bit(cmd.data, bit_);
       break;
     case Field::kWriteEmac:
-      cmd.emac ^= 1ull << (bit_ % 64);
+      flip_u64_bit(cmd.emac, bit_);
       break;
     case Field::kWriteCrc:
-      cmd.ecc_crc ^= static_cast<std::uint16_t>(1u << (bit_ % 16));
+      flip_u16_bit(cmd.ecc_crc, bit_);
       break;
     default:
       return true;
@@ -177,20 +185,20 @@ bool BitFlipInterposer::on_write(WriteCmd& cmd) {
   return true;
 }
 
-void BitFlipInterposer::on_read_resp(const ReadCmd&, ReadResp& resp) {
-  if (!field_) return;
+bool BitFlipInterposer::on_read_resp(const ReadCmd&, ReadResp& resp) {
+  if (!field_) return true;
   switch (*field_) {
     case Field::kReadData:
-      resp.data[(bit_ / 8) % kLineSize] ^=
-          static_cast<std::uint8_t>(1u << (bit_ % 8));
+      flip_line_bit(resp.data, bit_);
       break;
     case Field::kReadEmac:
-      resp.emac ^= 1ull << (bit_ % 64);
+      flip_u64_bit(resp.emac, bit_);
       break;
     default:
-      return;
+      return true;
   }
   field_.reset();
+  return true;
 }
 
 // ------------------------------------------------------------- On-DIMM

@@ -4,6 +4,13 @@
 // The attacker can observe all CCCA/data traffic (tracking open rows by
 // snooping ACTIVATEs, exactly as the paper assumes a precise adversary),
 // record (data, E-MAC) pairs, and tamper with or drop any command.
+//
+// These single-shot adversaries are also the mutation vocabulary of the
+// coverage-guided campaign fuzzer in src/fuzz/ (see the "Adversarial
+// campaigns" section of README.md): fuzz::FaultInjector composes the
+// same tracking/flip primitives into randomized multi-fault plans, and
+// every escape it ever finds lands as a regression trace under
+// tests/regress/.
 #pragma once
 
 #include <cstdint>
@@ -17,17 +24,40 @@
 
 namespace secddr::core {
 
+/// Wire-level bit-flip primitives shared by the single-shot adversaries
+/// below and the fuzz::FaultInjector mutators.
+inline void flip_line_bit(CacheLine& line, unsigned bit) {
+  line[(bit / 8) % kLineSize] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+inline void flip_u64_bit(std::uint64_t& v, unsigned bit) { v ^= 1ull << (bit % 64); }
+inline void flip_u16_bit(std::uint16_t& v, unsigned bit) {
+  v ^= static_cast<std::uint16_t>(1u << (bit % 16));
+}
+
 /// Base for bus attackers: tracks per-bank open rows from ACTIVATEs so
 /// derived attacks can resolve column commands to full line locations.
+///
+/// A bank whose ACTIVATE predates this interposer's attachment has an
+/// *unknown* open row — distinct from any real row. The original tracker
+/// reported row 0 in that case, which aliases genuine row-0 locations
+/// and mis-aims replays when an attacker arms mid-stream; the
+/// TrackerGroundTruth property tests pin the fixed behavior against the
+/// timing controller's actual command stream.
 class TrackingInterposer : public BusInterposer {
  public:
   bool on_activate(ActivateCmd& cmd) override;
 
+  /// Row the attacker believes is open in (rank, bg, bank); nullopt when
+  /// no ACTIVATE to that bank has been observed yet.
+  std::optional<std::uint64_t> open_row_for(unsigned rank, unsigned bg,
+                                            unsigned bank) const;
+
  protected:
-  /// Location key (rank, bg, bank, row, col) for a column command; row is
-  /// the row this interposer observed being opened (0 if none).
-  std::uint64_t locate(unsigned rank, unsigned bg, unsigned bank,
-                       unsigned col) const;
+  /// Location key (rank, bg, bank, row, col) for a column command;
+  /// nullopt when the open row is unknown (an attacker cannot attribute
+  /// the access to a line, so derived attacks must not act on it).
+  std::optional<std::uint64_t> locate(unsigned rank, unsigned bg,
+                                      unsigned bank, unsigned col) const;
 
  private:
   std::unordered_map<std::uint64_t, std::uint64_t> open_rows_;
@@ -45,7 +75,7 @@ class SnoopInterposer : public TrackingInterposer {
   };
 
   bool on_write(WriteCmd& cmd) override;
-  void on_read_resp(const ReadCmd& cmd, ReadResp& resp) override;
+  bool on_read_resp(const ReadCmd& cmd, ReadResp& resp) override;
 
   const std::vector<Observation>* history_for(unsigned rank, unsigned bg,
                                               unsigned bank, unsigned row,
@@ -64,7 +94,7 @@ class BusReplayInterposer : public SnoopInterposer {
   void arm(unsigned rank, unsigned bg, unsigned bank, unsigned row,
            unsigned col, std::size_t index = 0);
 
-  void on_read_resp(const ReadCmd& cmd, ReadResp& resp) override;
+  bool on_read_resp(const ReadCmd& cmd, ReadResp& resp) override;
 
   std::uint64_t replays_performed() const { return replays_; }
 
@@ -137,7 +167,7 @@ class BitFlipInterposer : public BusInterposer {
   void arm(Field field, unsigned bit);
 
   bool on_write(WriteCmd& cmd) override;
-  void on_read_resp(const ReadCmd& cmd, ReadResp& resp) override;
+  bool on_read_resp(const ReadCmd& cmd, ReadResp& resp) override;
 
  private:
   std::optional<Field> field_;

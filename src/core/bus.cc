@@ -17,8 +17,12 @@ std::optional<ReadCmd> Bus::deliver(ReadCmd cmd) {
   return cmd;
 }
 
-void Bus::deliver_resp(const ReadCmd& cmd, ReadResp& resp) {
-  if (interposer_) interposer_->on_read_resp(cmd, resp);
+bool Bus::deliver_resp(const ReadCmd& cmd, ReadResp& resp) {
+  return !interposer_ || interposer_->on_read_resp(cmd, resp);
+}
+
+void Bus::deliver_status(const WriteCmd& cmd, WriteStatus& status) {
+  if (interposer_) interposer_->on_write_status(cmd, status);
 }
 
 bool Bus::wants_write_to_read(const WriteCmd& cmd) {

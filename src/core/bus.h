@@ -56,6 +56,14 @@ struct ReadResp {
   std::uint64_t emac = 0;
 };
 
+/// Outcome of a write burst at the device, as signaled back over the
+/// channel (ALERT_n). Travels through the bus, so an interposer can mask
+/// or forge it like any other wire.
+struct WriteStatus {
+  bool stored = false;
+  bool alert = false;  ///< eWCRC mismatch signaled on ALERT_n
+};
+
 /// Attacker hook on the memory channel. Default: faithful passthrough.
 /// Returning false from a command hook drops the command entirely.
 class BusInterposer {
@@ -65,7 +73,12 @@ class BusInterposer {
   virtual bool on_write(WriteCmd&) { return true; }
   /// May convert a read into nothing (drop) — response is then lost.
   virtual bool on_read(ReadCmd&) { return true; }
-  virtual void on_read_resp(const ReadCmd&, ReadResp&) {}
+  /// Returning false swallows the response: the device answered (and
+  /// consumed its counter) but the burst never reaches the controller.
+  virtual bool on_read_resp(const ReadCmd&, ReadResp&) { return true; }
+  /// The ALERT_n signal on its way back to the controller: an attacker
+  /// can mask a real alert or forge one on a clean write.
+  virtual void on_write_status(const WriteCmd&, WriteStatus&) {}
   /// A write the attacker converts to a read (suppressing the response)
   /// leaves memory unmodified without dropping a command slot (§III-B).
   virtual bool convert_write_to_read(const WriteCmd&) { return false; }
@@ -108,7 +121,10 @@ class Bus {
   std::optional<ActivateCmd> deliver(ActivateCmd cmd);
   std::optional<WriteCmd> deliver(WriteCmd cmd);
   std::optional<ReadCmd> deliver(ReadCmd cmd);
-  void deliver_resp(const ReadCmd& cmd, ReadResp& resp);
+  /// Returns false when the attacker swallowed the response burst.
+  bool deliver_resp(const ReadCmd& cmd, ReadResp& resp);
+  /// Routes ALERT_n back through the interposer (maskable/forgeable).
+  void deliver_status(const WriteCmd& cmd, WriteStatus& status);
   /// True if the attacker wants this write converted into a read.
   bool wants_write_to_read(const WriteCmd& cmd);
 

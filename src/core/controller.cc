@@ -117,6 +117,13 @@ CacheLine MemoryController::encrypt(Addr addr, const CacheLine& pt,
   return ct;
 }
 
+void MemoryController::revert_line_counter(Addr addr) {
+  if (enc_ != DataEncryption::kCtr) return;
+  const auto it = line_counters_.find(line_base(addr));
+  assert(it != line_counters_.end() && it->second > 0);
+  --it->second;
+}
+
 CacheLine MemoryController::decrypt(Addr addr, const CacheLine& ct) const {
   CacheLine pt = ct;
   if (enc_ == DataEncryption::kXts) {
@@ -144,7 +151,12 @@ Violation MemoryController::write_line(Addr addr, const CacheLine& plaintext) {
 
   const CacheLine ct = encrypt(addr, plaintext, /*bump_counter=*/true);
   const std::uint64_t mac = mac_.compute(addr, ct);
-  const std::uint64_t c = chan.next_counter(Dir::kWrite);
+  // Counter discipline (mirrors the device): the write counter is
+  // consumed when the controller believes the burst reached the arrays —
+  // i.e. unless ALERT_n reports a rejected burst. A masked alert then
+  // desynchronizes the two ends (controller advanced, device did not)
+  // and every later read of the rank fails verification.
+  const std::uint64_t c = chan.peek_counter(Dir::kWrite);
 
   WriteCmd cmd;
   cmd.rank = d.rank;
@@ -165,20 +177,57 @@ Violation MemoryController::write_line(Addr addr, const CacheLine& plaintext) {
     // Attacker converted WR -> RD and swallowed the response. The device
     // consumes a READ-parity counter; the controller consumed a write one.
     // Without the even/odd discipline this would stay in sync (§III-B).
+    (void)chan.next_counter(Dir::kWrite);
     ReadCmd as_read{cmd.rank, cmd.bank_group, cmd.bank, cmd.column};
     (void)dimm_.read(as_read);
     return Violation::kNone;  // undetected *at this point*, by design
   }
 
   auto delivered = bus_.deliver(cmd);
-  if (!delivered) return Violation::kNone;  // dropped: detected on next read
+  if (!delivered) {
+    // Dropped in flight: the controller cannot know, so it advances and
+    // the resulting desync is detected on the next read of the rank.
+    (void)chan.next_counter(Dir::kWrite);
+    return Violation::kNone;
+  }
 
-  const WriteStatus st = dimm_.write(*delivered);
+  WriteStatus st = dimm_.write(*delivered);
+  bus_.deliver_status(cmd, st);  // ALERT_n is a wire like any other
   if (st.alert) {
+    // Rejected burst: neither end consumed its counter, and the line's
+    // CTR write counter rolls back so the stored (old) ciphertext still
+    // decrypts correctly — a failed write must leave the line readable
+    // with its pre-write contents, not silently garbled.
+    revert_line_counter(addr);
     ++stats_.write_alerts;
     return Violation::kWriteAlert;
   }
+  (void)chan.next_counter(Dir::kWrite);
   return Violation::kNone;
+}
+
+MemoryController::State MemoryController::snapshot_state() const {
+  State s;
+  for (const auto& chan : rank_channels_) {
+    s.counters.push_back(chan ? chan->counter() : 0);
+    s.cmd_counters.push_back(chan ? chan->cmd_counter() : 0);
+  }
+  s.open_row_mirror = open_row_mirror_;
+  s.line_counters = line_counters_;
+  s.stats = stats_;
+  return s;
+}
+
+void MemoryController::restore_state(const State& s) {
+  assert(s.counters.size() == rank_channels_.size());
+  for (std::size_t r = 0; r < rank_channels_.size(); ++r) {
+    if (!rank_channels_[r]) continue;
+    rank_channels_[r]->set_counter(s.counters[r]);
+    rank_channels_[r]->set_cmd_counter(s.cmd_counters[r]);
+  }
+  open_row_mirror_ = s.open_row_mirror;
+  line_counters_ = s.line_counters;
+  stats_ = s.stats;
 }
 
 MemoryController::ReadResult MemoryController::read_line(Addr addr) {
@@ -191,7 +240,7 @@ MemoryController::ReadResult MemoryController::read_line(Addr addr) {
 
   ensure_row_open(d);
 
-  const std::uint64_t c = chan.next_counter(Dir::kRead);
+  const std::uint64_t c = chan.peek_counter(Dir::kRead);
   ReadCmd cmd{d.rank, d.bank_group, d.bank, d.column};
   obfuscate_column_fields(d.rank, cmd.bank_group, cmd.bank, cmd.column);
 
@@ -199,12 +248,17 @@ MemoryController::ReadResult MemoryController::read_line(Addr addr) {
   auto delivered = bus_.deliver(cmd);
   std::optional<ReadResp> resp;
   if (delivered) resp = dimm_.read(*delivered);
+  if (resp && !bus_.deliver_resp(cmd, *resp)) resp.reset();
   if (!resp) {
+    // No burst arrived, so the controller does not consume: a dropped
+    // *command* (device never consumed either) leaves the ends in sync
+    // after this — already reported — violation, while a swallowed
+    // *response* (device consumed) desyncs and fails every later read.
     ++stats_.dropped_responses;
     result.violation = Violation::kDroppedResponse;
     return result;
   }
-  bus_.deliver_resp(cmd, *resp);
+  (void)chan.next_counter(Dir::kRead);
 
   const std::uint64_t mac = chan.decrypt_mac(resp->emac, c);
   const std::uint64_t expected = mac_.compute(addr, resp->data);

@@ -78,8 +78,26 @@ class MemoryController {
   Addr capacity() const { return mapping_.geometry().capacity_bytes(); }
   const dram::AddressMapping& mapping() const { return mapping_; }
 
+  /// Mutable controller state (keys excluded — they are fused after
+  /// attestation). Snapshot/restore lets the fuzzer reset a session to
+  /// its post-attestation pristine state without re-running the signed
+  /// key exchange, and is the seed of the serializable-simulator-state
+  /// direction in ROADMAP.md.
+  struct State {
+    std::vector<std::uint64_t> counters;      ///< per-rank Ct
+    std::vector<std::uint64_t> cmd_counters;  ///< per-rank CCA pads
+    std::vector<std::int64_t> open_row_mirror;
+    std::unordered_map<Addr, std::uint64_t> line_counters;
+    ControllerStats stats;
+  };
+  State snapshot_state() const;
+  void restore_state(const State& s);
+
  private:
   void ensure_row_open(const dram::DecodedAddr& d);
+  /// Rolls back the CTR-mode per-line write counter after a write the
+  /// device rejected (see write_line).
+  void revert_line_counter(Addr addr);
   /// §VIII CCCA obfuscation of a column command's fields (no-op unless
   /// the DIMM is configured for it).
   void obfuscate_column_fields(unsigned rank, unsigned& bg, unsigned& bank,

@@ -189,8 +189,14 @@ WriteStatus Dimm::write(const WriteCmd& original) {
   const std::uint64_t key =
       line_key(cmd.bank_group, cmd.bank, addr.row, cmd.column);
 
-  // The transaction consumed a (write-parity) counter value on receipt.
-  const std::uint64_t c = rs.emac->next_counter(Dir::kWrite);
+  // Counter discipline: the transaction counter advances only when the
+  // burst commits to the arrays. A rejected burst (eWCRC alert) must not
+  // consume — otherwise an attacker who injects a forged write (rejected
+  // here, but consuming under the old advance-on-receipt rule) could
+  // re-synchronize the two ends after dropping a victim write, and an
+  // attacker masking ALERT_n would leave the stale line self-consistent.
+  // The fuzzer found both compositions; tests/regress pins them.
+  const std::uint64_t c = rs.emac->peek_counter(Dir::kWrite);
 
   CacheLine data = cmd.data;
   std::uint64_t mac_on_wire = cmd.emac;  // encrypted at this point
@@ -212,6 +218,7 @@ WriteStatus Dimm::write(const WriteCmd& original) {
       }
       if (ewcrc_ecc_chip(addr, mac_on_wire) != ecc_crc) return {false, true};
     }
+    (void)rs.emac->next_counter(Dir::kWrite);
     store_line(rs, key, data);
     rs.macs[key] = mac_on_wire;
     return {true, false};
@@ -233,6 +240,7 @@ WriteStatus Dimm::write(const WriteCmd& original) {
     if (ewcrc_ecc_chip(addr, mac_plain) != crc_plain) return {false, true};
   }
 
+  (void)rs.emac->next_counter(Dir::kWrite);
   store_line(rs, key, data);
   rs.macs[key] = mac_plain;  // MACs rest unencrypted (§III-A)
   return {true, false};
@@ -287,16 +295,24 @@ Dimm::Snapshot Dimm::snapshot() const {
     s.data.push_back(r.data);
     s.macs.push_back(r.macs);
     s.counters.push_back(r.emac ? r.emac->counter() : 0);
+    s.cmd_counters.push_back(r.emac ? r.emac->cmd_counter() : 0);
   }
+  s.open_rows = open_rows_;
+  s.ecc_corrections = ecc_corrections_;
   return s;
 }
 
 void Dimm::restore(const Snapshot& s) {
   assert(s.data.size() == ranks_.size());
+  open_rows_ = s.open_rows;
+  ecc_corrections_ = s.ecc_corrections;
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     ranks_[r].data = s.data[r];
     ranks_[r].macs = s.macs[r];
-    if (ranks_[r].emac) ranks_[r].emac->set_counter(s.counters[r]);
+    if (ranks_[r].emac) {
+      ranks_[r].emac->set_counter(s.counters[r]);
+      ranks_[r].emac->set_cmd_counter(s.cmd_counters[r]);
+    }
     if (config_.secded_enabled) {
       // Regenerate check bytes over the restored arrays.
       ranks_[r].ecc.clear();
@@ -316,6 +332,14 @@ bool Dimm::inject_fault(unsigned rank, std::uint64_t key, unsigned bit) {
   if (it == rs.data.end()) return false;
   it->second[(bit / 8) % kLineSize] ^=
       static_cast<std::uint8_t>(1u << (bit % 8));
+  return true;
+}
+
+bool Dimm::inject_mac_fault(unsigned rank, std::uint64_t key, unsigned bit) {
+  RankState& rs = ranks_[rank];
+  const auto it = rs.macs.find(key);
+  if (it == rs.macs.end()) return false;
+  it->second ^= 1ull << (bit % 64);
   return true;
 }
 

@@ -55,12 +55,6 @@ struct DimmConfig {
   bool secded_enabled = false;
 };
 
-/// Outcome of a write burst at the device.
-struct WriteStatus {
-  bool stored = false;
-  bool alert = false;  ///< eWCRC mismatch signaled on ALERT_n
-};
-
 class Dimm {
  public:
   Dimm(const DimmConfig& config, std::string module_id,
@@ -97,12 +91,17 @@ class Dimm {
     on_dimm_ = interposer;
   }
 
-  /// Full device state (arrays + counters), for DIMM-substitution /
-  /// cold-boot experiments. Keys survive (they are in silicon).
+  /// Full device state (arrays + counters + open rows), for
+  /// DIMM-substitution / cold-boot experiments and for the fuzzer's
+  /// restore-to-pristine-state executor. Keys survive (they are in
+  /// silicon).
   struct Snapshot {
     std::vector<std::unordered_map<std::uint64_t, CacheLine>> data;
     std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> macs;
     std::vector<std::uint64_t> counters;
+    std::vector<std::uint64_t> cmd_counters;  ///< CCA-obfuscation pads
+    std::vector<std::int64_t> open_rows;
+    std::uint64_t ecc_corrections = 0;
   };
   Snapshot snapshot() const;
   void restore(const Snapshot& s);
@@ -117,8 +116,25 @@ class Dimm {
   /// Fault injection: flips one stored data bit (models a soft error or
   /// a disturbance fault). Returns false if the line was never written.
   bool inject_fault(unsigned rank, std::uint64_t line_key, unsigned bit);
+  /// Flips one bit of a stored MAC in the ECC-chip array (disturbance
+  /// fault on the metadata chips). Returns false if never written.
+  bool inject_mac_fault(unsigned rank, std::uint64_t line_key, unsigned bit);
   /// Single-bit errors corrected by the on-device SEC-DED logic.
   std::uint64_t ecc_corrections() const { return ecc_corrections_; }
+
+  /// The device-array key for a DRAM coordinate (public so attackers /
+  /// the fuzzer can aim inject_fault at computed neighbors).
+  std::uint64_t line_key_for(unsigned bg, unsigned bank, std::uint64_t row,
+                             unsigned col) const {
+    return line_key(bg, bank, row, col);
+  }
+  /// Currently open row of a bank (-1 when closed) — oracle ground truth.
+  std::int64_t open_row_state(unsigned rank, unsigned bg, unsigned bank) const {
+    const auto& g = config_.geometry;
+    return open_rows_[(static_cast<std::size_t>(rank) * g.bank_groups + bg) *
+                          g.banks_per_group +
+                      bank];
+  }
 
  private:
   struct RankState {

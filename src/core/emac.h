@@ -70,6 +70,8 @@ class EmacEngine {
   /// command desynchronizes the stream and garbles every later decode.
   std::uint64_t next_cmd_pad();
   std::uint64_t cmd_counter() const { return cmd_ctr_; }
+  /// Raw command-counter state (snapshot/restore of engine state).
+  void set_cmd_counter(std::uint64_t v) { cmd_ctr_ = v; }
 
   unsigned rank() const { return rank_; }
 

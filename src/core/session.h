@@ -80,6 +80,22 @@ class SecureMemorySession {
   Dimm::Snapshot snapshot_dimm() const { return dimm_->snapshot(); }
   void substitute_dimm(const Dimm::Snapshot& s) { dimm_->restore(s); }
 
+  /// Both ends of the channel at once. Restoring a full snapshot resets
+  /// the deployment to a consistent earlier state without repeating the
+  /// (expensive) attestation — the fuzzer executes thousands of mutated
+  /// runs against one attested session this way.
+  struct Snapshot {
+    Dimm::Snapshot dimm;
+    MemoryController::State controller;
+  };
+  Snapshot snapshot() const {
+    return {dimm_->snapshot(), controller_->snapshot_state()};
+  }
+  void restore(const Snapshot& s) {
+    dimm_->restore(s.dimm);
+    controller_->restore_state(s.controller);
+  }
+
   /// Re-attests all ranks (legitimate DIMM replacement path); optionally
   /// clears memory as the paper requires.
   bool reattest(bool clear_memory);

@@ -82,6 +82,12 @@ void Controller::sync_indexes(unsigned dir, unsigned flat) {
 void Controller::close_bank(unsigned flat, Cycle now) {
   banks_[flat].precharge(now, timings_.tRP);
   ++stats_.precharges;
+  if (observer_) {
+    const unsigned in_rank = flat % geometry_.banks_per_rank();
+    observer_->on_precharge(flat / geometry_.banks_per_rank(),
+                            in_rank / geometry_.banks_per_group,
+                            in_rank % geometry_.banks_per_group, now);
+  }
   sync_indexes(0, flat);
   sync_indexes(1, flat);
 }
@@ -238,6 +244,7 @@ void Controller::issue_column(unsigned flat, std::size_t pos, bool is_write,
     ++stats_.row_misses;
   else
     ++stats_.row_hits;
+  if (observer_) observer_->on_column(e.d, is_write, now);
 
   const unsigned burst = is_write ? timings_.write_burst_cycles
                                   : timings_.read_burst_cycles;
@@ -343,6 +350,7 @@ bool Controller::try_issue_bank_prep(bool is_write, Cycle now) {
     rank.last_act_bg = e.d.bank_group;
     e.activated_for = true;
     ++stats_.activates;
+    if (observer_) observer_->on_activate(e.d, now);
     recount_bank(flat);
     ++scan_stats_.commands_issued;
   };
@@ -459,6 +467,7 @@ bool Controller::handle_refresh(Cycle now) {
         rank.refresh_pending = false;
         rank.next_refresh_due += timings_.tREFI;
         ++stats_.refreshes;
+        if (observer_) observer_->on_refresh(r, now);
         return true;
       }
     }

@@ -107,6 +107,25 @@ enum class SchedulingPolicy {
   kFcfs,    ///< strict arrival order (ablation baseline)
 };
 
+/// Read-only tap on the DRAM command stream the controller issues, in
+/// issue order. This is the *ground truth* an on-bus observer would see
+/// before any tampering: the fuzz campaign's TrackerGroundTruth property
+/// tests replay it into core::TrackingInterposer and require the
+/// attacker's open-row model to agree with the controller's — including
+/// mid-stream attachment, where a bank whose ACTIVATE predates the
+/// observer must resolve as *unknown*, never as a concrete (wrong) row.
+/// Observers must not mutate controller state.
+class CommandObserver {
+ public:
+  virtual ~CommandObserver() = default;
+  virtual void on_activate(const DecodedAddr& /*d*/, Cycle /*now*/) {}
+  virtual void on_precharge(unsigned /*rank*/, unsigned /*bank_group*/,
+                            unsigned /*bank*/, Cycle /*now*/) {}
+  virtual void on_column(const DecodedAddr& /*d*/, bool /*is_write*/,
+                         Cycle /*now*/) {}
+  virtual void on_refresh(unsigned /*rank*/, Cycle /*now*/) {}
+};
+
 /// Single-channel memory controller.
 class Controller {
  public:
@@ -155,6 +174,9 @@ class Controller {
   std::size_t pending() const {
     return q_size_[0] + q_size_[1] + inflight_reads_.size();
   }
+
+  /// Installs (or clears, with nullptr) the command-stream tap.
+  void set_command_observer(CommandObserver* obs) { observer_ = obs; }
 
  private:
   struct InflightRead {
@@ -331,6 +353,7 @@ class Controller {
 
   ControllerStats stats_;
   ScanStats scan_stats_;
+  CommandObserver* observer_ = nullptr;
 };
 
 }  // namespace secddr::dram

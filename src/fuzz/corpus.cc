@@ -1,0 +1,63 @@
+#include "fuzz/corpus.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/stream_trace.h"
+#include "sim/trace_codec.h"
+
+namespace secddr::fuzz {
+
+bool Corpus::add_if_new(const FuzzInput& in, std::uint64_t signature) {
+  if (!signatures_.insert(signature).second) return false;
+  inputs_.push_back(in);
+  return true;
+}
+
+bool save_input(const FuzzInput& in, const std::string& stem,
+                std::string* err) {
+  const auto fail = [&](const std::string& why) {
+    if (err) *err = why;
+    return false;
+  };
+  {
+    std::ofstream f(stem + ".fplan", std::ios::trunc);
+    if (!f) return fail("cannot create " + stem + ".fplan");
+    f << serialize_plan(in);
+    if (!f.flush()) return fail("write failed: " + stem + ".fplan");
+  }
+  try {
+    sim::TraceWriter w(stem + ".strace");
+    for (const sim::TraceRecord& r : in.ops) w.append(r);
+    w.close();
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  return true;
+}
+
+bool load_input(const std::string& stem, FuzzInput* out, std::string* err) {
+  const auto fail = [&](const std::string& why) {
+    if (err) *err = why;
+    return false;
+  };
+  std::ifstream f(stem + ".fplan");
+  if (!f) return fail("cannot open " + stem + ".fplan");
+  std::ostringstream body;
+  body << f.rdbuf();
+  std::string perr;
+  if (!parse_plan(body.str(), out, &perr))
+    return fail(stem + ".fplan: " + perr);
+  out->ops.clear();
+  try {
+    auto src = sim::open_trace(stem + ".strace", /*loop=*/false);
+    sim::TraceRecord r;
+    while (src->next(r)) out->ops.push_back(r);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  return true;
+}
+
+}  // namespace secddr::fuzz

@@ -1,0 +1,84 @@
+// Corpus: coverage-distinct inputs + on-disk input format + minimizer.
+//
+// An input earns a corpus slot when its execution produced a coverage
+// signature no earlier input produced (classic coverage-guided corpus
+// growth, at signature granularity).
+//
+// On disk an input is a pair of sidecar files:
+//   <name>.fplan   text: profile + fault plan (fuzz.h serialize_plan)
+//   <name>.strace  binary trace (PR 5 codec): the victim ops
+// tests/regress/ holds minimized escapes in exactly this format, and the
+// campaign's SECDDR_FUZZ_SAVE_DIR writes new escapes the same way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fuzz/executor.h"
+#include "fuzz/fuzz.h"
+
+namespace secddr::fuzz {
+
+class Corpus {
+ public:
+  /// Adds `in` when `signature` is new. Returns true on insertion.
+  bool add_if_new(const FuzzInput& in, std::uint64_t signature);
+
+  std::size_t size() const { return inputs_.size(); }
+  std::size_t coverage() const { return signatures_.size(); }
+  const FuzzInput& operator[](std::size_t i) const { return inputs_[i]; }
+  bool seen(std::uint64_t signature) const {
+    return signatures_.count(signature) != 0;
+  }
+
+ private:
+  std::vector<FuzzInput> inputs_;
+  std::unordered_set<std::uint64_t> signatures_;
+};
+
+/// Writes `in` as `<stem>.fplan` + `<stem>.strace`. Returns false (and
+/// fills `err`) on I/O failure.
+bool save_input(const FuzzInput& in, const std::string& stem,
+                std::string* err = nullptr);
+
+/// Loads an input saved by save_input. A missing .strace is an error —
+/// a plan without its victim trace is not replayable.
+bool load_input(const std::string& stem, FuzzInput* out,
+                std::string* err = nullptr);
+
+/// Greedy one-pass-to-fixpoint minimizer: repeatedly tries dropping one
+/// plan op or one trace record, keeping the drop whenever `predicate`
+/// still holds (typically "still an escape" / "still this verdict").
+/// Deterministic; the checked-in regression traces are its output.
+template <typename Pred>
+FuzzInput minimize(FuzzInput in, Pred&& predicate) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < in.plan.size();) {
+      FuzzInput trial = in;
+      trial.plan.erase(trial.plan.begin() + i);
+      if (predicate(trial)) {
+        in = std::move(trial);
+        shrunk = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < in.ops.size();) {
+      FuzzInput trial = in;
+      trial.ops.erase(trial.ops.begin() + i);
+      if (predicate(trial)) {
+        in = std::move(trial);
+        shrunk = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace secddr::fuzz

@@ -1,0 +1,151 @@
+#include "fuzz/fuzz.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace secddr::fuzz {
+
+namespace {
+
+constexpr const char* kClassNames[kFaultClassCount] = {
+    "flip-write-data",     "flip-write-emac", "flip-write-crc",
+    "flip-read-data",      "flip-read-emac",  "drop-write",
+    "drop-read",           "drop-activate",   "swallow-read-resp",
+    "mask-alert",          "forge-alert",     "splice-read-resp",
+    "write-to-read",       "flip-act-row",    "flip-act-bank",
+    "flip-write-column",   "flip-read-column", "inject-forged-write",
+    "on-dimm-replay",      "row-hammer",      "mac-disturb",
+};
+
+constexpr FuzzProfile kProfiles[kProfileCount] = {
+    // Full SecDDR deployments (no escape is ever acceptable here).
+    {"secddr-xts", core::DataEncryption::kXts, true,
+     core::LogicPlacement::kEccChip, false, false},
+    {"secddr-ctr", core::DataEncryption::kCtr, true,
+     core::LogicPlacement::kEccChip, false, false},
+    // Weakened designs the paper argues against (escapes from the
+    // matching classes are accounted, never silent-accepted elsewhere).
+    {"no-ewcrc", core::DataEncryption::kXts, false,
+     core::LogicPlacement::kEccChip, false, false},
+    {"trusted-dimm", core::DataEncryption::kXts, true,
+     core::LogicPlacement::kEccDataBuffer, false, false},
+    // Reliability and obfuscation extensions.
+    {"secddr-ctr-secded", core::DataEncryption::kCtr, true,
+     core::LogicPlacement::kEccChip, true, false},
+    {"secddr-xts-cca", core::DataEncryption::kXts, true,
+     core::LogicPlacement::kEccChip, false, true},
+};
+
+}  // namespace
+
+const char* to_string(FaultClass c) {
+  const auto i = static_cast<unsigned>(c);
+  return i < kFaultClassCount ? kClassNames[i] : "?";
+}
+
+bool fault_class_from_string(const std::string& name, FaultClass* out) {
+  for (unsigned i = 0; i < kFaultClassCount; ++i) {
+    if (name == kClassNames[i]) {
+      *out = static_cast<FaultClass>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const FuzzProfile& profile(unsigned id) { return kProfiles[id % kProfileCount]; }
+
+core::SessionConfig make_profile_config(unsigned id) {
+  const FuzzProfile& p = profile(id);
+  core::SessionConfig cfg;
+  cfg.dimm.geometry.ranks = 2;
+  cfg.dimm.geometry.bank_groups = 2;
+  cfg.dimm.geometry.banks_per_group = 2;
+  cfg.dimm.geometry.rows_per_bank = 16;
+  cfg.dimm.geometry.columns_per_row = 8;
+  cfg.dimm.ewcrc_enabled = p.ewcrc;
+  cfg.dimm.placement = p.placement;
+  cfg.dimm.secded_enabled = p.secded;
+  cfg.dimm.cca_obfuscation = p.cca;
+  cfg.encryption = p.enc;
+  cfg.seed = 7151 + id;
+  cfg.module_id = std::string("dimm:fuzz-") + p.name;
+  return cfg;
+}
+
+bool accounted_escape(unsigned id, FaultClass cls) {
+  const FuzzProfile& p = profile(id);
+  // Without the encrypted eWCRC the device cannot bind a burst to the
+  // address the processor intended, so silent wrong-location writes via
+  // redirected/dropped addressing commands are the Fig. 3 result the
+  // paper reproduces — expected, not an engine bug.
+  if (!p.ewcrc &&
+      (cls == FaultClass::kFlipActRow || cls == FaultClass::kFlipActBank ||
+       cls == FaultClass::kFlipWriteColumn || cls == FaultClass::kDropActivate))
+    return true;
+  // Trusted-DIMM placement exposes plaintext MACs on the on-DIMM
+  // interconnect; an on-DIMM replay verifies — the §VI-C argument.
+  if (p.placement == core::LogicPlacement::kEccDataBuffer &&
+      cls == FaultClass::kOnDimmReplay)
+    return true;
+  return false;
+}
+
+std::string serialize_plan(const FuzzInput& in) {
+  std::ostringstream os;
+  os << "secddr-fplan v1\n";
+  os << "profile " << in.profile << " " << profile(in.profile).name << "\n";
+  for (const FaultOp& op : in.plan)
+    os << "fault " << to_string(op.cls) << " trigger=" << op.trigger
+       << " bit=" << op.bit << " aux=" << op.aux << "\n";
+  return os.str();
+}
+
+bool parse_plan(const std::string& text, FuzzInput* out, std::string* err) {
+  const auto fail = [&](const std::string& why) {
+    if (err) *err = why;
+    return false;
+  };
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "secddr-fplan v1")
+    return fail("missing 'secddr-fplan v1' header");
+  out->plan.clear();
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "profile") {
+      unsigned id = 0;
+      if (!(ls >> id) || id >= kProfileCount)
+        return fail("bad profile line: " + line);
+      out->profile = id;  // trailing name is informational
+    } else if (kind == "fault") {
+      std::string cls_name;
+      if (!(ls >> cls_name)) return fail("bad fault line: " + line);
+      FaultOp op;
+      if (!fault_class_from_string(cls_name, &op.cls))
+        return fail("unknown fault class: " + cls_name);
+      std::string field;
+      while (ls >> field) {
+        unsigned long v = 0;
+        if (std::sscanf(field.c_str(), "trigger=%lu", &v) == 1)
+          op.trigger = static_cast<std::uint32_t>(v);
+        else if (std::sscanf(field.c_str(), "bit=%lu", &v) == 1)
+          op.bit = static_cast<std::uint32_t>(v);
+        else if (std::sscanf(field.c_str(), "aux=%lu", &v) == 1)
+          op.aux = static_cast<std::uint32_t>(v);
+        else
+          return fail("unknown fault field: " + field);
+      }
+      if (op.trigger == 0) return fail("fault trigger must be >= 1");
+      out->plan.push_back(op);
+    } else {
+      return fail("unknown line kind: " + kind);
+    }
+  }
+  return true;
+}
+
+}  // namespace secddr::fuzz

@@ -1,0 +1,127 @@
+// Coverage-guided adversarial trace fuzzer: shared vocabulary.
+//
+// A FuzzInput is one adversarial experiment against a live SecDDR
+// session: a memory-access trace (the victim's behavior, in the same
+// TraceRecord form the recorded-trace subsystem uses) plus a FaultPlan —
+// a list of count-triggered fault injections drawn from the paper's
+// threat model (§II-A): wire bit flips on CCCA/data/MAC lanes, dropped /
+// replayed / spliced / converted commands, address redirection, forged
+// or masked ALERT_n, forged write injection, on-DIMM replay, and
+// Rowhammer-style neighbor-row disturbance.
+//
+// The executor (executor.h) runs an input against a snapshot-restored
+// session and classifies the outcome with a strict oracle: every
+// injected corruption must be *detected* (MAC / eWCRC / counter check),
+// *corrected* (on-device SEC-DED), or crisply *accounted for* as outside
+// the threat model of the profile under test; a read that verifies OK
+// but returns data the controller never wrote is an *escape*. The
+// campaign driver (campaign.h) mutates inputs (mutate.h), keeps a corpus
+// of coverage-distinct ones (corpus.h), and pins every escape ever found
+// as a minimized regression trace under tests/regress/.
+//
+// See README.md "Adversarial campaigns" for the mutation-class ->
+// detection-mechanism table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dimm.h"
+#include "core/session.h"
+#include "sim/trace.h"
+
+namespace secddr::fuzz {
+
+/// One mutation class of the fault-injection shim. Count-based triggers
+/// (the N-th event of the class's kind) keep every class meaningful even
+/// under CCA obfuscation, where field *values* on the bus are pads.
+enum class FaultClass : std::uint8_t {
+  kFlipWriteData,      ///< flip a data-lane bit of the N-th write burst
+  kFlipWriteEmac,      ///< flip an ECC-lane (E-MAC) bit of the N-th write
+  kFlipWriteCrc,       ///< flip an encrypted-eWCRC bit of the N-th write
+  kFlipReadData,       ///< flip a data bit of the N-th read response
+  kFlipReadEmac,       ///< flip an E-MAC bit of the N-th read response
+  kDropWrite,          ///< drop the N-th write command entirely
+  kDropRead,           ///< drop the N-th read command entirely
+  kDropActivate,       ///< drop the N-th ACTIVATE
+  kSwallowReadResp,    ///< swallow the N-th read response burst
+  kMaskAlert,          ///< clear the N-th asserted ALERT_n
+  kForgeAlert,         ///< assert ALERT_n on the N-th clean write status
+  kSpliceReadResp,     ///< replace the N-th response with recorded burst #aux
+  kWriteToRead,        ///< convert the N-th write into a read (§III-B)
+  kFlipActRow,         ///< flip row bit `bit` of the N-th ACTIVATE (Fig. 3)
+  kFlipActBank,        ///< flip a bank/bank-group bit of the N-th ACTIVATE
+  kFlipWriteColumn,    ///< flip column bit of the N-th write command
+  kFlipReadColumn,     ///< flip column bit of the N-th read command
+  kInjectForgedWrite,  ///< inject a forged write burst before the N-th read
+  kOnDimmReplay,       ///< replay recorded inner burst at the N-th inner read
+  kRowHammer,          ///< disturb a neighbor-row bit at the N-th ACTIVATE
+  kMacDisturb,         ///< flip a stored-MAC bit before the N-th read
+  kCount
+};
+
+inline constexpr unsigned kFaultClassCount =
+    static_cast<unsigned>(FaultClass::kCount);
+
+const char* to_string(FaultClass c);
+/// Inverse of to_string; false when `name` is unknown.
+bool fault_class_from_string(const std::string& name, FaultClass* out);
+
+/// One triggered fault. `trigger` is the 1-based occurrence count of the
+/// class's event kind; `bit` selects the flipped/disturbed bit; `aux` is
+/// class-specific (splice ring index, Rowhammer column, ...).
+struct FaultOp {
+  FaultClass cls = FaultClass::kFlipWriteData;
+  std::uint32_t trigger = 1;
+  std::uint32_t bit = 0;
+  std::uint32_t aux = 0;
+
+  friend bool operator==(const FaultOp& a, const FaultOp& b) {
+    return a.cls == b.cls && a.trigger == b.trigger && a.bit == b.bit &&
+           a.aux == b.aux;
+  }
+};
+
+using FaultPlan = std::vector<FaultOp>;
+
+/// One complete fuzz experiment. `ops` drives the victim's accesses (the
+/// same records a recorded .strace trace holds — the mutation engine
+/// perturbs recorded traces and fault plans alike); `profile` selects
+/// the deployment configuration under test.
+struct FuzzInput {
+  unsigned profile = 0;
+  FaultPlan plan;
+  std::vector<sim::TraceRecord> ops;
+};
+
+/// Deployment profile: which defenses are on. The weakened profiles are
+/// the paper's negative arguments (no eWCRC -> Fig. 3; trusted-DIMM
+/// placement -> §VI-C) and define the *accounted* escape classes.
+struct FuzzProfile {
+  const char* name;
+  core::DataEncryption enc;
+  bool ewcrc;
+  core::LogicPlacement placement;
+  bool secded;
+  bool cca;
+};
+
+inline constexpr unsigned kProfileCount = 6;
+const FuzzProfile& profile(unsigned id);
+/// Session configuration for a profile (tiny fixed geometry; see
+/// Executor::functional_geometry()).
+core::SessionConfig make_profile_config(unsigned id);
+
+/// True when an undetected corruption in `profile` caused by fault class
+/// `cls` is outside the profile's threat model (the paper's own negative
+/// results), i.e. an *accounted* escape rather than a real one.
+bool accounted_escape(unsigned profile, FaultClass cls);
+
+/// Text serialization of (profile, plan) — the .fplan sidecar of a saved
+/// input (the ops travel separately as a binary .strace trace).
+std::string serialize_plan(const FuzzInput& in);
+/// Parses a .fplan body; fills profile+plan of `out` (ops untouched).
+bool parse_plan(const std::string& text, FuzzInput* out, std::string* err);
+
+}  // namespace secddr::fuzz

@@ -1,0 +1,183 @@
+#include "fuzz/injector.h"
+
+namespace secddr::fuzz {
+
+namespace {
+
+unsigned log2u(std::uint64_t v) {
+  unsigned b = 0;
+  while ((std::uint64_t{1} << b) < v) ++b;
+  return b;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, core::Dimm& dimm)
+    : dimm_(dimm) {
+  ops_.reserve(plan.size());
+  for (const FaultOp& op : plan) ops_.push_back({op, false});
+}
+
+bool FaultInjector::on_activate(core::ActivateCmd& cmd) {
+  ++acts_;
+  const auto& g = dimm_.config().geometry;
+  // Rowhammer-style disturbance: the N-th ACTIVATE flips a stored bit in
+  // the physically adjacent row of the same bank (aggressor row observed
+  // on the wire; under CCA obfuscation it lands on a pad-selected row,
+  // which is exactly what a blind disturbance attack does).
+  fire(FaultClass::kRowHammer, acts_, [&](const FaultOp& op) {
+    const std::uint64_t victim = cmd.row ^ 1;  // rows are a power of two
+    (void)dimm_.inject_fault(
+        cmd.rank,
+        dimm_.line_key_for(cmd.bank_group, cmd.bank, victim,
+                           op.aux % g.columns_per_row),
+        op.bit);
+  });
+  fire(FaultClass::kFlipActRow, acts_, [&](const FaultOp& op) {
+    cmd.row ^= std::uint64_t{1} << (op.bit % log2u(g.rows_per_bank));
+  });
+  fire(FaultClass::kFlipActBank, acts_, [&](const FaultOp& op) {
+    const unsigned bg_bits = log2u(g.bank_groups);
+    const unsigned bank_bits = log2u(g.banks_per_group);
+    const unsigned b = op.bit % (bg_bits + bank_bits ? bg_bits + bank_bits : 1);
+    if (b < bg_bits)
+      cmd.bank_group ^= 1u << b;
+    else
+      cmd.bank ^= 1u << (b - bg_bits);
+  });
+  bool dropped = false;
+  fire(FaultClass::kDropActivate, acts_, [&](const FaultOp&) { dropped = true; });
+  // A dropped ACTIVATE never reaches the device, so the attacker's model
+  // of the device's open rows must not change either.
+  if (dropped) return false;
+  return core::TrackingInterposer::on_activate(cmd);
+}
+
+bool FaultInjector::on_write(core::WriteCmd& cmd) {
+  ++writes_;
+  // Snoop the clean burst (replay/splice source + forgery template).
+  ring_.push_back({cmd.data, cmd.emac});
+  last_write_ = cmd;
+  const auto& g = dimm_.config().geometry;
+  fire(FaultClass::kFlipWriteData, writes_, [&](const FaultOp& op) {
+    core::flip_line_bit(cmd.data, op.bit);
+  });
+  fire(FaultClass::kFlipWriteEmac, writes_, [&](const FaultOp& op) {
+    core::flip_u64_bit(cmd.emac, op.bit);
+  });
+  fire(FaultClass::kFlipWriteCrc, writes_, [&](const FaultOp& op) {
+    core::flip_u16_bit(cmd.ecc_crc, op.bit);
+  });
+  fire(FaultClass::kFlipWriteColumn, writes_, [&](const FaultOp& op) {
+    cmd.column ^= 1u << (op.bit % log2u(g.columns_per_row));
+  });
+  bool dropped = false;
+  fire(FaultClass::kDropWrite, writes_, [&](const FaultOp&) { dropped = true; });
+  return !dropped;
+}
+
+bool FaultInjector::on_read(core::ReadCmd& cmd) {
+  ++reads_;
+  const auto& g = dimm_.config().geometry;
+  // Forged-write injection happens *before* the read is delivered — the
+  // composition that, under an advance-on-receipt device counter rule,
+  // re-synchronized a desynced channel (tests/regress/drop_inject_resync).
+  fire(FaultClass::kInjectForgedWrite, reads_,
+       [&](const FaultOp& op) { inject_forged_write(op); });
+  // Disturbance fault on the ECC-chip MAC array of the line about to be
+  // read (aimable only when the attacker knows the open row).
+  fire(FaultClass::kMacDisturb, reads_, [&](const FaultOp& op) {
+    if (const auto row = open_row_for(cmd.rank, cmd.bank_group, cmd.bank))
+      (void)dimm_.inject_mac_fault(
+          cmd.rank,
+          dimm_.line_key_for(cmd.bank_group, cmd.bank, *row, cmd.column),
+          op.bit);
+  });
+  fire(FaultClass::kFlipReadColumn, reads_, [&](const FaultOp& op) {
+    cmd.column ^= 1u << (op.bit % log2u(g.columns_per_row));
+  });
+  bool dropped = false;
+  fire(FaultClass::kDropRead, reads_, [&](const FaultOp&) { dropped = true; });
+  return !dropped;
+}
+
+bool FaultInjector::on_read_resp(const core::ReadCmd&, core::ReadResp& resp) {
+  ++resps_;
+  const Burst clean{resp.data, resp.emac};
+  // Splice: substitute a previously recorded burst — a replay when the
+  // ring entry came from the same location, a cross-location splice
+  // otherwise. The mutation engine does not distinguish; the oracle does.
+  fire(FaultClass::kSpliceReadResp, resps_, [&](const FaultOp& op) {
+    if (!ring_.empty()) {
+      const Burst& b = ring_[op.aux % ring_.size()];
+      resp.data = b.data;
+      resp.emac = b.emac;
+    }
+  });
+  fire(FaultClass::kFlipReadData, resps_, [&](const FaultOp& op) {
+    core::flip_line_bit(resp.data, op.bit);
+  });
+  fire(FaultClass::kFlipReadEmac, resps_, [&](const FaultOp& op) {
+    core::flip_u64_bit(resp.emac, op.bit);
+  });
+  ring_.push_back(clean);
+  bool swallowed = false;
+  fire(FaultClass::kSwallowReadResp, resps_,
+       [&](const FaultOp&) { swallowed = true; });
+  return !swallowed;
+}
+
+void FaultInjector::on_write_status(const core::WriteCmd&,
+                                    core::WriteStatus& status) {
+  if (status.alert) {
+    ++alerts_;
+    fire(FaultClass::kMaskAlert, alerts_,
+         [&](const FaultOp&) { status.alert = false; });
+  } else {
+    ++clean_status_;
+    fire(FaultClass::kForgeAlert, clean_status_,
+         [&](const FaultOp&) { status.alert = true; });
+  }
+}
+
+bool FaultInjector::convert_write_to_read(const core::WriteCmd&) {
+  ++converts_;
+  bool convert = false;
+  fire(FaultClass::kWriteToRead, converts_,
+       [&](const FaultOp&) { convert = true; });
+  return convert;
+}
+
+void FaultInjector::on_inner_write(unsigned rank, std::uint64_t line_key,
+                                   CacheLine& data, std::uint64_t& mac) {
+  inner_first_.emplace((std::uint64_t{rank} << 56) | line_key,
+                       Burst{data, mac});
+}
+
+void FaultInjector::on_inner_read(unsigned rank, std::uint64_t line_key,
+                                  CacheLine& data, std::uint64_t& mac) {
+  ++inner_reads_;
+  const std::uint64_t k = (std::uint64_t{rank} << 56) | line_key;
+  fire(FaultClass::kOnDimmReplay, inner_reads_, [&](const FaultOp&) {
+    const auto it = inner_first_.find(k);
+    if (it != inner_first_.end()) {
+      data = it->second.data;
+      mac = it->second.emac;
+    }
+  });
+  inner_first_.emplace(k, Burst{data, mac});
+}
+
+void FaultInjector::inject_forged_write(const FaultOp& op) {
+  if (!last_write_) return;  // nothing observed to forge from yet
+  core::WriteCmd forged = *last_write_;
+  // The attacker cannot produce a valid E-MAC; a garbled one models the
+  // best it can do. With eWCRC on, the device rejects the burst — the
+  // interesting question is whether that rejection consumes a counter.
+  core::flip_u64_bit(forged.emac, op.bit);
+  core::flip_u16_bit(forged.ecc_crc, op.bit);
+  const core::WriteStatus st = dimm_.write(forged);
+  if (st.alert) ++injected_alerts_;
+}
+
+}  // namespace secddr::fuzz

@@ -1,0 +1,114 @@
+// FaultInjector: the fuzzer's fault-injection shim.
+//
+// One object sits at both attacker positions — on the memory channel
+// (BusInterposer, via core::TrackingInterposer so it inherits the same
+// open-row tracking the single-shot attacks use) and on the DIMM's
+// internal interconnect (OnDimmInterposer) — and executes a FaultPlan:
+// each FaultOp fires exactly once, at the `trigger`-th event of its
+// class's kind. Count-based triggers make every class meaningful even
+// under CCA obfuscation, where the field values an interposer sees are
+// one-time pads.
+//
+// The injector deliberately composes the attack framework's primitives
+// (flip_line_bit & friends, the snoop ring for replay/splice) instead of
+// reimplementing them — attacks are the mutation vocabulary (attack.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/attack.h"
+#include "core/bus.h"
+#include "core/dimm.h"
+#include "fuzz/fuzz.h"
+
+namespace secddr::fuzz {
+
+class FaultInjector : public core::TrackingInterposer,
+                      public core::OnDimmInterposer {
+ public:
+  /// `dimm` grants the array-level fault classes (Rowhammer disturbance,
+  /// MAC disturbance, forged-write injection) their device access.
+  FaultInjector(const FaultPlan& plan, core::Dimm& dimm);
+
+  // ---- BusInterposer ----
+  bool on_activate(core::ActivateCmd& cmd) override;
+  bool on_write(core::WriteCmd& cmd) override;
+  bool on_read(core::ReadCmd& cmd) override;
+  bool on_read_resp(const core::ReadCmd& cmd, core::ReadResp& resp) override;
+  void on_write_status(const core::WriteCmd& cmd,
+                       core::WriteStatus& status) override;
+  bool convert_write_to_read(const core::WriteCmd& cmd) override;
+
+  // ---- OnDimmInterposer ----
+  void on_inner_write(unsigned rank, std::uint64_t line_key,
+                      CacheLine& data, std::uint64_t& mac) override;
+  void on_inner_read(unsigned rank, std::uint64_t line_key,
+                     CacheLine& data, std::uint64_t& mac) override;
+
+  /// Faults that actually fired (an op whose trigger count was never
+  /// reached stays latent — the mutation engine prunes those inputs).
+  std::uint32_t fired() const { return fired_; }
+  /// True when at least one op of `cls` fired (the oracle's accounting
+  /// considers only faults that actually happened).
+  bool fired_class(FaultClass cls) const {
+    for (const PendingOp& p : ops_)
+      if (p.fired && p.op.cls == cls) return true;
+    return false;
+  }
+  /// Device-side alerts provoked by *injected* commands (the injector is
+  /// the attacker; the controller never sees these, but the oracle
+  /// counts them as detections on the device).
+  std::uint32_t injected_alerts() const { return injected_alerts_; }
+
+ private:
+  struct PendingOp {
+    FaultOp op;
+    bool fired = false;
+  };
+  /// Runs `fn(op)` for every un-fired op of class `cls` whose trigger
+  /// equals `count`; marks it fired.
+  template <typename Fn>
+  void fire(FaultClass cls, std::uint32_t count, Fn&& fn) {
+    for (PendingOp& p : ops_) {
+      if (p.fired || p.op.cls != cls || p.op.trigger != count) continue;
+      p.fired = true;
+      ++fired_;
+      fn(p.op);
+    }
+  }
+  bool armed(FaultClass cls, std::uint32_t count) const {
+    for (const PendingOp& p : ops_)
+      if (!p.fired && p.op.cls == cls && p.op.trigger == count) return true;
+    return false;
+  }
+
+  void inject_forged_write(const FaultOp& op);
+
+  core::Dimm& dimm_;
+  std::vector<PendingOp> ops_;
+  std::uint32_t fired_ = 0;
+  std::uint32_t injected_alerts_ = 0;
+
+  // Event counters (each hook kind counts its own stream).
+  std::uint32_t acts_ = 0, writes_ = 0, reads_ = 0, resps_ = 0;
+  std::uint32_t converts_ = 0, alerts_ = 0, clean_status_ = 0;
+  std::uint32_t inner_reads_ = 0;
+
+  /// Ring of every (data, E-MAC) burst observed on the channel, in
+  /// order — the splice/replay source (a recorded burst substituted into
+  /// a later response, same or different location).
+  struct Burst {
+    CacheLine data;
+    std::uint64_t emac;
+  };
+  std::vector<Burst> ring_;
+  std::optional<core::WriteCmd> last_write_;
+
+  /// Inner-interconnect recordings for the on-DIMM replay trojan.
+  std::unordered_map<std::uint64_t, Burst> inner_first_;
+};
+
+}  // namespace secddr::fuzz

@@ -1,0 +1,168 @@
+#include "fuzz/mutate.h"
+
+#include "fuzz/executor.h"
+
+namespace secddr::fuzz {
+
+namespace {
+
+/// Addresses are drawn from twice the functional capacity so the
+/// executor's fold-into-range mapping is itself exercised.
+std::uint64_t address_space() { return 2 * Executor::functional_capacity(); }
+
+}  // namespace
+
+sim::TraceRecord Mutator::random_op() {
+  sim::TraceRecord r;
+  r.gap = rng_.next_below(kMaxGap + 1);
+  r.is_write = rng_.chance(0.5);
+  r.addr = rng_.next_below(address_space());
+  return r;
+}
+
+FaultOp Mutator::random_fault() {
+  FaultOp op;
+  op.cls = static_cast<FaultClass>(rng_.next_below(kFaultClassCount));
+  // Low trigger counts hit short traces; the geometric tail still probes
+  // deep into the probe sweep.
+  op.trigger = static_cast<std::uint32_t>(rng_.next_geometric(4.0));
+  op.bit = static_cast<std::uint32_t>(rng_.next_below(512));
+  op.aux = static_cast<std::uint32_t>(rng_.next_below(64));
+  return op;
+}
+
+void Mutator::mutate_ops(std::vector<sim::TraceRecord>* ops) {
+  if (ops->empty()) {
+    ops->push_back(random_op());
+    return;
+  }
+  const std::size_t i = rng_.next_below(ops->size());
+  switch (rng_.next_below(6)) {
+    case 0:  // flip direction
+      (*ops)[i].is_write = !(*ops)[i].is_write;
+      break;
+    case 1:  // re-address
+      (*ops)[i].addr = rng_.next_below(address_space());
+      break;
+    case 2:  // duplicate
+      if (ops->size() < kMaxOps) ops->insert(ops->begin() + i, (*ops)[i]);
+      break;
+    case 3:  // delete
+      ops->erase(ops->begin() + i);
+      break;
+    case 4:  // swap with a neighbor
+      if (ops->size() > 1) {
+        const std::size_t j = (i + 1) % ops->size();
+        std::swap((*ops)[i], (*ops)[j]);
+      }
+      break;
+    case 5:  // retime / append
+      if (rng_.chance(0.5))
+        (*ops)[i].gap = rng_.next_below(kMaxGap + 1);
+      else if (ops->size() < kMaxOps)
+        ops->push_back(random_op());
+      break;
+  }
+}
+
+void Mutator::mutate_plan(FaultPlan* plan) {
+  if (plan->empty()) {
+    plan->push_back(random_fault());
+    return;
+  }
+  const std::size_t i = rng_.next_below(plan->size());
+  switch (rng_.next_below(4)) {
+    case 0:  // add
+      if (plan->size() < kMaxPlanOps) plan->push_back(random_fault());
+      break;
+    case 1:  // delete
+      plan->erase(plan->begin() + i);
+      break;
+    case 2:  // retarget the trigger
+      (*plan)[i].trigger =
+          static_cast<std::uint32_t>(rng_.next_geometric(4.0));
+      break;
+    case 3:  // retarget bit/aux
+      (*plan)[i].bit = static_cast<std::uint32_t>(rng_.next_below(512));
+      (*plan)[i].aux = static_cast<std::uint32_t>(rng_.next_below(64));
+      break;
+  }
+}
+
+void Mutator::mutate(FuzzInput* in) {
+  const unsigned n = 1 + static_cast<unsigned>(rng_.next_below(4));
+  for (unsigned k = 0; k < n; ++k) {
+    switch (rng_.next_below(8)) {
+      case 0:  // hop profile (rare relative to the others)
+        in->profile = static_cast<unsigned>(rng_.next_below(kProfileCount));
+        break;
+      case 1:
+      case 2:
+      case 3:
+        mutate_plan(&in->plan);
+        break;
+      default:
+        mutate_ops(&in->ops);
+        break;
+    }
+  }
+}
+
+FuzzInput Mutator::random_input() {
+  FuzzInput in;
+  in.profile = static_cast<unsigned>(rng_.next_below(kProfileCount));
+  const std::size_t n = 2 + rng_.next_below(10);
+  for (std::size_t i = 0; i < n; ++i) in.ops.push_back(random_op());
+  in.plan.push_back(random_fault());
+  return in;
+}
+
+std::vector<FuzzInput> seed_corpus() {
+  std::vector<FuzzInput> corpus;
+  // A small fixed victim trace: two lines in different rows (so ACTIVATEs
+  // flow), written then read back, with a rewrite in between — enough
+  // traffic for every trigger kind to have events to count.
+  const auto base_ops = [] {
+    std::vector<sim::TraceRecord> ops;
+    const Addr a = 0x0000, b = 0x4000;  // distinct rows in the tiny geometry
+    ops.push_back({0, true, a});
+    ops.push_back({0, true, b});
+    ops.push_back({0, false, a});
+    ops.push_back({0, true, a});
+    ops.push_back({0, false, b});
+    ops.push_back({0, false, a});
+    return ops;
+  };
+  // One classic single-fault experiment per class against full SecDDR.
+  for (unsigned c = 0; c < kFaultClassCount; ++c) {
+    FuzzInput in;
+    in.profile = 0;
+    in.ops = base_ops();
+    in.plan.push_back({static_cast<FaultClass>(c), 1, 3, 0});
+    corpus.push_back(std::move(in));
+  }
+  // Weakened-profile probes: each accounted escape class against the
+  // profile that accounts for it (the paper's negative results).
+  for (unsigned p = 0; p < kProfileCount; ++p) {
+    for (unsigned c = 0; c < kFaultClassCount; ++c) {
+      if (!accounted_escape(p, static_cast<FaultClass>(c))) continue;
+      FuzzInput in;
+      in.profile = p;
+      in.ops = base_ops();
+      in.plan.push_back({static_cast<FaultClass>(c), 1, 0, 0});
+      corpus.push_back(std::move(in));
+    }
+  }
+  // Every remaining profile gets one bit-flip probe so each deployment's
+  // master session is exercised from trial zero.
+  for (unsigned p = 1; p < kProfileCount; ++p) {
+    FuzzInput in;
+    in.profile = p;
+    in.ops = base_ops();
+    in.plan.push_back({FaultClass::kFlipReadData, 1, 17, 0});
+    corpus.push_back(std::move(in));
+  }
+  return corpus;
+}
+
+}  // namespace secddr::fuzz

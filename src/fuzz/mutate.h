@@ -1,0 +1,55 @@
+// Mutation engine: perturbs FuzzInputs.
+//
+// Two mutation surfaces, mirroring the tentpole's two attack substrates:
+//
+//  * the victim trace (`ops`) — recorded-trace mutations: flip a record's
+//    direction, re-address it within the fuzz geometry, duplicate /
+//    delete / swap records, append fresh ones, stretch or shrink gaps;
+//  * the fault plan — add / delete / retarget count-triggered FaultOps
+//    drawn from the full threat-model vocabulary (fuzz.h).
+//
+// All randomness flows from one Xoshiro256 stream, so a campaign seed
+// reproduces every mutation bit-for-bit (the printed-seed guarantee).
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "fuzz/fuzz.h"
+
+namespace secddr::fuzz {
+
+/// Bounds keeping every input cheap to execute (sweep-runner throughput
+/// comes from small inputs x many executions, not big inputs).
+inline constexpr std::size_t kMaxOps = 96;
+inline constexpr std::size_t kMaxPlanOps = 8;
+inline constexpr std::uint64_t kMaxGap = 200;
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Applies 1..4 random mutations to `in` (at least one always lands).
+  void mutate(FuzzInput* in);
+
+  /// A fresh small random input: a handful of ops, one random fault.
+  FuzzInput random_input();
+
+  Xoshiro256& rng() { return rng_; }
+
+ private:
+  void mutate_ops(std::vector<sim::TraceRecord>* ops);
+  void mutate_plan(FaultPlan* plan);
+  sim::TraceRecord random_op();
+  FaultOp random_fault();
+
+  Xoshiro256 rng_;
+};
+
+/// The seed corpus: one classic single-fault experiment per fault class
+/// (profile 0), plus the weakened-profile probes — every accounted
+/// escape class against its profile. Gives the campaign immediate
+/// coverage of each detection mechanism before mutation takes over.
+std::vector<FuzzInput> seed_corpus();
+
+}  // namespace secddr::fuzz

@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <unordered_map>
+#include <vector>
 
 #include "common/random.h"
 #include "core/attack.h"
 #include "core/session.h"
+#include "dram/controller.h"
+#include "dram/timings.h"
 
 namespace secddr::core {
 namespace {
@@ -422,6 +425,176 @@ TEST(Attack, NoFalsePositivesOnLongBenignRun) {
     }
   }
   EXPECT_EQ(s->stats().violations(), 0u);
+}
+
+// ------------------------------------ tracker vs. controller ground truth
+
+/// Taps the dram::Controller command stream. Maintains the authoritative
+/// per-(rank, bg, bank) open row from ACTIVATE/PRECHARGE (refresh closes
+/// banks through close_bank, so those two events are complete), replays
+/// every ACTIVATE into a core::TrackingInterposer — the view a bus
+/// attacker gets — and on every column command cross-checks the
+/// attacker's belief against the controller's.
+///
+/// `start_tracking()` models the attacker attaching mid-stream: before
+/// it, ground truth still accumulates but nothing reaches the tracker,
+/// so banks whose ACTIVATE predates the attach must resolve as unknown —
+/// never as a concrete wrong row.
+class TrackerGroundTruth : public dram::CommandObserver {
+ public:
+  void start_tracking() { tracking_ = true; }
+
+  void on_activate(const dram::DecodedAddr& d, Cycle /*now*/) override {
+    truth_[key(d.rank, d.bank_group, d.bank)] = d.row;
+    if (!tracking_) return;
+    ActivateCmd cmd;
+    cmd.rank = d.rank;
+    cmd.bank_group = d.bank_group;
+    cmd.bank = d.bank;
+    cmd.row = d.row;
+    tracker_.on_activate(cmd);
+  }
+
+  void on_precharge(unsigned rank, unsigned bg, unsigned bank,
+                    Cycle /*now*/) override {
+    truth_.erase(key(rank, bg, bank));
+  }
+
+  void on_column(const dram::DecodedAddr& d, bool /*is_write*/,
+                 Cycle /*now*/) override {
+    const auto t = truth_.find(key(d.rank, d.bank_group, d.bank));
+    // The controller only issues column commands to the open row; if this
+    // ever fires the observer hook wiring itself is broken.
+    if (t == truth_.end() || t->second != d.row) {
+      ++truth_missing_;
+      return;
+    }
+    if (!tracking_) return;
+    ++checked_;
+    const auto belief = tracker_.open_row_for(d.rank, d.bank_group, d.bank);
+    if (!belief) {
+      ++unknown_;
+    } else if (*belief == d.row) {
+      ++matched_;
+    } else {
+      ++wrong_;
+    }
+  }
+
+  /// Controller-authoritative open rows right now (rank/bg/bank/row).
+  std::vector<dram::DecodedAddr> open_rows() const {
+    std::vector<dram::DecodedAddr> out;
+    for (const auto& [k, row] : truth_) {
+      dram::DecodedAddr d;
+      d.rank = static_cast<unsigned>(k >> 32);
+      d.bank_group = static_cast<unsigned>((k >> 16) & 0xffff);
+      d.bank = static_cast<unsigned>(k & 0xffff);
+      d.row = row;
+      out.push_back(d);
+    }
+    return out;
+  }
+
+  std::uint64_t checked() const { return checked_; }
+  std::uint64_t matched() const { return matched_; }
+  std::uint64_t unknown() const { return unknown_; }
+  std::uint64_t wrong() const { return wrong_; }
+  std::uint64_t truth_missing() const { return truth_missing_; }
+
+ private:
+  static std::uint64_t key(unsigned rank, unsigned bg, unsigned bank) {
+    return (static_cast<std::uint64_t>(rank) << 32) | (bg << 16) | bank;
+  }
+
+  TrackingInterposer tracker_;
+  std::unordered_map<std::uint64_t, std::uint64_t> truth_;
+  bool tracking_ = false;
+  std::uint64_t checked_ = 0;
+  std::uint64_t matched_ = 0;
+  std::uint64_t unknown_ = 0;
+  std::uint64_t wrong_ = 0;
+  std::uint64_t truth_missing_ = 0;
+};
+
+/// Drives `ops` random requests through the controller, ticking until
+/// drained. Small geometry -> plenty of row conflicts and precharges.
+void drive_controller(dram::Controller& ctrl, TrackerGroundTruth& gt,
+                      Xoshiro256& rng, int ops, Cycle& now) {
+  const std::uint64_t cap = ctrl.geometry().capacity_bytes();
+  std::uint64_t tag = now + 1;  // unique across phases
+  int issued = 0;
+  while (issued < ops || ctrl.pending() > 0) {
+    if (issued < ops && rng.chance(0.4)) {
+      const bool is_write = rng.chance(0.5);
+      if (is_write ? ctrl.can_accept_write() : ctrl.can_accept_read()) {
+        const Addr a = line_base(rng.next() % cap);
+        if (ctrl.enqueue(a, is_write, tag++, now)) ++issued;
+      }
+    }
+    ctrl.tick(now);
+    ctrl.completions().clear();
+    ++now;
+    ASSERT_LT(now, 10'000'000u) << "controller failed to drain";
+  }
+  ASSERT_EQ(gt.truth_missing(), 0u)
+      << "observer hooks disagree with the controller's own bank state";
+}
+
+dram::Geometry tracker_geometry() {
+  dram::Geometry g;
+  g.ranks = 2;
+  g.bank_groups = 2;
+  g.banks_per_group = 2;
+  g.rows_per_bank = 64;
+  g.columns_per_row = 32;
+  return g;
+}
+
+TEST(Attack, TrackerMatchesControllerGroundTruth) {
+  dram::Controller ctrl(tracker_geometry(), dram::Timings::ddr4_3200());
+  TrackerGroundTruth gt;
+  ctrl.set_command_observer(&gt);
+  gt.start_tracking();  // attacker present from the first command
+  Xoshiro256 rng(1201);
+  Cycle now = 0;
+  drive_controller(ctrl, gt, rng, 2000, now);
+  EXPECT_GE(gt.checked(), 1900u);  // write-forwarded reads skip the bus
+  // Full-stream attacker: every column attributable, and always right.
+  EXPECT_EQ(gt.wrong(), 0u);
+  EXPECT_EQ(gt.unknown(), 0u);
+  EXPECT_EQ(gt.matched(), gt.checked());
+  // The run must actually exercise row churn for the check to mean much.
+  EXPECT_GT(ctrl.stats().row_misses, 100u);
+  EXPECT_GT(ctrl.stats().precharges, 100u);
+}
+
+TEST(Attack, MidStreamTrackerResolvesUnknownNeverWrong) {
+  dram::Controller ctrl(tracker_geometry(), dram::Timings::ddr4_3200());
+  TrackerGroundTruth gt;
+  ctrl.set_command_observer(&gt);  // ground truth from cycle 0
+  Xoshiro256 rng(1202);
+  Cycle now = 0;
+  drive_controller(ctrl, gt, rng, 1000, now);  // attacker not yet listening
+  gt.start_tracking();  // attacker attaches mid-stream
+  // Immediately touch rows still open from the pre-attach stream: these
+  // issue as row hits, so the tracker sees a column with no preceding
+  // ACTIVATE — the exact case that must resolve as unknown.
+  std::uint64_t tag = 1'000'000;
+  const auto open = gt.open_rows();
+  ASSERT_FALSE(open.empty());
+  for (dram::DecodedAddr d : open) {
+    d.column = 1;
+    ASSERT_TRUE(ctrl.enqueue(ctrl.mapping().encode(d), false, tag++, now));
+  }
+  drive_controller(ctrl, gt, rng, 2000, now);
+  EXPECT_GE(gt.checked(), 1900u);  // write-forwarded reads skip the bus
+  // Banks whose ACTIVATE predates the attach resolve as unknown...
+  EXPECT_GT(gt.unknown(), 0u);
+  // ...and once re-activated, resolve correctly.
+  EXPECT_GT(gt.matched(), 0u);
+  // Never as a concrete wrong row: a tracker that guessed would aim the
+  // derived attacks (replay, redirect) at the wrong line.
+  EXPECT_EQ(gt.wrong(), 0u);
 }
 
 }  // namespace

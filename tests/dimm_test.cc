@@ -225,9 +225,12 @@ TEST(DimmDevice, SnapshotRestoreRoundTrip) {
   EXPECT_EQ(rig.dimm.transaction_counter(0), ctr_at_snap);
 }
 
-TEST(DimmDevice, WriteConsumesCounterEvenWhenAlerting) {
-  // A rejected burst still consumed a transaction on the channel; the
-  // controller's counter advanced too, so they stay in sync.
+TEST(DimmDevice, RejectedWriteDoesNotConsumeCounter) {
+  // Counter discipline: only a burst that commits to the arrays consumes
+  // the write counter. The old advance-on-receipt rule let an attacker
+  // re-synchronize a desynced channel by injecting a forged (rejected)
+  // write, and left a masked-ALERT_n stale line self-consistent — the
+  // fuzz campaign's drop+inject and alert-mask escapes (tests/regress/).
   Rig rig;
   TestChannel chan(rig.dimm, 0);
   rig.dimm.activate({0, 0, 0, 0});
@@ -235,6 +238,14 @@ TEST(DimmDevice, WriteConsumesCounterEvenWhenAlerting) {
   WriteCmd cmd = chan.make_write(0, 0, 0, 0, 0, CacheLine::filled(1), 9);
   cmd.data[0] ^= 1;  // force an alert
   EXPECT_TRUE(rig.dimm.write(cmd).alert);
+  EXPECT_EQ(rig.dimm.transaction_counter(0), before);
+  // The processor side, observing ALERT_n, does not consume either
+  // (make_write consumed eagerly — roll the helper engine back).
+  chan.engine->set_counter(before);
+  // An accepted burst still consumes exactly one write transaction.
+  EXPECT_TRUE(
+      rig.dimm.write(chan.make_write(0, 0, 0, 0, 0, CacheLine::filled(1), 9))
+          .stored);
   EXPECT_GT(rig.dimm.transaction_counter(0), before);
   EXPECT_EQ(rig.dimm.transaction_counter(0), chan.engine->counter());
 }

@@ -1,0 +1,275 @@
+// Unit battery for the adversarial fuzzer building blocks: fault-plan
+// serialization, the mutation engine, the fault injector, the executor
+// oracle, and the minimizer. The campaign-level properties (bounded
+// zero-escape run, log determinism, regression-trace replay) live in
+// fuzz_campaign_test.cc under the `fuzz` label.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "fuzz/campaign.h"
+#include "fuzz/corpus.h"
+#include "fuzz/executor.h"
+#include "fuzz/mutate.h"
+
+namespace secddr::fuzz {
+namespace {
+
+TEST(FaultClass, NamesRoundTrip) {
+  std::set<std::string> seen;
+  for (unsigned i = 0; i < kFaultClassCount; ++i) {
+    const auto cls = static_cast<FaultClass>(i);
+    const std::string name = to_string(cls);
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    FaultClass back;
+    ASSERT_TRUE(fault_class_from_string(name, &back));
+    EXPECT_EQ(back, cls);
+  }
+  FaultClass out;
+  EXPECT_FALSE(fault_class_from_string("no-such-fault", &out));
+}
+
+TEST(FaultPlan, SerializeParseRoundTrip) {
+  FuzzInput in;
+  in.profile = 3;
+  in.plan = {{FaultClass::kMaskAlert, 2, 0, 0},
+             {FaultClass::kSpliceReadResp, 7, 13, 5},
+             {FaultClass::kRowHammer, 1, 300, 9}};
+  FuzzInput back;
+  std::string err;
+  ASSERT_TRUE(parse_plan(serialize_plan(in), &back, &err)) << err;
+  EXPECT_EQ(back.profile, in.profile);
+  EXPECT_EQ(back.plan, in.plan);
+}
+
+TEST(FaultPlan, ParseRejectsGarbage) {
+  FuzzInput out;
+  std::string err;
+  EXPECT_FALSE(parse_plan("not a plan", &out, &err));
+  EXPECT_FALSE(parse_plan("secddr-fplan v1\nfault bogus-class\n", &out, &err));
+  EXPECT_FALSE(
+      parse_plan("secddr-fplan v1\nfault mask-alert trigger=0\n", &out, &err));
+  EXPECT_FALSE(parse_plan("secddr-fplan v1\nprofile 99 zzz\n", &out, &err));
+}
+
+TEST(Mutator, DeterministicFromSeed) {
+  Mutator a(1234), b(1234);
+  FuzzInput ia = a.random_input(), ib = b.random_input();
+  for (int k = 0; k < 50; ++k) {
+    a.mutate(&ia);
+    b.mutate(&ib);
+  }
+  EXPECT_EQ(ia.profile, ib.profile);
+  EXPECT_EQ(ia.plan, ib.plan);
+  ASSERT_EQ(ia.ops.size(), ib.ops.size());
+  for (std::size_t i = 0; i < ia.ops.size(); ++i) {
+    EXPECT_EQ(ia.ops[i].addr, ib.ops[i].addr);
+    EXPECT_EQ(ia.ops[i].is_write, ib.ops[i].is_write);
+    EXPECT_EQ(ia.ops[i].gap, ib.ops[i].gap);
+  }
+}
+
+TEST(Mutator, RespectsBounds) {
+  Mutator m(99);
+  FuzzInput in = m.random_input();
+  for (int k = 0; k < 2000; ++k) m.mutate(&in);
+  EXPECT_LE(in.ops.size(), kMaxOps);
+  EXPECT_LE(in.plan.size(), kMaxPlanOps);
+  EXPECT_LT(in.profile, kProfileCount);
+  for (const sim::TraceRecord& r : in.ops) EXPECT_LE(r.gap, kMaxGap);
+}
+
+TEST(SeedCorpus, CoversEveryFaultClassAndProfile) {
+  const auto corpus = seed_corpus();
+  std::set<unsigned> classes, profiles;
+  for (const FuzzInput& in : corpus) {
+    profiles.insert(in.profile);
+    for (const FaultOp& op : in.plan)
+      classes.insert(static_cast<unsigned>(op.cls));
+  }
+  EXPECT_EQ(classes.size(), kFaultClassCount);
+  EXPECT_EQ(profiles.size(), kProfileCount);
+}
+
+TEST(Executor, CleanInputIsHarmless) {
+  Executor ex;
+  FuzzInput in;
+  in.profile = 0;
+  in.ops = {{0, true, 0x0}, {0, true, 0x1000}, {0, false, 0x0}};
+  const Outcome o = ex.run(in);
+  EXPECT_EQ(o.verdict, Verdict::kHarmless);
+  EXPECT_EQ(o.violations, 0u);
+  EXPECT_EQ(o.mismatches, 0u);
+}
+
+TEST(Executor, SignatureIsDeterministic) {
+  Mutator m(7);
+  Executor ex1, ex2;
+  for (int k = 0; k < 5; ++k) {
+    const FuzzInput in = m.random_input();
+    const Outcome a = ex1.run(in);
+    const Outcome b = ex1.run(in);  // same executor, repeated
+    const Outcome c = ex2.run(in);  // independent executor
+    EXPECT_EQ(a.signature, b.signature);
+    EXPECT_EQ(a.signature, c.signature);
+    EXPECT_EQ(a.verdict, c.verdict);
+  }
+}
+
+TEST(Executor, FullSecDdrProfilesNeverLeakSilently) {
+  // Every classic single-fault experiment against the hardened profiles
+  // must end detected/corrected/harmless — never accounted, never escape.
+  Executor ex;
+  for (const FuzzInput& in : seed_corpus()) {
+    const bool hardened = profile(in.profile).ewcrc &&
+                          profile(in.profile).placement ==
+                              core::LogicPlacement::kEccChip;
+    const Outcome o = ex.run(in);
+    EXPECT_NE(o.verdict, Verdict::kEscape)
+        << profile(in.profile).name << " plan " << serialize_plan(in)
+        << o.note;
+    if (hardened) {
+      EXPECT_NE(o.verdict, Verdict::kAccounted)
+          << profile(in.profile).name << " plan " << serialize_plan(in);
+    }
+  }
+}
+
+TEST(Executor, WireFlipsAreDetectedOnFullSecDdr) {
+  // The core detection claim (§II-A): any single bit flip on the data /
+  // ECC lanes of either direction is caught.
+  Executor ex;
+  const FaultClass wire_classes[] = {
+      FaultClass::kFlipWriteData, FaultClass::kFlipWriteEmac,
+      FaultClass::kFlipReadData, FaultClass::kFlipReadEmac};
+  for (const FaultClass cls : wire_classes) {
+    for (std::uint32_t bit : {0u, 17u, 63u, 255u, 511u}) {
+      FuzzInput in;
+      in.profile = 0;
+      in.ops = {{0, true, 0x0}, {0, false, 0x0}};
+      in.plan = {{cls, 1, bit, 0}};
+      const Outcome o = ex.run(in);
+      EXPECT_EQ(o.verdict, Verdict::kDetected)
+          << to_string(cls) << " bit " << bit << " -> "
+          << to_string(o.verdict);
+    }
+  }
+}
+
+TEST(Executor, Fig3WriteRedirectIsAccountedOnlyWithoutEwcrc) {
+  // The Fig. 3 row-redirect: silent exactly when eWCRC is off (profile
+  // no-ewcrc accounts for it); with eWCRC on it must be detected or
+  // neutralized, never silent.
+  FuzzInput in;
+  in.ops = {{0, true, 0x0},  {0, true, 0x4000}, {0, false, 0x0},
+            {0, true, 0x0},  {0, false, 0x4000}, {0, false, 0x0}};
+  in.plan = {{FaultClass::kFlipActRow, 1, 0, 0}};
+  Executor ex;
+  in.profile = 2;  // no-ewcrc
+  const Outcome weak = ex.run(in);
+  EXPECT_NE(weak.verdict, Verdict::kEscape) << weak.note;
+  in.profile = 0;  // full SecDDR
+  const Outcome hard = ex.run(in);
+  EXPECT_NE(hard.verdict, Verdict::kEscape) << hard.note;
+  EXPECT_NE(hard.verdict, Verdict::kAccounted);
+}
+
+TEST(Executor, OnDimmReplayAccountedOnlyOnTrustedDimm) {
+  FuzzInput in;
+  in.ops = {{0, true, 0x0}, {0, true, 0x0}, {0, false, 0x0}};
+  in.plan = {{FaultClass::kOnDimmReplay, 2, 0, 0}};
+  Executor ex;
+  in.profile = 3;  // trusted-dimm placement: plaintext MAC on the inner bus
+  EXPECT_NE(ex.run(in).verdict, Verdict::kEscape);
+  in.profile = 0;  // untrusted-DIMM placement: replay must not verify
+  const Outcome hard = ex.run(in);
+  EXPECT_NE(hard.verdict, Verdict::kEscape) << hard.note;
+  EXPECT_NE(hard.verdict, Verdict::kAccounted);
+}
+
+TEST(Corpus, AddIfNewDeduplicatesBySignature) {
+  Corpus c;
+  FuzzInput in;
+  EXPECT_TRUE(c.add_if_new(in, 111));
+  EXPECT_FALSE(c.add_if_new(in, 111));
+  EXPECT_TRUE(c.add_if_new(in, 222));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.coverage(), 2u);
+  EXPECT_TRUE(c.seen(111));
+  EXPECT_FALSE(c.seen(333));
+}
+
+TEST(Corpus, SaveLoadRoundTrip) {
+  FuzzInput in;
+  in.profile = 4;
+  in.plan = {{FaultClass::kDropWrite, 3, 0, 0},
+             {FaultClass::kForgeAlert, 1, 0, 2}};
+  in.ops = {{5, true, 0x40}, {0, false, 0x40}, {199, true, 0x1ffc0}};
+  const std::string stem =
+      testing::TempDir() + "/fuzz_roundtrip";
+  std::string err;
+  ASSERT_TRUE(save_input(in, stem, &err)) << err;
+  FuzzInput back;
+  ASSERT_TRUE(load_input(stem, &back, &err)) << err;
+  EXPECT_EQ(back.profile, in.profile);
+  EXPECT_EQ(back.plan, in.plan);
+  ASSERT_EQ(back.ops.size(), in.ops.size());
+  for (std::size_t i = 0; i < in.ops.size(); ++i) {
+    EXPECT_EQ(back.ops[i].addr, in.ops[i].addr);
+    EXPECT_EQ(back.ops[i].is_write, in.ops[i].is_write);
+    EXPECT_EQ(back.ops[i].gap, in.ops[i].gap);
+  }
+  std::remove((stem + ".fplan").c_str());
+  std::remove((stem + ".strace").c_str());
+}
+
+TEST(Corpus, LoadRejectsMissingTrace) {
+  const std::string stem = testing::TempDir() + "/fuzz_planonly";
+  FuzzInput in;
+  in.plan = {{FaultClass::kMaskAlert, 1, 0, 0}};
+  std::string err;
+  ASSERT_TRUE(save_input(in, stem, &err)) << err;
+  std::remove((stem + ".strace").c_str());
+  FuzzInput back;
+  EXPECT_FALSE(load_input(stem, &back, &err));
+  std::remove((stem + ".fplan").c_str());
+}
+
+TEST(Minimizer, ShrinksWhilePreservingPredicate) {
+  // Pad a known-detected input with irrelevant ops; the minimizer must
+  // strip the padding and keep the detection.
+  FuzzInput in;
+  in.profile = 0;
+  in.plan = {{FaultClass::kFlipReadData, 1, 9, 0},
+             {FaultClass::kFlipWriteData, 100, 0, 0}};  // never fires
+  in.ops = {{0, true, 0x0},    {0, true, 0x2000}, {0, false, 0x2000},
+            {0, false, 0x0},   {0, true, 0x4000}, {0, false, 0x4000}};
+  Executor ex;
+  ASSERT_EQ(ex.run(in).verdict, Verdict::kDetected);
+  const FuzzInput min = minimize(in, [&](const FuzzInput& t) {
+    return ex.run(t).verdict == Verdict::kDetected;
+  });
+  EXPECT_EQ(ex.run(min).verdict, Verdict::kDetected);
+  EXPECT_LT(min.ops.size(), in.ops.size());
+  EXPECT_LE(min.plan.size(), 1u);
+}
+
+TEST(Campaign, ProfileFilterSelectsByName) {
+  CampaignOptions opts;
+  opts.trials = 40;
+  opts.seed = 5;
+  opts.jobs = 1;
+  opts.profile_filter = "no-ewcrc";
+  Campaign c(opts);
+  const CampaignResult res = c.run();
+  EXPECT_TRUE(res.clean()) << res.log;
+  // Every logged input must be the filtered profile.
+  EXPECT_EQ(res.log.find("profile=secddr-xts "), std::string::npos);
+  EXPECT_NE(res.log.find("profile=no-ewcrc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secddr::fuzz
