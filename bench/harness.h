@@ -8,6 +8,9 @@
 //   SECDDR_MEM_THREADS  per-channel memory tick threads inside each
 //                       sim::System (default 1 = serial; results are
 //                       bit-identical either way)
+//   SECDDR_THREAD_PRIORITY  jobs|mem: which side of the
+//                       jobs x mem_threads <= hardware clamp yields
+//                       (default: mem when SECDDR_CHANNELS > 1)
 //   SECDDR_FILTER       comma-free substring filter on workload names
 //   SECDDR_TRACE_DIR    directory of recorded trace files (see
 //                       trace_file_path); when every core of a workload
@@ -17,10 +20,16 @@
 // Thread-knob interplay: SECDDR_JOBS parallelizes across sweep points
 // (one System per worker) while SECDDR_MEM_THREADS parallelizes the
 // channels inside each System, so a sweep can run jobs x mem_threads
-// threads at once. from_env() clamps mem_threads so that product cannot
-// exceed the hardware concurrency — sweep-level parallelism keeps
-// priority because whole independent Systems scale better than
-// barrier-synchronized channel ticks.
+// threads at once. The jobs x mem_threads <= hardware clamp picks a
+// side via SECDDR_THREAD_PRIORITY:
+//   jobs  clamp mem_threads to the share the sweep workers leave over
+//         (whole independent Systems scale embarrassingly);
+//   mem   clamp sweep jobs instead, keeping the in-System channel
+//         threads (epoch-decoupled ticking makes them a real scaling
+//         axis, and memory-bound points don't fill a machine with
+//         Systems anyway).
+// Default: mem when SECDDR_CHANNELS > 1 (there are channels to
+// decouple), jobs otherwise.
 //
 // Every binary prints an aligned text table with the same rows/series as
 // the paper's figure, plus the paper's headline numbers for comparison.
@@ -29,6 +38,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -42,23 +52,66 @@
 
 namespace secddr::bench {
 
-/// Worker count for bench sweeps: SECDDR_JOBS if set (plain positive
-/// decimal only — strtoul would wrap "-1" to ULONG_MAX and stop at the
-/// 'x' in "2x" without complaint), else hardware concurrency. Lives here
-/// so the SECDDR_MEM_THREADS oversubscription clamp below and the sweep
-/// runner share one parse.
-inline unsigned sweep_jobs() {
-  if (const char* s = std::getenv("SECDDR_JOBS")) {
-    char* end = nullptr;
-    const unsigned long v =
-        (*s >= '0' && *s <= '9') ? std::strtoul(s, &end, 10) : 0;
-    if (end && *end == '\0' && v >= 1) return static_cast<unsigned>(v);
+/// Strict positive-decimal env parse (strtoul would wrap "-1" to
+/// ULONG_MAX and stop at the 'x' in "2x" without complaint); `fallback`
+/// on unset or malformed.
+inline unsigned env_unsigned(const char* name, unsigned fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long v =
+      (*s >= '0' && *s <= '9') ? std::strtoul(s, &end, 10) : 0;
+  if (end && *end == '\0' && v >= 1) return static_cast<unsigned>(v);
+  std::fprintf(stderr, "%s='%s' is not a positive integer; using default\n",
+               name, s);
+  return fallback;
+}
+
+/// Which side of the jobs x mem_threads <= hardware clamp yields (see
+/// the header comment).
+enum class ThreadPriority { kJobs, kMem };
+
+inline ThreadPriority thread_priority() {
+  if (const char* s = std::getenv("SECDDR_THREAD_PRIORITY")) {
+    if (std::strcmp(s, "jobs") == 0) return ThreadPriority::kJobs;
+    if (std::strcmp(s, "mem") == 0) return ThreadPriority::kMem;
     std::fprintf(stderr,
-                 "SECDDR_JOBS='%s' is not a positive integer; using default\n",
+                 "SECDDR_THREAD_PRIORITY='%s' is not 'jobs' or 'mem'; "
+                 "using default\n",
                  s);
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw ? hw : 1u;
+  return env_unsigned("SECDDR_CHANNELS", 1) > 1 ? ThreadPriority::kMem
+                                                : ThreadPriority::kJobs;
+}
+
+/// Per-System channel tick threads actually usable: the backend clamps
+/// SECDDR_MEM_THREADS to the channel count, so that is what a sweep job
+/// costs in threads.
+inline unsigned mem_threads_requested() {
+  return std::min(env_unsigned("SECDDR_MEM_THREADS", 1),
+                  env_unsigned("SECDDR_CHANNELS", 1));
+}
+
+/// Worker count for bench sweeps: SECDDR_JOBS if set, else hardware
+/// concurrency — then clamped so jobs x mem_threads fits the hardware
+/// when the mem side has priority. Lives here so the from_env()
+/// mem_threads clamp below and the sweep runner share one parse.
+inline unsigned sweep_jobs() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  unsigned jobs = env_unsigned("SECDDR_JOBS", hw);
+  const unsigned mt = mem_threads_requested();
+  if (thread_priority() == ThreadPriority::kMem && mt > 1) {
+    const unsigned cap = std::max(1u, hw / mt);
+    if (jobs > cap) {
+      std::fprintf(stderr,
+                   "SECDDR_JOBS=%u clamped to %u: mem_threads=%u has "
+                   "priority (SECDDR_THREAD_PRIORITY) and jobs x "
+                   "mem_threads exceeds hardware concurrency (%u)\n",
+                   jobs, cap, mt, hw);
+      jobs = cap;
+    }
+  }
+  return jobs;
 }
 
 struct BenchOptions {
@@ -87,14 +140,24 @@ struct BenchOptions {
     }
     if (o.mem_threads == 0) o.mem_threads = 1;
     // Oversubscription guard: sweep workers each build their own System,
-    // so jobs x mem_threads spinning barrier threads would thrash the
-    // machine. When SECDDR_JOBS is set explicitly, clamp mem_threads to
-    // the share those workers leave over; when it is not, asking for
-    // mem_threads implies the user wants in-System parallelism, so only
-    // the hardware itself bounds it (sweeps then budget jobs around it).
-    // Results are unaffected either way (threaded ticking is
-    // bit-identical).
+    // so jobs x mem_threads barrier threads would thrash the machine.
+    // Which side yields is the explicit SECDDR_THREAD_PRIORITY policy:
+    // under mem priority sweep_jobs() clamps itself and mem_threads is
+    // bounded only by the hardware; under jobs priority (and an explicit
+    // SECDDR_JOBS) mem_threads is clamped to the share the sweep
+    // workers leave over. Results are unaffected either way (threaded
+    // ticking is bit-identical).
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    if (thread_priority() == ThreadPriority::kMem) {
+      if (o.mem_threads > hw) {
+        std::fprintf(stderr,
+                     "SECDDR_MEM_THREADS=%u clamped to hardware "
+                     "concurrency %u\n",
+                     o.mem_threads, hw);
+        o.mem_threads = hw;
+      }
+      return o;
+    }
     const unsigned jobs =
         std::getenv("SECDDR_JOBS") != nullptr ? sweep_jobs() : 1;
     const unsigned max_mem_threads = std::max(1u, hw / std::max(1u, jobs));

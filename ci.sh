@@ -41,6 +41,14 @@ SECDDR_CHANNELS=2 ctest --test-dir build-ci-release -L determinism \
 SECDDR_MEM_THREADS=2 ctest --test-dir build-ci-release -L determinism \
       --no-tests=error --output-on-failure -j "$jobs"
 
+# Epoch-decoupled bench smoke: a bounded Release run of bench/speed,
+# which hard-fails if the epoch loop or the threaded 4-channel sweep is
+# not bit-identical to the per-cycle serial reference. The wall-clock
+# speedup gate stays opt-in (SECDDR_SPEED_GATE_THREADS=1, for hosts with
+# >= 4 cores); the identity gate always runs.
+SECDDR_INSTR=4000 SECDDR_WARMUP=2000 SECDDR_FILTER=b SECDDR_SPEED_JSON='' \
+      ./build-ci-release/speed
+
 # Trace-subsystem battery: the trace label (codec round-trip/property
 # tests, the corruption battery, text-parser regressions, source
 # determinism, trace_convert selftest, record+replay sweep smoke) in both
@@ -77,6 +85,13 @@ if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then
   # destruction in loop mode).
   CTEST_ARGS=(-R "Threaded|SimFastPathDeterminism|StreamFileTrace|TraceSourceDeterminism|TraceCodec")
   SECDDR_MEM_THREADS=2 run_matrix Debug build-ci-tsan -DSECDDR_SANITIZE=thread
+  # Epoch-decoupled races: the full determinism + fuzz labels with every
+  # variant's channels spread over 4 workers, so TSan watches the wide
+  # epoch windows (tick_until run-ahead + atomic wait/notify barrier),
+  # not just the per-cycle handoff the step above exercises.
+  SECDDR_MEM_THREADS=4 ctest --test-dir build-ci-tsan \
+        -L 'determinism|fuzz' --no-tests=error --output-on-failure \
+        -j "$jobs"
 fi
 
 echo "CI OK"

@@ -177,6 +177,15 @@ bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
   return true;
 }
 
+bool Controller::has_queued_write_to_line(Addr addr) const {
+  // Same line => same bank FIFO (the invariant enqueue() relies on for
+  // merge/forward scans), so one FIFO scan decides.
+  const unsigned flat = mapping_.decode(addr).flat_bank(geometry_);
+  for (const auto& w : queues_[1][flat].q)
+    if (line_base(w.addr) == line_base(addr)) return true;
+  return false;
+}
+
 Cycle Controller::column_ready_at(const Request& e, bool is_write) const {
   const Bank& bank = banks_[e.d.flat_bank(geometry_)];
   Cycle at = is_write ? bank.next_write : bank.next_read;

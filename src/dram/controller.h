@@ -175,6 +175,19 @@ class Controller {
     return q_size_[0] + q_size_[1] + inflight_reads_.size();
   }
 
+  // --- lookahead-window queries (epoch-decoupled execution) -----------
+  // The backend's safe-horizon computation bounds the earliest cycle this
+  // channel could hand a finished read back to the cores; these expose
+  // the three facts that bound it without running a tick.
+  /// Min data-arrival cycle over in-flight reads (kNoEvent when none):
+  /// the earliest retirement upcoming ticks could produce.
+  Cycle inflight_read_finish() const { return inflight_min_finish_; }
+  /// Read entries sitting in the request queues (not yet issued).
+  std::size_t queued_reads() const { return q_size_[0]; }
+  /// True when a queued write covers `addr`'s line — the predicate
+  /// enqueue() applies when it forwards an arriving read from write data.
+  bool has_queued_write_to_line(Addr addr) const;
+
   /// Installs (or clears, with nullptr) the command-stream tap.
   void set_command_observer(CommandObserver* obs) { observer_ = obs; }
 

@@ -89,6 +89,16 @@ void DramSystem::advance_idle_core_cycles(Cycle cycles) {
   accum_ %= core_khz_;
 }
 
+Cycle DramSystem::core_cycles_until_mem(Cycle mem_cycle) const {
+  // Same fixed-point inversion as idle_core_cycles(), but asking for the
+  // core tick that *executes* `mem_cycle` rather than the span before it.
+  const std::uint64_t need =
+      mem_cycle <= mem_cycle_
+          ? 1
+          : std::min<std::uint64_t>(mem_cycle - mem_cycle_ + 1, 1ull << 32);
+  return (need * core_khz_ - accum_ + mem_khz_ - 1) / mem_khz_;
+}
+
 std::vector<Completion> DramSystem::drain_completions() {
   std::vector<Completion> v;
   v.swap(out_);

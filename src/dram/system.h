@@ -66,6 +66,21 @@ class DramSystem {
   /// Converts a memory-clock cycle count to core cycles (rounding up).
   Cycle mem_to_core(Cycle mem_cycles) const;
 
+  // --- lookahead-window queries (epoch-decoupled execution) -----------
+  /// Number of core ticks from now until the one that executes memory
+  /// cycle `mem_cycle` (>= 1; the current partial core tick counts).
+  /// Exact inversion of the rational accumulator, like idle_core_cycles().
+  Cycle core_cycles_until_mem(Cycle mem_cycle) const;
+  /// Controller lookahead facts, re-exported for the channel's
+  /// ready-bound computation (see SecurityEngine::ready_bound).
+  Cycle inflight_read_finish() const {
+    return controller_.inflight_read_finish();
+  }
+  std::size_t queued_reads() const { return controller_.queued_reads(); }
+  bool has_queued_write_to_line(Addr addr) const {
+    return controller_.has_queued_write_to_line(addr);
+  }
+
   /// True while a completion sits in the controller or the core-domain
   /// buffer waiting for the next tick to surface and finish-stamp it
   /// (e.g. a write-forward produced by an enqueue after this cycle's

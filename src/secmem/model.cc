@@ -293,4 +293,76 @@ void SecurityEngine::tick(Cycle now) {
   dram_.clear_completions();
 }
 
+void SecurityEngine::tick_until(Cycle from, Cycle to) {
+  Cycle t = from;
+  while (t < to) {
+    // The serial event-driven skip, applied channel-locally: when the
+    // engine has no self-driven event and no completion is waiting to
+    // surface, every core tick up to the DRAM's next event advances only
+    // the clocks. Exactness is inherited from idle_core_cycles().
+    if (next_event_cycle(t) == kNoEvent && !dram_.has_undrained_completions()) {
+      const Cycle idle = dram_.idle_core_cycles();
+      if (idle > 0) {
+        const Cycle span = std::min(idle, to - t);
+        dram_.advance_idle_core_cycles(span);
+        t += span;
+        continue;
+      }
+    }
+    ++t;
+    dram_.tick_core_cycle();
+    tick(t);
+    // Window contract: the caller sized `to` with ready_bound(), so no
+    // fill may surface before the final tick (the backend drains ready()
+    // only at epoch boundaries; an early push would reorder fills).
+    assert((ready_.empty() || t == to) &&
+           "read became ready before the epoch horizon");
+  }
+}
+
+Cycle SecurityEngine::ready_bound(Cycle now) const {
+  // A buffered completion surfaces (and can finish a read) next tick.
+  if (dram_.has_undrained_completions()) return now + 1;
+  Cycle bound = kNoEvent;
+  const Cycle inflight = dram_.inflight_read_finish();
+  if (inflight != kNoEvent)
+    bound = now + dram_.core_cycles_until_mem(inflight);
+  bool deferred_read = false;
+  for (const auto& p : issue_q_)
+    if (!p.is_write) {
+      deferred_read = true;
+      break;
+    }
+  if (dram_.queued_reads() > 0 || deferred_read) {
+    // A queued read issues no earlier than the current memory cycle and
+    // its data arrives tCL later at best (bursts only push it out); a
+    // deferred read enqueues at the next tick at the earliest, with the
+    // same floor — unless write data can forward it, which completes at
+    // enqueue and surfaces one tick later (>= now + 2: enqueue happens
+    // inside tick now+1 at the earliest).
+    bool forward = false;
+    for (const auto& p : issue_q_) {
+      if (p.is_write) continue;
+      if (dram_.has_queued_write_to_line(p.addr)) {
+        forward = true;
+        break;
+      }
+      // A deferred write ahead of the read lands in the queue first and
+      // then forwards it (same line, FIFO retry order).
+      for (const auto& w : issue_q_) {
+        if (&w == &p) break;
+        if (w.is_write && line_base(w.addr) == line_base(p.addr)) {
+          forward = true;
+          break;
+        }
+      }
+      if (forward) break;
+    }
+    const Cycle column = now + dram_.core_cycles_until_mem(
+                                   dram_.memory_cycle() + dram_.timings().tCL);
+    bound = std::min(bound, forward ? std::min(column, now + 2) : column);
+  }
+  return bound;
+}
+
 }  // namespace secddr::secmem

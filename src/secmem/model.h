@@ -95,6 +95,29 @@ class SecurityEngine {
     return would_fail ? kNoEvent : now + 1;
   }
 
+  /// Batched advance for epoch-decoupled execution: runs this channel's
+  /// core ticks (from, to] locally — DRAM clock plus engine tick per
+  /// cycle — applying the same event-driven skip the serial loop uses
+  /// (provable no-op spans advance only the clocks). The caller promises
+  /// no start_read/start_write lands inside the window and drains
+  /// ready() afterwards; ready_bound() is how it sizes such a window.
+  void tick_until(Cycle from, Cycle to);
+
+  /// Earliest core cycle (> now) at which a future tick could push into
+  /// ready(), assuming no new start_read/start_write arrives: the safe
+  /// horizon for this channel in the epoch-decoupled backend. Only read
+  /// completions finish transactions, so the bound is the min over
+  ///   - an undrained completion buffer (surfaces next tick),
+  ///   - the earliest in-flight read's data arrival (exact, via the
+  ///     accumulator inversion),
+  ///   - queued/deferred reads: conservatively the core tick reaching
+  ///     mem_cycle + tCL, or now + 2 when write-forwarding is possible
+  ///     (a deferred read enqueued at now+1 can complete at now+2).
+  /// kNoEvent when no read exists anywhere in the pipeline. Metadata
+  /// chains (arrival -> writeback -> forward) cannot beat these bounds:
+  /// an arrival at cycle t only issues new DRAM traffic at t >= bound.
+  Cycle ready_bound(Cycle now) const;
+
   /// Ready reads since the last drain (caller clears).
   std::vector<ReadReady>& ready() { return ready_; }
 

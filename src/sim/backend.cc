@@ -6,7 +6,7 @@
 namespace secddr::sim {
 
 MemoryBackend::MemoryBackend(const BackendConfig& config)
-    : selector_(config.geometry) {
+    : selector_(config.geometry), event_driven_(config.event_driven) {
   const unsigned n = config.geometry.channels;
   assert(n >= 1);
   // Per-channel tick threading: the caller ticks range 0 itself; workers
@@ -57,27 +57,45 @@ MemoryBackend::~MemoryBackend() {
   if (workers_ > 0) {
     stop_.store(true, std::memory_order_release);
     epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
     for (auto& t : threads_) t.join();
   }
 }
 
-void MemoryBackend::tick_channel(Channel& ch, Cycle now) {
-  ch.dram->tick_core_cycle();
-  ch.engine->tick(now);
+void MemoryBackend::tick_range(unsigned begin, unsigned end, Cycle from,
+                               Cycle to) {
+  for (unsigned c = begin; c < end; ++c) {
+    Channel& ch = channels_[c];
+    if (!event_driven_ || to - from == 1) {
+      // Per-cycle reference path (and single-cycle epochs): identical to
+      // the pre-epoch tick sequence, kept plain so the bit-exact
+      // reference loop stays untouched.
+      for (Cycle t = from + 1; t <= to; ++t) {
+        ch.dram->tick_core_cycle();
+        ch.engine->tick(t);
+      }
+    } else {
+      ch.engine->tick_until(from, to);
+    }
+  }
 }
 
 namespace {
-// Spin briefly, then yield: between ticks (event-driven skips, drain
-// phases) a pure spin would burn a core doing nothing. Shared by the
-// caller-side and worker-side waits so their backoff stays symmetric.
-template <typename Pred>
-void spin_until(Pred&& done) {
-  unsigned spins = 0;
-  while (!done()) {
-    if (++spins >= 4096) {
-      std::this_thread::yield();
-      spins = 0;
+// Bounded spin, then park on the atomic (C++20 wait/notify): short
+// epochs resolve within the spin so no syscall happens on the hot path,
+// while latency-idle phases park the thread instead of burning a core.
+// The notify side is unconditional — libstdc++ skips the futex syscall
+// when nobody is parked, so it costs one uncontended load per epoch.
+template <typename Load>
+void bounded_wait(std::atomic<std::uint64_t>& a, Load&& stale) {
+  constexpr unsigned kSpins = 4096;
+  for (;;) {
+    std::uint64_t v = 0;
+    for (unsigned spins = 0; spins < kSpins; ++spins) {
+      v = a.load(std::memory_order_acquire);
+      if (!stale(v)) return;
     }
+    a.wait(v, std::memory_order_acquire);
   }
 }
 }  // namespace
@@ -86,16 +104,13 @@ void MemoryBackend::worker_loop(unsigned worker) {
   const auto [begin, end] = ranges_[worker + 1];
   std::uint64_t seen = 0;
   for (;;) {
-    std::uint64_t e = seen;
-    spin_until([&] {
-      e = epoch_.load(std::memory_order_acquire);
-      return e != seen;
-    });
+    bounded_wait(epoch_, [&](std::uint64_t v) { return v == seen; });
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
     if (stop_.load(std::memory_order_acquire)) return;
-    const Cycle now = tick_now_;
-    for (unsigned c = begin; c < end; ++c) tick_channel(channels_[c], now);
+    tick_range(begin, end, tick_from_, tick_to_);
     seen = e;
     done_[worker].v.store(e, std::memory_order_release);
+    done_[worker].v.notify_all();
   }
 }
 
@@ -109,17 +124,35 @@ void MemoryBackend::start_write(Addr addr, Cycle now) {
   channels_[c].engine->start_write(selector_.to_local(addr), now);
 }
 
-void MemoryBackend::tick(Cycle now) {
-  if (workers_ == 0) {
-    for (Channel& ch : channels_) tick_channel(ch, now);
+void MemoryBackend::tick(Cycle now) { dispatch(now - 1, now); }
+
+void MemoryBackend::run_window(Cycle from, Cycle to) {
+  assert(to > from);
+  dispatch(from, to);
+}
+
+void MemoryBackend::dispatch(Cycle from, Cycle to) {
+  ++dispatch_epochs_;
+  dispatch_cycles_ += to - from;
+  if (workers_ == 0 || to - from == 1) {
+    // Single-cycle epochs (the per-cycle loop, and event-driven cycles
+    // where someone acts next tick) run on the caller: waking workers
+    // for one tick per channel costs more than the tick. The workers
+    // stay parked — they only cross the barrier for wide windows, which
+    // is what cuts crossings by orders of magnitude vs the per-cycle
+    // barrier. Execution order is the serial channel order either way,
+    // so results are unchanged.
+    tick_range(0, channels(), from, to);
   } else {
-    tick_now_ = now;
+    ++barrier_crossings_;
+    tick_from_ = from;
+    tick_to_ = to;
     const std::uint64_t e = epoch_.fetch_add(1, std::memory_order_release) + 1;
+    epoch_.notify_all();
     const auto [begin, end] = ranges_[0];
-    for (unsigned c = begin; c < end; ++c) tick_channel(channels_[c], now);
+    tick_range(begin, end, from, to);
     for (unsigned w = 0; w < workers_; ++w)
-      spin_until(
-          [&] { return done_[w].v.load(std::memory_order_acquire) == e; });
+      bounded_wait(done_[w].v, [&](std::uint64_t v) { return v != e; });
   }
   // Fixed channel-order aggregation barrier: ready results are gathered
   // serially in channel order whatever thread produced them, so the
@@ -131,6 +164,13 @@ void MemoryBackend::tick(Cycle now) {
       r.clear();
     }
   }
+}
+
+Cycle MemoryBackend::ready_window(Cycle now) const {
+  Cycle bound = kNoEvent;
+  for (const Channel& ch : channels_)
+    bound = std::min(bound, ch.engine->ready_bound(now));
+  return bound;
 }
 
 Cycle MemoryBackend::next_event_cycle(Cycle now) const {
@@ -210,6 +250,9 @@ double MemoryBackend::metadata_miss_rate() const {
 }
 
 void MemoryBackend::reset_stats() {
+  dispatch_epochs_ = 0;
+  dispatch_cycles_ = 0;
+  barrier_crossings_ = 0;
   for (Channel& ch : channels_) {
     ch.engine->reset_stats();
     ch.dram->reset_stats();

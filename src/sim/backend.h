@@ -74,6 +74,33 @@ class MemoryBackend {
   /// engine tick, gathering finished reads into ready().
   void tick(Cycle now);
 
+  // --- epoch-decoupled execution --------------------------------------
+  /// Advances every channel through core cycles (from, to] in one epoch:
+  /// each worker runs its channels to the horizon with a channel-local
+  /// clock (event-driven skips applied locally), rejoining the barrier
+  /// once per window instead of once per cycle. The caller guarantees no
+  /// start_read/start_write lands inside the window and that `to` does
+  /// not exceed ready_window(from) — that makes the run-ahead
+  /// rollback-free and bit-identical to per-cycle ticking. Finished
+  /// reads are gathered into ready() in fixed channel order at the end.
+  void run_window(Cycle from, Cycle to);
+  /// Safe horizon: the earliest core cycle (> now) at which any channel
+  /// could push into ready(), i.e. produce output the MemorySystem can
+  /// observe (min over channels of SecurityEngine::ready_bound).
+  /// Absent new inputs, ticking everything up to this cycle is
+  /// externally invisible, so it bounds a rollback-free epoch. kNoEvent
+  /// when no channel holds a read anywhere in its pipeline.
+  Cycle ready_window(Cycle now) const;
+  /// Barrier-crossing telemetry: epochs dispatched and core cycles they
+  /// covered since the last reset_stats(). cycles/epochs is the mean
+  /// window width (1 in per-cycle mode; the whole point of the epoch
+  /// refactor is driving this up). barrier_crossings counts the epochs
+  /// that actually woke the worker threads (wide windows only;
+  /// single-cycle epochs run on the caller).
+  std::uint64_t dispatch_epochs() const { return dispatch_epochs_; }
+  std::uint64_t dispatch_cycles() const { return dispatch_cycles_; }
+  std::uint64_t barrier_crossings() const { return barrier_crossings_; }
+
   /// Ready reads since the last drain, across all channels (caller clears).
   std::vector<secmem::ReadReady>& ready() { return ready_; }
 
@@ -128,21 +155,35 @@ class MemoryBackend {
     std::unique_ptr<secmem::SecurityEngine> engine;
   };
 
-  void tick_channel(Channel& ch, Cycle now);
+  /// Runs channels [begin, end) through core cycles (from, to]: plain
+  /// per-cycle ticks for width-1 windows and the per-cycle reference
+  /// loop, the engines' batched tick_until (channel-local clock +
+  /// event-driven skips) for wider epoch windows.
+  void tick_range(unsigned begin, unsigned end, Cycle from, Cycle to);
+  /// Common epoch dispatch behind tick()/run_window(): publishes the
+  /// window, crosses the barrier once, gathers ready() in channel order.
+  void dispatch(Cycle from, Cycle to);
   void worker_loop(unsigned worker);
 
   dram::ChannelSelector selector_;
   std::vector<Channel> channels_;
   std::vector<secmem::ReadReady> ready_;
+  bool event_driven_ = false;
+  std::uint64_t dispatch_epochs_ = 0;
+  std::uint64_t dispatch_cycles_ = 0;
+  std::uint64_t barrier_crossings_ = 0;
 
   // --- opt-in per-channel tick threading ------------------------------
-  // Epoch-based spin barrier: tick() publishes `tick_now_` and bumps
-  // `epoch_` (release); each worker ticks its contiguous channel range
-  // and stamps its `done` slot with the epoch (release); tick() spins
-  // until every slot caught up (acquire), then drains the engines' ready
-  // lists in fixed channel order. Between epochs the workers only read
-  // `epoch_`, so all other backend methods stay plain serial code; the
-  // acquire/release pairs order every cross-thread channel access.
+  // Epoch-window barrier: dispatch() publishes the window bounds and
+  // bumps `epoch_` (release); each worker runs its contiguous channel
+  // range through the whole window and stamps its `done` slot with the
+  // epoch (release); dispatch() waits until every slot caught up
+  // (acquire), then drains the engines' ready lists in fixed channel
+  // order. Between epochs the workers only watch `epoch_`, so all other
+  // backend methods stay plain serial code; the acquire/release pairs
+  // order every cross-thread channel access. Both wait sides spin
+  // briefly then park on the atomic (C++20 wait/notify) — see
+  // bounded_wait in backend.cc.
   struct alignas(64) DoneSlot {
     std::atomic<std::uint64_t> v{0};
   };
@@ -152,7 +193,8 @@ class MemoryBackend {
   std::unique_ptr<DoneSlot[]> done_;
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<bool> stop_{false};
-  Cycle tick_now_ = 0;  ///< published before the epoch release-store
+  Cycle tick_from_ = 0;  ///< window bounds, published before the epoch
+  Cycle tick_to_ = 0;    ///< release-store
 };
 
 }  // namespace secddr::sim

@@ -200,10 +200,7 @@ bool MemorySystem::issue_store(unsigned core_id, Addr addr) {
   return true;
 }
 
-void MemorySystem::tick() {
-  ++now_;
-  backend_.tick(now_);
-
+void MemorySystem::drain_boundary() {
   // Secure reads that are ready fill the LLC and wake their waiters.
   for (const auto& r : backend_.ready()) {
     const std::size_t idx = static_cast<std::size_t>(r.tag);
@@ -219,6 +216,33 @@ void MemorySystem::tick() {
     *done_q_.top().flag = true;
     done_q_.pop();
   }
+}
+
+void MemorySystem::tick() {
+  ++now_;
+  backend_.tick(now_);
+  drain_boundary();
+}
+
+Cycle MemorySystem::window_bound() const {
+  Cycle bound = backend_.ready_window(now_);
+  // A completion flag scheduled for `at` must be raised by the tick that
+  // advances now_ to `at` (at > now_ is an invariant: matured entries
+  // are drained before this query can run), so the window may end there
+  // but not later.
+  if (!done_q_.empty())
+    bound = std::min(bound, done_q_.top().at);
+  return bound == kNoEvent ? kNoEvent : bound - now_;
+}
+
+void MemorySystem::advance_window(Cycle ticks) {
+  const Cycle from = now_;
+  now_ += ticks;
+  backend_.run_window(from, now_);
+  // Nothing became observable before the final tick (that is what
+  // window_bound() guarantees), so draining once at the boundary sees
+  // exactly what per-cycle draining would have seen, with the same now_.
+  drain_boundary();
 }
 
 bool MemorySystem::issue_blocked_for(unsigned core_id, Addr addr) const {

@@ -63,6 +63,22 @@ class MemorySystem final : public MemoryPort {
   /// idle_cycles(): advances this clock and the DRAM clock domains.
   void advance_idle(Cycle cycles);
 
+  // --- epoch-decoupled execution --------------------------------------
+  /// Largest number of ticks advance_window() may batch into one epoch:
+  /// no channel can surface a finished read and no pending completion
+  /// flag matures strictly before the window's final tick, so executing
+  /// the whole window channel-locally and draining at the boundary is
+  /// bit-identical to per-cycle ticking. Always >= 1 when finite
+  /// (unlike idle_cycles(), which reports ticks that need not run at
+  /// all); kNoEvent when nothing is outstanding anywhere.
+  Cycle window_bound() const;
+
+  /// Runs the next `ticks` cycles as one backend epoch (`ticks` must not
+  /// exceed window_bound()): every channel advances to the horizon with
+  /// its local clock, then ready fills and matured completion flags are
+  /// drained at the boundary exactly as the final per-cycle tick would.
+  void advance_window(Cycle ticks);
+
   /// True when an issue of `addr` by `core_id` is guaranteed to keep
   /// failing until a memory event: the line misses everywhere (its L1,
   /// the LLC, the in-flight MSHRs) and no MSHR is free. All of that state
@@ -108,6 +124,9 @@ class MemorySystem final : public MemoryPort {
 
   /// Returns false if the access could not be started (MSHR pressure).
   bool access_llc(unsigned core_id, Addr line, bool dirty, bool* done);
+  /// Epoch-boundary drain shared by tick() and advance_window(): ready
+  /// fills wake their waiters, matured completion flags are raised.
+  void drain_boundary();
   void issue_prefetches(Addr line);
   int find_mshr(Addr line) const;
   int alloc_mshr(Addr line);

@@ -29,11 +29,11 @@ RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
   auto run_phase = [&](std::uint64_t budget, Cycle limit) -> Cycle {
     for (auto& core : cores_) core->set_instruction_budget(budget);
     Cycle cycle = 0;
-    // Saturation backoff: when the memory system keeps denying skips
-    // (DRAM command bus busy every cycle), pause the skip queries for a
-    // while — attempting a skip is optional, so this cannot change
-    // results, it only sheds query overhead while nothing is skippable.
-    unsigned mem_deny_streak = 0, attempt_pause = 0;
+    // Saturation backoff: when the cores keep vetoing windows (someone
+    // can act on the very next cycle), pause the window queries for a
+    // while — attempting a window is optional, so this cannot change
+    // results, it only sheds query overhead while nothing is batchable.
+    unsigned deny_streak = 0, attempt_pause = 0;
     for (; cycle < limit; ++cycle) {
       bool all_done = true;
       for (auto& core : cores_) {
@@ -48,32 +48,26 @@ RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
         continue;
       }
 
-      // Event-driven fast path: when no component can act before some
-      // future cycle, jump straight there. Skipped cycles are provable
-      // no-ops for every component, so results stay bit-identical to the
-      // per-cycle loop; advance_idle() / account_blocked_retries() replay
-      // exactly what the skipped ticks would have recorded (cycle and
-      // load-stall counters, failing-issue cache-stat bumps, bulk
-      // compute-batch retirement).
+      // Epoch-decoupled fast path: find the span no core can act in,
+      // clamp it to the memory system's safe horizon, and run the whole
+      // window as one backend epoch. Core-side cycles are provable
+      // no-ops and get replayed (advance_idle() / account_blocked_
+      // retries() reproduce the cycle and load-stall counters, failing-
+      // issue cache-stat bumps, bulk compute-batch retirement); memory-
+      // side cycles are *executed*, each channel running to the horizon
+      // on its local clock, with fills and completion flags drained at
+      // the boundary — which window_bound() proves is where the serial
+      // per-cycle loop would first have observed them. Results stay
+      // bit-identical to the per-cycle loop.
       //
-      // The memory bound is checked first: it is O(channels) while the
-      // per-core queries walk replay planners and cache probes, and at
-      // DRAM saturation memory denies nearly every skip — so the common
-      // denial costs almost nothing.
-      const Cycle mem_idle = memory_->idle_cycles();
-      if (mem_idle == 0) {
-        if (++mem_deny_streak >= 16) {
-          attempt_pause = 16;
-          mem_deny_streak = 0;
-        }
-        continue;
-      }
-      // The backoff targets *consecutive* memory denials; a grant resets
-      // it even when a core below vetoes the skip.
-      mem_deny_streak = 0;
-      Cycle skip = std::min(mem_idle, limit - (cycle + 1));
+      // The core bound is checked first: under the epoch model the
+      // memory side always grants a window of >= 1, so only a core veto
+      // (someone acts next cycle) can deny — the opposite polarity of
+      // the pre-epoch loop, where DRAM saturation denied the skip.
+      Cycle skip = limit - (cycle + 1);
       std::uint64_t blocked_cores = 0;
       for (auto& core : cores_) {
+        if (skip == 0) break;
         Addr blocked_addr;
         if (core->blocked_on_issue(&blocked_addr)) {
           // Retrying an issue every cycle; skippable only if the retry
@@ -86,12 +80,19 @@ RunResult System::run(std::uint64_t instructions_per_core, Cycle max_cycles,
           continue;
         }
         skip = std::min(skip, core->next_event_cycle(cycle) - (cycle + 1));
-        if (skip == 0) break;
       }
-      if (skip == 0) continue;
+      if (skip == 0) {
+        if (++deny_streak >= 16) {
+          attempt_pause = 16;
+          deny_streak = 0;
+        }
+        continue;
+      }
+      deny_streak = 0;
+      skip = std::min(skip, memory_->window_bound());
       for (auto& core : cores_) core->advance_idle(skip);
       memory_->account_blocked_retries(blocked_cores * skip);
-      memory_->advance_idle(skip);
+      memory_->advance_window(skip);
       cycle += skip;  // the for-increment supplies the final +1
     }
     return cycle;

@@ -5,7 +5,9 @@
 //    bench/fuzz_campaign; this is the CI-bounded version);
 //  * bit-reproducibility: same seed => byte-identical campaign log and
 //    identical coverage, across worker counts, the per-cycle and
-//    event-driven timing-leg loops, and SECDDR_MEM_THREADS=2;
+//    event-driven timing-leg loops, and epoch-decoupled channel threads
+//    (mem_threads 2 and 4), plus executor-level snapshot/restore
+//    determinism through epoch-advanced timing sessions;
 //  * the checked-in regression traces under tests/regress/ — one per
 //    engine bug the campaign forced — replay as detected-with-no-silent-
 //    mismatch. Each would fail against the pre-fix engine: the first two
@@ -60,12 +62,59 @@ TEST(FuzzCampaign, LogIsByteIdenticalAcrossTimingLoopModes) {
   CampaignOptions threaded = event_driven;
   threaded.exec.mem_threads = 2;
 
+  // Fully threaded epoch-decoupled backend (the timing leg's config has
+  // 2 channels, so 4 clamps to 2 workers crossing the epoch barrier).
+  CampaignOptions threaded4 = event_driven;
+  threaded4.exec.mem_threads = 4;
+
   const CampaignResult a = Campaign(per_cycle).run();
   const CampaignResult b = Campaign(event_driven).run();
   const CampaignResult c = Campaign(threaded).run();
+  const CampaignResult d = Campaign(threaded4).run();
   EXPECT_EQ(a.log, b.log);
   EXPECT_EQ(b.log, c.log);
+  EXPECT_EQ(c.log, d.log);
   EXPECT_TRUE(a.clean()) << a.log;
+}
+
+TEST(FuzzCampaign, ExecutorDeterministicAfterRestoreWithEpochTiming) {
+  // The executor snapshots each profile's attested master session and
+  // restores it before every run; with the epoch-decoupled timing leg a
+  // run advances the backend through multi-cycle windows, so this checks
+  // restore lands the simulator in a state from which re-running an
+  // earlier input reproduces its Outcome bit-for-bit — across loop modes
+  // and thread counts too.
+  Mutator m(0xEB0C);
+  const FuzzInput first = m.random_input();
+  FuzzInput second = m.random_input();
+  for (int k = 0; k < 20; ++k) m.mutate(&second);
+
+  ExecutorOptions epoch;
+  epoch.timing_leg = true;
+  epoch.event_driven = true;
+  epoch.mem_threads = 2;
+  Executor ex(epoch);
+  const Outcome before = ex.run(first);
+  ex.run(second);  // interleaved input advances + restores the sessions
+  const Outcome after = ex.run(first);
+  EXPECT_EQ(before.verdict, after.verdict);
+  EXPECT_EQ(before.signature, after.signature);
+  EXPECT_EQ(before.violations, after.violations);
+  EXPECT_EQ(before.mismatches, after.mismatches);
+  EXPECT_EQ(before.silent_mismatches, after.silent_mismatches);
+  EXPECT_EQ(before.faults_fired, after.faults_fired);
+
+  // The same inputs through the per-cycle serial reference leg: the
+  // signature folds per-channel timing counters, so equality here is the
+  // executor-level bit-identity gate for the epoch path.
+  ExecutorOptions serial;
+  serial.timing_leg = true;
+  serial.event_driven = false;
+  serial.mem_threads = 1;
+  Executor ref(serial);
+  const Outcome ref_first = ref.run(first);
+  EXPECT_EQ(ref_first.signature, before.signature);
+  EXPECT_EQ(ref_first.verdict, before.verdict);
 }
 
 TEST(FuzzCampaign, SameSeedSameLogAcrossRepeats) {

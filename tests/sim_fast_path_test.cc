@@ -437,6 +437,44 @@ TEST(SimFastPathDeterminism, ThreadedBackendBitIdentical) {
   }
 }
 
+TEST(SimFastPathDeterminism, EpochDecoupledBitIdentical) {
+  // The epoch-decoupled fast path (bounded-lookahead windows, channels
+  // run ahead on local clocks, fills drained at epoch boundaries) against
+  // the per-cycle serial reference, under memory pressure that keeps
+  // every window-bound ingredient live: in-flight reads, queued reads
+  // behind write drains, write forwarding, deferred issues, and matured
+  // completion flags. Every mem_threads setting must reproduce the
+  // reference exactly — including the per-channel stat breakdowns
+  // expect_identical covers.
+  workloads::WorkloadDesc stress{
+      "epoch-stress", 120.0, 400.0, 0.5, 1ull << 30,
+      workloads::Pattern::kRandom, true, 11};
+  std::vector<workloads::WorkloadDesc> descs{stress, *workloads::find("mcf")};
+  for (const auto& desc : descs) {
+    auto run = [&](bool event_driven, unsigned mem_threads) {
+      SystemConfig cfg;
+      cfg.mem.cores = 4;
+      cfg.mem.mshrs = 16;
+      cfg.mem.llc_bytes = 1ull << 20;
+      cfg.security = secmem::SecurityParams::secddr_ctr();
+      cfg.geometry.channels = 4;
+      cfg.data_bytes = 8ull << 30;  // four cores at 2GB trace stride
+      cfg.event_driven = event_driven;
+      cfg.mem_threads = mem_threads;
+      workloads::SyntheticTrace t0(desc, 0), t1(desc, 1), t2(desc, 2),
+          t3(desc, 3);
+      System sys(cfg, {&t0, &t1, &t2, &t3});
+      return sys.run(20000, 2'000'000'000, /*warmup=*/4000);
+    };
+    SCOPED_TRACE(desc.name);
+    const RunResult reference = run(/*event_driven=*/false, 1);
+    for (unsigned mem_threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("mem_threads=" + std::to_string(mem_threads));
+      expect_identical(reference, run(/*event_driven=*/true, mem_threads));
+    }
+  }
+}
+
 // Event-driven core fast-path for compute phases: a workload whose
 // non-memory batches dwarf the ROB exercises the closed-form bulk
 // retirement (compute_replayable_ticks / advance_compute). The fast loop
