@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "fleet/checkpoint.h"
 #include "secmem/params.h"
 #include "sim/stream_trace.h"
 #include "sim/system.h"
@@ -248,6 +249,16 @@ inline sim::SystemConfig make_system_config(const BenchOptions& opt,
 
 /// Runs one workload (replicated rate-style across cores) under one
 /// security configuration and returns the full result.
+///
+/// Warm-start knob: SECDDR_WARM_CHECKPOINT=<dir> records the post-warmup
+/// state of each (workload, config) pair the first time it runs and
+/// restores it on every later run of the same pair, skipping the warmup
+/// simulation entirely. Keyed by workload name + System::config_hash(),
+/// so sweep points that differ only in loop mode or thread count share
+/// one warm image; checkpoint/restore is bit-identical to uninterrupted
+/// execution, so measured stats match a cold run bit-for-bit (the fleet
+/// test battery asserts this). An unusable file (corrupt, or left by a
+/// different config) is discarded and re-recorded from a cold run.
 inline sim::RunResult run_workload(const workloads::WorkloadDesc& desc,
                                    const secmem::SecurityParams& sec,
                                    const BenchOptions& opt,
@@ -257,7 +268,42 @@ inline sim::RunResult run_workload(const workloads::WorkloadDesc& desc,
   std::vector<sim::TraceSource*> ptrs;
   for (const auto& t : traces) ptrs.push_back(t.get());
   sim::System sys(make_system_config(opt, sec, timings), ptrs);
-  return sys.run(opt.instructions, 4'000'000'000ull, opt.warmup);
+
+  const char* warm_dir = std::getenv("SECDDR_WARM_CHECKPOINT");
+  if (warm_dir == nullptr || opt.warmup == 0)
+    return sys.run(opt.instructions, 4'000'000'000ull, opt.warmup);
+
+  char hash[17];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(sys.config_hash()));
+  const std::string path =
+      std::string(warm_dir) + "/" + desc.name + "_" + hash + ".warm";
+
+  sys.begin(opt.instructions, 4'000'000'000ull, opt.warmup);
+  bool warm = false;
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+    std::fclose(probe);
+    try {
+      fleet::checkpoint::restore_system_file(sys, path);
+      warm = true;
+    } catch (const std::exception& e) {
+      // A partial restore can leave the System (and its traces) mid-
+      // flight, so fall back to a complete rebuild, not just a re-begin.
+      std::fprintf(stderr, "%s: unusable warm checkpoint (%s); running cold\n",
+                   path.c_str(), e.what());
+      std::remove(path.c_str());
+      return run_workload(desc, sec, opt, timings);
+    }
+  }
+  if (!warm) {
+    // step() returns at the warmup -> measured boundary: exactly the
+    // state every warm restore of this (workload, config) resumes from.
+    if (sys.step(kNoEvent))
+      fleet::checkpoint::save_system_file(sys, path);
+  }
+  while (sys.step(kNoEvent)) {
+  }
+  return sys.result();
 }
 
 /// Total-IPC convenience wrapper.

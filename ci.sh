@@ -71,6 +71,18 @@ for bdir in build-ci-debug build-ci-release; do
         --output-on-failure -j "$jobs"
 done
 
+# Fleet-service step: the fleet label (checkpoint corruption battery +
+# mid-run restore properties, Node/coordinator integration incl. the
+# forced worker-SIGKILL recovery, the warm-start harness gate, and the
+# fleetd kill-recovery smoke, which exits non-zero unless the recovered
+# aggregates are byte-identical to an undisturbed single-worker run) in
+# both build types. Already covered by the full suites above; re-run
+# explicitly so a future CTEST_ARGS filter can never silently skip it.
+for bdir in build-ci-debug build-ci-release; do
+  ctest --test-dir "$bdir" -L fleet --no-tests=error \
+        --output-on-failure -j "$jobs"
+done
+
 if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then
   # unit + trace + fuzz: the corruption battery (including the
   # single-byte-flip smoke) and the adversarial fault injector must be

@@ -1,0 +1,191 @@
+// fleetd: fleet simulation service driver + self-checking smoke.
+//
+// Builds a heterogeneous fleet (workloads x security configurations from
+// the evaluation suite), runs it through the multi-process coordinator
+// (durable checkpoints + crash recovery), then re-runs the identical
+// fleet on a single undisturbed worker and requires the aggregated
+// results to be byte-identical. Exit status 1 on any divergence — this
+// is the fleet's determinism gate, wired into CTest.
+//
+// Environment knobs (all optional):
+//   SECDDR_FLEET_NODES    simulated nodes                 (default 4)
+//   SECDDR_FLEET_WORKERS  worker processes                (default 2)
+//   SECDDR_FLEET_CKPT     cycles between checkpoints      (default 10000)
+//   SECDDR_FLEET_KILL=1   SIGKILL a worker after its first checkpoint,
+//                         forcing the respawn + resume path
+//   SECDDR_FLEET_STATE    state-directory prefix          (default fleet_state)
+//   SECDDR_FLEET_JSON     aggregate output ('' disables;  default BENCH_fleet.json)
+//   SECDDR_INSTR / SECDDR_WARMUP / SECDDR_CORES  as in bench/harness.h
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/coordinator.h"
+#include "fleet/shard.h"
+#include "../bench/harness.h"
+
+using namespace secddr;
+
+namespace {
+
+fleet::NodeConfig make_node(unsigned i, const bench::BenchOptions& opt) {
+  const auto& suite = workloads::suite();
+  const workloads::WorkloadDesc& w = suite[i % suite.size()];
+  struct SecChoice {
+    const char* tag;
+    secmem::SecurityParams params;
+  };
+  const std::vector<SecChoice> secs = {
+      {"tree64", secmem::SecurityParams::baseline_tree_ctr()},
+      {"secddr", secmem::SecurityParams::secddr_ctr()},
+      {"enc_only", secmem::SecurityParams::encrypt_only_ctr()},
+  };
+  const SecChoice& sec = secs[i % secs.size()];
+  dram::Timings timings = dram::Timings::ddr4_3200();
+  if (sec.params.ewcrc) timings = timings.with_ewcrc_burst();
+  fleet::NodeConfig n;
+  n.name = w.name + std::string("+") + sec.tag;
+  n.system = bench::make_system_config(opt, sec.params, timings);
+  n.workload = w.name;
+  n.instructions = opt.instructions;
+  n.warmup = opt.warmup;
+  n.max_cycles = 4'000'000'000ull;
+  return n;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  return s ? std::strtoull(s, nullptr, 10) : fallback;
+}
+
+void clean_state(const std::string& dir, std::size_t nodes) {
+  for (std::size_t i = 0; i < nodes; ++i)
+    std::remove(
+        fleet::ShardDriver::checkpoint_path(dir, static_cast<unsigned>(i))
+            .c_str());
+}
+
+std::string json_hist(const std::vector<std::uint64_t>& h) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(h[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchOptions opt = bench::BenchOptions::from_env();
+  // Keep the no-knob invocation snappy (the full suite is a CI knob away).
+  if (!std::getenv("SECDDR_INSTR")) opt.instructions = 20000;
+  if (!std::getenv("SECDDR_WARMUP")) opt.warmup = 5000;
+  if (!std::getenv("SECDDR_CORES")) opt.cores = 2;
+
+  const unsigned node_count =
+      static_cast<unsigned>(env_u64("SECDDR_FLEET_NODES", 4));
+  const unsigned workers =
+      static_cast<unsigned>(env_u64("SECDDR_FLEET_WORKERS", 2));
+  const Cycle ckpt_every = env_u64("SECDDR_FLEET_CKPT", 10'000);
+  const char* kill_env = std::getenv("SECDDR_FLEET_KILL");
+  const bool kill_hook = kill_env && std::strcmp(kill_env, "1") == 0;
+  const char* state_env = std::getenv("SECDDR_FLEET_STATE");
+  const std::string state_base = state_env ? state_env : "fleet_state";
+
+  std::vector<fleet::NodeConfig> nodes;
+  for (unsigned i = 0; i < node_count; ++i)
+    nodes.push_back(make_node(i, opt));
+
+  std::printf("fleetd: %u nodes, %u workers, checkpoint every %llu cycles%s\n",
+              node_count, workers,
+              static_cast<unsigned long long>(ckpt_every),
+              kill_hook ? ", kill-a-worker enabled" : "");
+
+  fleet::FleetOptions run_opts;
+  run_opts.workers = workers;
+  run_opts.checkpoint_every = ckpt_every;
+  run_opts.state_dir = state_base + "_run";
+  run_opts.kill_after_first_checkpoint = kill_hook;
+  clean_state(run_opts.state_dir, nodes.size());
+  const fleet::FleetResult res = fleet::run_fleet(nodes, run_opts);
+
+  // Undisturbed single-worker reference over the identical fleet.
+  fleet::FleetOptions ref_opts;
+  ref_opts.workers = 1;
+  ref_opts.checkpoint_every = ckpt_every;
+  ref_opts.state_dir = state_base + "_ref";
+  clean_state(ref_opts.state_dir, nodes.size());
+  const fleet::FleetResult ref = fleet::run_fleet(nodes, ref_opts);
+
+  std::printf("\n%-22s %10s %14s %12s\n", "node", "total IPC",
+              "avg rd lat", "dram reads");
+  for (std::size_t i = 0; i < res.per_node.size(); ++i) {
+    const sim::RunResult& r = res.per_node[i];
+    std::printf("%-22s %10.4f %14.2f %12llu\n", res.names[i].c_str(),
+                r.total_ipc, r.dram.avg_read_latency(),
+                static_cast<unsigned long long>(r.dram.reads_completed));
+  }
+  std::printf("\nfleet total IPC %.4f | instructions %llu | respawns %u\n",
+              res.total_ipc, static_cast<unsigned long long>(res.instructions),
+              res.respawns);
+
+  const bool identical =
+      fleet::encode_fleet(res) == fleet::encode_fleet(ref);
+  std::printf("recovered aggregates vs undisturbed single worker: %s\n",
+              identical ? "bit-identical" : "DIVERGED");
+
+  const char* json_env = std::getenv("SECDDR_FLEET_JSON");
+  const std::string json_path = json_env ? json_env : "BENCH_fleet.json";
+  if (!json_path.empty()) {
+    std::string body = "{";
+    body += "\"bench\":\"fleet\",";
+    body += "\"nodes\":" + std::to_string(node_count) + ",";
+    body += "\"workers\":" + std::to_string(workers) + ",";
+    body += "\"checkpoint_every\":" + std::to_string(ckpt_every) + ",";
+    body += "\"kill_hook\":" + std::string(kill_hook ? "true" : "false") + ",";
+    body += "\"respawns\":" + std::to_string(res.respawns) + ",";
+    char num[64];
+    std::snprintf(num, sizeof num, "%.6f", res.total_ipc);
+    body += "\"total_ipc\":" + std::string(num) + ",";
+    body += "\"instructions\":" + std::to_string(res.instructions) + ",";
+    body += "\"dram_reads_completed\":" +
+            std::to_string(res.dram_reads_completed) + ",";
+    body += "\"engine_meta_reads\":" +
+            std::to_string(res.engine_meta_reads) + ",";
+    body += "\"ipc_hist\":" + json_hist(res.ipc_hist) + ",";
+    body += "\"latency_hist\":" + json_hist(res.latency_hist) + ",";
+    body += "\"bit_identical\":" + std::string(identical ? "true" : "false");
+    body += ",\"per_node\":[";
+    for (std::size_t i = 0; i < res.per_node.size(); ++i) {
+      if (i) body += ",";
+      std::snprintf(num, sizeof num, "%.6f", res.per_node[i].total_ipc);
+      body += "{\"name\":\"" + res.names[i] + "\",\"total_ipc\":" + num + "}";
+    }
+    body += "]}";
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", body.c_str());
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "fleetd: cannot write %s\n", json_path.c_str());
+    }
+  }
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "fleetd: FAIL — fleet aggregates diverged from the "
+                 "undisturbed reference\n");
+    return 1;
+  }
+  if (kill_hook && res.respawns == 0) {
+    std::fprintf(stderr,
+                 "fleetd: FAIL — kill hook requested but no worker needed a "
+                 "respawn (recovery path not exercised; lower "
+                 "SECDDR_FLEET_CKPT or raise SECDDR_INSTR)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -121,4 +121,32 @@ void SetAssocCache::flush_all() {
   std::fill(dirty_.begin(), dirty_.end(), 0u);
 }
 
+void SetAssocCache::save(serial::Sink& s) const {
+  s.u64(sets_count_);
+  s.u32(assoc_);
+  for (const std::uint64_t t : tags_) s.u64(t);
+  for (const std::uint64_t l : lru_) s.u64(l);
+  for (const std::uint32_t v : valid_) s.u32(v);
+  for (const std::uint32_t d : dirty_) s.u32(d);
+  s.u64(lru_clock_);
+  s.u64(stats_.accesses);
+  s.u64(stats_.misses);
+  s.u64(stats_.evictions);
+  s.u64(stats_.dirty_evictions);
+}
+
+void SetAssocCache::load(serial::Source& s) {
+  if (s.u64() != sets_count_ || s.u32() != assoc_)
+    throw std::runtime_error("cache geometry mismatch");
+  for (std::uint64_t& t : tags_) t = s.u64();
+  for (std::uint64_t& l : lru_) l = s.u64();
+  for (std::uint32_t& v : valid_) v = s.u32();
+  for (std::uint32_t& d : dirty_) d = s.u32();
+  lru_clock_ = s.u64();
+  stats_.accesses = s.u64();
+  stats_.misses = s.u64();
+  stats_.evictions = s.u64();
+  stats_.dirty_evictions = s.u64();
+}
+
 }  // namespace secddr

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/types.h"
 
 namespace secddr {
@@ -61,6 +62,12 @@ class SetAssocCache {
   const CacheStats& stats() const { return stats_; }
   std::uint64_t size_bytes() const { return sets_count_ * assoc_ * kLineSize; }
   unsigned associativity() const { return assoc_; }
+
+  /// Checkpoint hooks: the full mutable state (tags, LRU stamps, validity,
+  /// dirtiness, stats). load() requires a cache constructed with the same
+  /// geometry and throws std::runtime_error on mismatch.
+  void save(serial::Sink& s) const;
+  void load(serial::Source& s);
 
  private:
   // Structure-of-arrays layout: probes — the per-cycle hot path — scan

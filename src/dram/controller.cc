@@ -655,4 +655,188 @@ void Controller::tick(Cycle now) {
   }
 }
 
+namespace {
+
+void save_request(serial::Sink& s, const Request& e) {
+  // `d` is a pure function of the address; the loader re-decodes it.
+  s.u64(e.addr);
+  s.u64(e.tag);
+  s.u64(e.arrival);
+  s.u64(e.seq);
+  s.b(e.activated_for);
+}
+
+Request load_request(serial::Source& s, const AddressMapping& mapping) {
+  Request e;
+  e.addr = s.u64();
+  e.d = mapping.decode(e.addr);
+  e.tag = s.u64();
+  e.arrival = s.u64();
+  e.seq = s.u64();
+  e.activated_for = s.b();
+  return e;
+}
+
+}  // namespace
+
+void Controller::save(serial::Sink& s) const {
+  s.u64(banks_.size());
+  for (const Bank& b : banks_) {
+    s.i64(b.open_row);
+    s.u64(b.next_activate);
+    s.u64(b.next_read);
+    s.u64(b.next_write);
+    s.u64(b.next_precharge);
+  }
+  s.u64(ranks_.size());
+  for (const RankState& r : ranks_) {
+    s.u64(r.act_window.size());
+    for (const Cycle c : r.act_window) s.u64(c);
+    s.u64(r.last_act);
+    s.b(r.have_last_act);
+    s.u32(r.last_act_bg);
+    s.u64(r.next_refresh_due);
+    s.b(r.refresh_pending);
+  }
+  for (unsigned dir = 0; dir < 2; ++dir) {
+    for (const BankQueue& bq : queues_[dir]) {
+      s.u64(bq.q.size());
+      for (const Request& e : bq.q) save_request(s, e);
+      s.u32(bq.match_count);
+    }
+    s.u32(q_size_[dir]);
+  }
+  s.u64(next_seq_);
+  s.b(draining_writes_);
+  s.u64(inflight_reads_.size());
+  for (const InflightRead& fr : inflight_reads_) {
+    save_request(s, fr.entry);
+    s.u64(fr.finish);
+  }
+  s.u64(inflight_min_finish_);
+  s.u64(completions_.size());
+  for (const Completion& c : completions_) {
+    s.u64(c.tag);
+    s.u64(c.addr);
+    s.b(c.is_write);
+    s.u64(c.arrival);
+    s.u64(c.finish);
+  }
+  s.u64(bus_free_at_);
+  s.b(bus_last_was_write_);
+  s.u32(bus_last_rank_);
+  s.u64(last_col_cmd_);
+  s.b(have_last_col_);
+  s.u32(last_col_bg_);
+  s.u32(last_col_rank_);
+  s.u64(stats_.reads_enqueued);
+  s.u64(stats_.writes_enqueued);
+  s.u64(stats_.reads_completed);
+  s.u64(stats_.writes_completed);
+  s.u64(stats_.row_hits);
+  s.u64(stats_.row_misses);
+  s.u64(stats_.activates);
+  s.u64(stats_.precharges);
+  s.u64(stats_.refreshes);
+  s.u64(stats_.write_forwards);
+  s.u64(stats_.data_bus_busy_cycles);
+  s.u64(stats_.total_read_latency);
+  s.u64(scan_stats_.issue_scans);
+  s.u64(scan_stats_.entries_visited);
+  s.u64(scan_stats_.queue_depth_sum);
+  s.u64(scan_stats_.commands_issued);
+}
+
+void Controller::load(serial::Source& s) {
+  if (s.u64() != banks_.size())
+    throw std::runtime_error("controller bank count mismatch");
+  for (Bank& b : banks_) {
+    b.open_row = s.i64();
+    b.next_activate = s.u64();
+    b.next_read = s.u64();
+    b.next_write = s.u64();
+    b.next_precharge = s.u64();
+  }
+  if (s.u64() != ranks_.size())
+    throw std::runtime_error("controller rank count mismatch");
+  for (RankState& r : ranks_) {
+    r.act_window.clear();
+    const std::size_t acts = s.count(8);
+    for (std::size_t i = 0; i < acts; ++i) r.act_window.push_back(s.u64());
+    r.last_act = s.u64();
+    r.have_last_act = s.b();
+    r.last_act_bg = s.u32();
+    r.next_refresh_due = s.u64();
+    r.refresh_pending = s.b();
+  }
+  for (unsigned dir = 0; dir < 2; ++dir) {
+    for (BankQueue& bq : queues_[dir]) {
+      bq.q.clear();
+      const std::size_t n = s.count(33);
+      for (std::size_t i = 0; i < n; ++i)
+        bq.q.push_back(load_request(s, mapping_));
+      bq.match_count = s.u32();
+    }
+    q_size_[dir] = s.u32();
+  }
+  next_seq_ = s.u64();
+  draining_writes_ = s.b();
+  inflight_reads_.clear();
+  const std::size_t inflight = s.count(41);
+  for (std::size_t i = 0; i < inflight; ++i) {
+    InflightRead fr;
+    fr.entry = load_request(s, mapping_);
+    fr.finish = s.u64();
+    inflight_reads_.push_back(fr);
+  }
+  inflight_min_finish_ = s.u64();
+  completions_.clear();
+  const std::size_t comps = s.count(33);
+  for (std::size_t i = 0; i < comps; ++i) {
+    Completion c;
+    c.tag = s.u64();
+    c.addr = s.u64();
+    c.is_write = s.b();
+    c.arrival = s.u64();
+    c.finish = s.u64();
+    completions_.push_back(c);
+  }
+  bus_free_at_ = s.u64();
+  bus_last_was_write_ = s.b();
+  bus_last_rank_ = s.u32();
+  last_col_cmd_ = s.u64();
+  have_last_col_ = s.b();
+  last_col_bg_ = s.u32();
+  last_col_rank_ = s.u32();
+  stats_.reads_enqueued = s.u64();
+  stats_.writes_enqueued = s.u64();
+  stats_.reads_completed = s.u64();
+  stats_.writes_completed = s.u64();
+  stats_.row_hits = s.u64();
+  stats_.row_misses = s.u64();
+  stats_.activates = s.u64();
+  stats_.precharges = s.u64();
+  stats_.refreshes = s.u64();
+  stats_.write_forwards = s.u64();
+  stats_.data_bus_busy_cycles = s.u64();
+  stats_.total_read_latency = s.u64();
+  scan_stats_.issue_scans = s.u64();
+  scan_stats_.entries_visited = s.u64();
+  scan_stats_.queue_depth_sum = s.u64();
+  scan_stats_.commands_issued = s.u64();
+
+  // Re-derive everything the serialized state determines: the candidate
+  // indexes (membership from FIFO + bank state; item order is
+  // behavior-neutral) and the next-event memo.
+  const unsigned total = geometry_.total_banks();
+  for (unsigned dir = 0; dir < 2; ++dir) {
+    active_[dir].init(total);
+    col_idx_[dir].init(total);
+    pre_idx_[dir].init(total);
+    for (auto& idx : closed_idx_[dir]) idx.init(total);
+    for (unsigned flat = 0; flat < total; ++flat) sync_indexes(dir, flat);
+  }
+  next_event_valid_ = false;
+}
+
 }  // namespace secddr::dram

@@ -21,6 +21,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/types.h"
 #include "dram/address.h"
 #include "dram/bank.h"
@@ -190,6 +191,16 @@ class Controller {
 
   /// Installs (or clears, with nullptr) the command-stream tap.
   void set_command_observer(CommandObserver* obs) { observer_ = obs; }
+
+  /// Checkpoint hooks: the full scheduler state (bank timing, rank
+  /// refresh/ACT windows, per-bank FIFOs, in-flight reads, undrained
+  /// completions, bus history, stats). The candidate indexes are rebuilt
+  /// on load (their order is behavior-neutral: every selection is a
+  /// strict min over seq/bounds) and the next-event memo is invalidated;
+  /// `Request::d` is recomputed from the address mapping. load() throws
+  /// std::runtime_error on a geometry mismatch.
+  void save(serial::Sink& s) const;
+  void load(serial::Source& s);
 
  private:
   struct InflightRead {

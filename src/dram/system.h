@@ -66,6 +66,12 @@ class DramSystem {
   /// Converts a memory-clock cycle count to core cycles (rounding up).
   Cycle mem_to_core(Cycle mem_cycles) const;
 
+  /// Checkpoint hooks: controller state + both clock domains (including
+  /// the rational accumulator), the event-gate backoff, and the
+  /// core-domain completion buffer.
+  void save(serial::Sink& s) const;
+  void load(serial::Source& s);
+
   // --- lookahead-window queries (epoch-decoupled execution) -----------
   /// Number of core ticks from now until the one that executes memory
   /// cycle `mem_cycle` (>= 1; the current partial core tick counts).

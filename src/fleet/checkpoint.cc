@@ -1,0 +1,339 @@
+#include "fleet/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/trace_codec.h"
+
+namespace secddr::fleet::checkpoint {
+
+namespace {
+
+using sim::trace_codec::crc32;
+using sim::trace_codec::get_u32;
+using sim::trace_codec::get_u64;
+using sim::trace_codec::put_u32;
+using sim::trace_codec::put_u64;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(std::uint64_t config_hash,
+                                 const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size() +
+              kBlockHeaderBytes * (payload.size() / kBlockBytes + 2) +
+              kFooterTotalBytes);
+  out.resize(kHeaderBytes);
+  std::memcpy(out.data(), kMagic, 8);
+  put_u32(out.data() + 8, kVersion);
+  put_u32(out.data() + 12, 0);
+  put_u64(out.data() + 16, config_hash);
+  put_u32(out.data() + 24, 0);
+  put_u32(out.data() + 28, crc32(out.data(), 28));
+
+  std::uint32_t index = 0;
+  for (std::size_t off = 0; off < payload.size(); off += kBlockBytes) {
+    const std::size_t n = std::min(kBlockBytes, payload.size() - off);
+    std::uint8_t hdr[kBlockHeaderBytes];
+    put_u32(hdr, static_cast<std::uint32_t>(n));
+    put_u32(hdr + 4, index++);
+    put_u32(hdr + 8, crc32(payload.data() + off, n));
+    out.insert(out.end(), hdr, hdr + kBlockHeaderBytes);
+    out.insert(out.end(), payload.begin() + static_cast<std::ptrdiff_t>(off),
+               payload.begin() + static_cast<std::ptrdiff_t>(off + n));
+  }
+
+  std::uint8_t total[kFooterTotalBytes];
+  put_u64(total, payload.size());
+  std::uint8_t foot[kBlockHeaderBytes];
+  put_u32(foot, 0);
+  put_u32(foot + 4, 0);
+  put_u32(foot + 8, crc32(total, kFooterTotalBytes));
+  out.insert(out.end(), foot, foot + kBlockHeaderBytes);
+  out.insert(out.end(), total, total + kFooterTotalBytes);
+  return out;
+}
+
+std::vector<std::uint8_t> decode(const std::uint8_t* data, std::size_t n,
+                                 const std::string& path,
+                                 std::uint64_t* config_hash) {
+  if (n < kHeaderBytes)
+    throw CheckpointFormatError(path, 0, "truncated header");
+  if (std::memcmp(data, kMagic, 8) != 0)
+    throw CheckpointFormatError(path, 0, "bad magic");
+  if (get_u32(data + 28) != crc32(data, 28))
+    throw CheckpointFormatError(path, 28, "header checksum mismatch");
+  const std::uint32_t version = get_u32(data + 8);
+  if (version != kVersion)
+    throw CheckpointFormatError(
+        path, 8, "unsupported version " + std::to_string(version));
+  if (config_hash) *config_hash = get_u64(data + 16);
+
+  std::vector<std::uint8_t> payload;
+  std::size_t off = kHeaderBytes;
+  std::uint32_t expect_index = 0;
+  for (;;) {
+    if (n - off < kBlockHeaderBytes)
+      throw CheckpointFormatError(path, off, "truncated block header");
+    const std::uint32_t payload_bytes = get_u32(data + off);
+    if (payload_bytes == 0) break;  // footer
+    if (payload_bytes > kMaxPayloadBytes)
+      throw CheckpointFormatError(path, off, "oversized block");
+    const std::uint32_t index = get_u32(data + off + 4);
+    if (index != expect_index)
+      throw CheckpointFormatError(path, off + 4, "block index mismatch");
+    ++expect_index;
+    const std::uint32_t payload_crc = get_u32(data + off + 8);
+    if (n - off - kBlockHeaderBytes < payload_bytes)
+      throw CheckpointFormatError(path, off, "truncated block payload");
+    const std::uint8_t* body = data + off + kBlockHeaderBytes;
+    if (crc32(body, payload_bytes) != payload_crc)
+      throw CheckpointFormatError(path, off + 8, "block checksum mismatch");
+    payload.insert(payload.end(), body, body + payload_bytes);
+    off += kBlockHeaderBytes + payload_bytes;
+  }
+  // Footer: payload_bytes == 0 already consumed conceptually.
+  if (get_u32(data + off + 4) != 0)
+    throw CheckpointFormatError(path, off + 4, "malformed footer");
+  if (n - off < kBlockHeaderBytes + kFooterTotalBytes)
+    throw CheckpointFormatError(path, off, "truncated footer");
+  const std::uint8_t* total_field = data + off + kBlockHeaderBytes;
+  if (crc32(total_field, kFooterTotalBytes) != get_u32(data + off + 8))
+    throw CheckpointFormatError(path, off + 8, "footer checksum mismatch");
+  if (get_u64(total_field) != payload.size())
+    throw CheckpointFormatError(path, off + kBlockHeaderBytes,
+                                "footer total disagrees with blocks");
+  if (off + kBlockHeaderBytes + kFooterTotalBytes != n)
+    throw CheckpointFormatError(path, off + kBlockHeaderBytes +
+                                          kFooterTotalBytes,
+                                "trailing bytes after footer");
+  return payload;
+}
+
+void write_file(const std::string& path, std::uint64_t config_hash,
+                const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> bytes = encode(config_hash, payload);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw std::runtime_error(tmp + ": cannot create checkpoint");
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error(tmp + ": checkpoint write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error(path + ": checkpoint rename failed");
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path,
+                                    std::uint64_t* config_hash) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error(path + ": cannot open checkpoint");
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + got);
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) throw std::runtime_error(path + ": checkpoint read failed");
+  return decode(bytes.data(), bytes.size(), path, config_hash);
+}
+
+std::vector<std::uint8_t> encode_system(const sim::System& sys) {
+  serial::Sink s;
+  sys.save(s);
+  return encode(sys.config_hash(), s.take());
+}
+
+void decode_system(sim::System& sys, const std::uint8_t* data, std::size_t n,
+                   const std::string& path) {
+  std::uint64_t hash = 0;
+  const std::vector<std::uint8_t> payload = decode(data, n, path, &hash);
+  if (hash != sys.config_hash())
+    throw CheckpointFormatError(path, 16,
+                                "checkpoint was produced by a different "
+                                "simulation configuration");
+  serial::Source src(payload);
+  try {
+    sys.load(src);
+  } catch (const std::runtime_error& e) {
+    throw CheckpointFormatError(
+        path, kHeaderBytes + (payload.size() - src.remaining()), e.what());
+  }
+  if (!src.done())
+    throw CheckpointFormatError(path, kHeaderBytes + payload.size(),
+                                "trailing bytes in system state");
+}
+
+void save_system_file(const sim::System& sys, const std::string& path) {
+  serial::Sink s;
+  sys.save(s);
+  write_file(path, sys.config_hash(), s.take());
+}
+
+void restore_system_file(sim::System& sys, const std::string& path) {
+  std::uint64_t hash = 0;
+  const std::vector<std::uint8_t> payload = read_file(path, &hash);
+  if (hash != sys.config_hash())
+    throw CheckpointFormatError(path, 16,
+                                "checkpoint was produced by a different "
+                                "simulation configuration");
+  serial::Source src(payload);
+  try {
+    sys.load(src);
+  } catch (const std::runtime_error& e) {
+    throw CheckpointFormatError(
+        path, kHeaderBytes + (payload.size() - src.remaining()), e.what());
+  }
+  if (!src.done())
+    throw CheckpointFormatError(path, kHeaderBytes + payload.size(),
+                                "trailing bytes in system state");
+}
+
+namespace {
+
+void save_core_stats(serial::Sink& s, const sim::CoreStats& c) {
+  s.u64(c.instructions);
+  s.u64(c.cycles);
+  s.u64(c.loads);
+  s.u64(c.stores);
+  s.u64(c.load_stall_cycles);
+}
+
+sim::CoreStats load_core_stats(serial::Source& s) {
+  sim::CoreStats c;
+  c.instructions = s.u64();
+  c.cycles = s.u64();
+  c.loads = s.u64();
+  c.stores = s.u64();
+  c.load_stall_cycles = s.u64();
+  return c;
+}
+
+void save_engine_stats(serial::Sink& s, const secmem::EngineStats& e) {
+  s.u64(e.data_reads);
+  s.u64(e.data_writes);
+  s.u64(e.counter_fetches);
+  s.u64(e.mac_line_fetches);
+  s.u64(e.tree_node_fetches);
+  s.u64(e.meta_writebacks);
+  s.u64(e.reads_with_tree_walk);
+}
+
+secmem::EngineStats load_engine_stats(serial::Source& s) {
+  secmem::EngineStats e;
+  e.data_reads = s.u64();
+  e.data_writes = s.u64();
+  e.counter_fetches = s.u64();
+  e.mac_line_fetches = s.u64();
+  e.tree_node_fetches = s.u64();
+  e.meta_writebacks = s.u64();
+  e.reads_with_tree_walk = s.u64();
+  return e;
+}
+
+void save_dram_stats(serial::Sink& s, const dram::ControllerStats& d) {
+  s.u64(d.reads_enqueued);
+  s.u64(d.writes_enqueued);
+  s.u64(d.reads_completed);
+  s.u64(d.writes_completed);
+  s.u64(d.row_hits);
+  s.u64(d.row_misses);
+  s.u64(d.activates);
+  s.u64(d.precharges);
+  s.u64(d.refreshes);
+  s.u64(d.write_forwards);
+  s.u64(d.data_bus_busy_cycles);
+  s.u64(d.total_read_latency);
+}
+
+dram::ControllerStats load_dram_stats(serial::Source& s) {
+  dram::ControllerStats d;
+  d.reads_enqueued = s.u64();
+  d.writes_enqueued = s.u64();
+  d.reads_completed = s.u64();
+  d.writes_completed = s.u64();
+  d.row_hits = s.u64();
+  d.row_misses = s.u64();
+  d.activates = s.u64();
+  d.precharges = s.u64();
+  d.refreshes = s.u64();
+  d.write_forwards = s.u64();
+  d.data_bus_busy_cycles = s.u64();
+  d.total_read_latency = s.u64();
+  return d;
+}
+
+}  // namespace
+
+void save_result(serial::Sink& s, const sim::RunResult& r) {
+  s.u64(r.cores.size());
+  for (const sim::CoreStats& c : r.cores) save_core_stats(s, c);
+  s.u64(r.cycles);
+  s.f64(r.total_ipc);
+  s.f64(r.llc_mpki);
+  s.f64(r.metadata_miss_rate);
+  s.u64(r.metadata_accesses);
+  s.u64(r.mem.l1_accesses);
+  s.u64(r.mem.l1_misses);
+  s.u64(r.mem.llc_demand_accesses);
+  s.u64(r.mem.llc_demand_misses);
+  s.u64(r.mem.llc_writebacks);
+  s.u64(r.mem.prefetch_fills);
+  s.u64(r.mem.llc_demand_misses_per_core.size());
+  for (std::uint64_t v : r.mem.llc_demand_misses_per_core) s.u64(v);
+  save_engine_stats(s, r.engine);
+  save_dram_stats(s, r.dram);
+  s.u64(r.engine_per_channel.size());
+  for (const secmem::EngineStats& e : r.engine_per_channel)
+    save_engine_stats(s, e);
+  s.u64(r.dram_per_channel.size());
+  for (const dram::ControllerStats& d : r.dram_per_channel)
+    save_dram_stats(s, d);
+  s.b(r.hit_cycle_limit);
+}
+
+sim::RunResult load_result(serial::Source& s) {
+  sim::RunResult r;
+  const std::size_t cores = s.count(40);
+  for (std::size_t i = 0; i < cores; ++i)
+    r.cores.push_back(load_core_stats(s));
+  r.cycles = s.u64();
+  r.total_ipc = s.f64();
+  r.llc_mpki = s.f64();
+  r.metadata_miss_rate = s.f64();
+  r.metadata_accesses = s.u64();
+  r.mem.l1_accesses = s.u64();
+  r.mem.l1_misses = s.u64();
+  r.mem.llc_demand_accesses = s.u64();
+  r.mem.llc_demand_misses = s.u64();
+  r.mem.llc_writebacks = s.u64();
+  r.mem.prefetch_fills = s.u64();
+  const std::size_t per_core = s.count(8);
+  for (std::size_t i = 0; i < per_core; ++i)
+    r.mem.llc_demand_misses_per_core.push_back(s.u64());
+  r.engine = load_engine_stats(s);
+  r.dram = load_dram_stats(s);
+  const std::size_t engines = s.count(56);
+  for (std::size_t i = 0; i < engines; ++i)
+    r.engine_per_channel.push_back(load_engine_stats(s));
+  const std::size_t drams = s.count(96);
+  for (std::size_t i = 0; i < drams; ++i)
+    r.dram_per_channel.push_back(load_dram_stats(s));
+  r.hit_cycle_limit = s.b();
+  return r;
+}
+
+std::vector<std::uint8_t> encode_result(const sim::RunResult& r) {
+  serial::Sink s;
+  save_result(s, r);
+  return s.take();
+}
+
+}  // namespace secddr::fleet::checkpoint

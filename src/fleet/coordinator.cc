@@ -1,0 +1,310 @@
+#include "fleet/coordinator.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "fleet/checkpoint.h"
+#include "fleet/shard.h"
+#include "sim/trace_codec.h"
+
+namespace secddr::fleet {
+
+namespace {
+
+using sim::trace_codec::crc32;
+
+// Worker -> coordinator message types. Every message travels as one
+// frame: u32 body length, u32 CRC-32 of the body, body. Each worker owns
+// a private pipe (single writer), so frames never interleave; the CRC
+// guards the torn tail a SIGKILL mid-write can leave.
+enum : std::uint8_t {
+  kMsgCheckpoint = 1,  ///< node u32, phase cycle u64
+  kMsgResult = 2,      ///< node u32, serialized RunResult
+  kMsgDone = 3,        ///< shard completed every node
+};
+
+void write_frame(int fd, const std::vector<std::uint8_t>& body) {
+  std::uint8_t hdr[8];
+  sim::trace_codec::put_u32(hdr, static_cast<std::uint32_t>(body.size()));
+  sim::trace_codec::put_u32(hdr + 4, crc32(body.data(), body.size()));
+  std::vector<std::uint8_t> frame(hdr, hdr + 8);
+  frame.insert(frame.end(), body.begin(), body.end());
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // coordinator went away; the worker just finishes quietly
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Worker main: drive the shard, stream events, then report done.
+[[noreturn]] void worker_main(const std::vector<NodeConfig>& configs,
+                              const std::vector<unsigned>& ids,
+                              const FleetOptions& opt, int fd) {
+  try {
+    ShardDriver driver(configs, ids, opt.checkpoint_every, opt.state_dir);
+    ShardEvents events;
+    events.on_checkpoint = [fd](unsigned node, Cycle cycle,
+                                const std::string&) {
+      serial::Sink s;
+      s.u8(kMsgCheckpoint);
+      s.u32(node);
+      s.u64(cycle);
+      write_frame(fd, s.data());
+    };
+    events.on_result = [fd](unsigned node, const sim::RunResult& result) {
+      serial::Sink s;
+      s.u8(kMsgResult);
+      s.u32(node);
+      checkpoint::save_result(s, result);
+      write_frame(fd, s.data());
+    };
+    driver.run(events);
+    serial::Sink s;
+    s.u8(kMsgDone);
+    write_frame(fd, s.data());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet worker: %s\n", e.what());
+    ::_exit(1);
+  }
+  ::_exit(0);
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int fd = -1;  ///< read end of the worker's pipe
+  std::vector<unsigned> node_ids;
+  std::vector<std::uint8_t> buf;  ///< unparsed frame bytes
+  bool done_seen = false;
+  bool alive = false;
+};
+
+}  // namespace
+
+void finalize_aggregates(FleetResult& r) {
+  r.total_ipc = 0.0;
+  r.instructions = 0;
+  r.llc_demand_misses = 0;
+  r.dram_reads_completed = 0;
+  r.dram_writes_completed = 0;
+  r.engine_meta_reads = 0;
+  r.engine_meta_writebacks = 0;
+  r.nodes_hit_cycle_limit = 0;
+  r.ipc_hist.assign(kFleetHistBuckets, 0);
+  r.latency_hist.assign(kFleetHistBuckets, 0);
+  for (const sim::RunResult& n : r.per_node) {
+    r.total_ipc += n.total_ipc;
+    for (const sim::CoreStats& c : n.cores) r.instructions += c.instructions;
+    r.llc_demand_misses += n.mem.llc_demand_misses;
+    r.dram_reads_completed += n.dram.reads_completed;
+    r.dram_writes_completed += n.dram.writes_completed;
+    r.engine_meta_reads += n.engine.meta_reads();
+    r.engine_meta_writebacks += n.engine.meta_writebacks;
+    if (n.hit_cycle_limit) ++r.nodes_hit_cycle_limit;
+    auto bucket = [](double v, double width) {
+      const double b = v / width;
+      const unsigned i = b < 0 ? 0u : static_cast<unsigned>(b);
+      return i < kFleetHistBuckets ? i : kFleetHistBuckets - 1;
+    };
+    ++r.ipc_hist[bucket(n.total_ipc, kIpcBucketWidth)];
+    ++r.latency_hist[bucket(n.dram.avg_read_latency(), kLatencyBucketWidth)];
+  }
+}
+
+std::vector<std::uint8_t> encode_fleet(const FleetResult& r) {
+  serial::Sink s;
+  s.u64(r.per_node.size());
+  for (std::size_t i = 0; i < r.per_node.size(); ++i) {
+    const std::string& name = r.names[i];
+    s.u64(name.size());
+    s.bytes(name.data(), name.size());
+    checkpoint::save_result(s, r.per_node[i]);
+  }
+  s.f64(r.total_ipc);
+  s.u64(r.instructions);
+  s.u64(r.llc_demand_misses);
+  s.u64(r.dram_reads_completed);
+  s.u64(r.dram_writes_completed);
+  s.u64(r.engine_meta_reads);
+  s.u64(r.engine_meta_writebacks);
+  s.u32(r.nodes_hit_cycle_limit);
+  for (std::uint64_t v : r.ipc_hist) s.u64(v);
+  for (std::uint64_t v : r.latency_hist) s.u64(v);
+  return s.take();
+}
+
+FleetResult run_fleet(const std::vector<NodeConfig>& nodes,
+                      const FleetOptions& options) {
+  if (nodes.empty()) throw std::runtime_error("fleet has no nodes");
+  const unsigned workers = std::max(1u, options.workers);
+  if (::mkdir(options.state_dir.c_str(), 0777) != 0 && errno != EEXIST)
+    throw std::runtime_error(options.state_dir +
+                             ": cannot create fleet state directory");
+
+  FleetResult result;
+  result.names.reserve(nodes.size());
+  for (const NodeConfig& n : nodes) result.names.push_back(n.name);
+  result.per_node.resize(nodes.size());
+  std::vector<bool> have_result(nodes.size(), false);
+
+  std::vector<Worker> fleet(workers);
+  for (unsigned i = 0; i < nodes.size(); ++i)
+    fleet[i % workers].node_ids.push_back(i);
+
+  auto spawn = [&](Worker& w) {
+    // Respawns drop the nodes whose results already arrived.
+    std::vector<NodeConfig> configs;
+    std::vector<unsigned> ids;
+    for (unsigned id : w.node_ids)
+      if (!have_result[id]) {
+        configs.push_back(nodes[id]);
+        ids.push_back(id);
+      }
+    if (configs.empty()) return;
+    int fds[2];
+    if (::pipe(fds) != 0) throw std::runtime_error("fleet: pipe() failed");
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("fleet: fork() failed");
+    if (pid == 0) {
+      ::close(fds[0]);
+      worker_main(configs, ids, options, fds[1]);  // never returns
+    }
+    ::close(fds[1]);
+    w.pid = pid;
+    w.fd = fds[0];
+    w.buf.clear();
+    w.done_seen = false;
+    w.alive = true;
+  };
+
+  for (Worker& w : fleet) spawn(w);
+
+  bool killed_once = false;
+  unsigned respawns = 0;
+
+  auto handle_frame = [&](Worker& w, const std::uint8_t* body,
+                          std::size_t n) {
+    serial::Source s(body, n);
+    const std::uint8_t type = s.u8();
+    switch (type) {
+      case kMsgCheckpoint: {
+        (void)s.u32();  // node id
+        (void)s.u64();  // phase cycle
+        if (options.kill_after_first_checkpoint && !killed_once) {
+          killed_once = true;
+          ::kill(w.pid, SIGKILL);
+        }
+        break;
+      }
+      case kMsgResult: {
+        const std::uint32_t id = s.u32();
+        if (id >= nodes.size())
+          throw std::runtime_error("fleet: result for unknown node");
+        result.per_node[id] = checkpoint::load_result(s);
+        have_result[id] = true;
+        break;
+      }
+      case kMsgDone:
+        w.done_seen = true;
+        break;
+      default:
+        throw std::runtime_error("fleet: unknown worker message");
+    }
+  };
+
+  auto drain_buffer = [&](Worker& w) {
+    std::size_t off = 0;
+    while (w.buf.size() - off >= 8) {
+      const std::uint32_t len = sim::trace_codec::get_u32(w.buf.data() + off);
+      if (w.buf.size() - off - 8 < len) break;  // incomplete frame
+      const std::uint8_t* body = w.buf.data() + off + 8;
+      if (crc32(body, len) != sim::trace_codec::get_u32(w.buf.data() + off + 4))
+        throw std::runtime_error("fleet: corrupt worker frame");
+      handle_frame(w, body, len);
+      off += 8 + len;
+    }
+    w.buf.erase(w.buf.begin(), w.buf.begin() + static_cast<std::ptrdiff_t>(off));
+  };
+
+  auto all_results = [&] {
+    for (bool b : have_result)
+      if (!b) return false;
+    return true;
+  };
+
+  while (!all_results()) {
+    std::vector<pollfd> pfds;
+    std::vector<Worker*> owners;
+    for (Worker& w : fleet)
+      if (w.alive) {
+        pfds.push_back({w.fd, POLLIN, 0});
+        owners.push_back(&w);
+      }
+    if (pfds.empty())
+      throw std::runtime_error("fleet: results missing with no live worker");
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("fleet: poll() failed");
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Worker& w = *owners[i];
+      std::uint8_t chunk[1 << 16];
+      const ssize_t n = ::read(w.fd, chunk, sizeof chunk);
+      if (n > 0) {
+        w.buf.insert(w.buf.end(), chunk, chunk + n);
+        drain_buffer(w);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      // EOF: the worker exited (a torn trailing frame, if any, stays
+      // unparsed in the buffer and is discarded).
+      ::close(w.fd);
+      w.alive = false;
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      const bool unfinished = [&] {
+        for (unsigned id : w.node_ids)
+          if (!have_result[id]) return true;
+        return false;
+      }();
+      if (!unfinished) continue;
+      if (WIFEXITED(status))
+        throw std::runtime_error(
+            w.done_seen ? "fleet: worker reported done with results missing"
+                        : "fleet: worker failed (exit " +
+                              std::to_string(WEXITSTATUS(status)) + ")");
+      // Killed by a signal: resume the missing nodes from their durable
+      // checkpoints in a fresh worker.
+      if (++respawns > options.max_respawns)
+        throw std::runtime_error("fleet: respawn budget exhausted");
+      spawn(w);
+    }
+  }
+
+  // Reap the stragglers (workers that still owe only their done marker).
+  for (Worker& w : fleet)
+    if (w.alive) {
+      ::close(w.fd);
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.alive = false;
+    }
+
+  result.respawns = respawns;
+  finalize_aggregates(result);
+  return result;
+}
+
+}  // namespace secddr::fleet

@@ -1,0 +1,84 @@
+// Fleet coordinator: forks worker processes, assigns each a shard of
+// nodes, collects per-node results over pipes, and aggregates fleet
+// statistics — with crash recovery.
+//
+// Workers checkpoint every node durably (ShardDriver) and report
+// progress over a private pipe in CRC-framed messages. When a worker
+// dies (crash or kill -9), the coordinator reaps it and respawns a
+// replacement for the nodes whose results are still missing; the
+// replacement resumes each from its last checkpoint file. Because
+// slicing and checkpoint/restore are bit-identical to uninterrupted
+// execution, the final aggregates match an undisturbed run at any
+// worker count — the fleetd smoke test asserts exactly that, including
+// across a forced mid-run SIGKILL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/node.h"
+
+namespace secddr::fleet {
+
+struct FleetOptions {
+  /// Worker processes; node i is assigned to worker i % workers.
+  unsigned workers = 1;
+  /// Cycles each node executes between durable checkpoints.
+  Cycle checkpoint_every = 25'000;
+  /// Directory for node_<i>.ckpt files (created if missing). Stale
+  /// checkpoints from a previous fleet are resumed, so point different
+  /// experiments at different directories (or clean between runs).
+  std::string state_dir = "fleet_state";
+  /// Crash-recovery test hook: SIGKILL the first worker that reports a
+  /// checkpoint (once), forcing the respawn + resume path mid-run.
+  bool kill_after_first_checkpoint = false;
+  /// Abnormal-death respawn budget; exceeding it aborts the fleet run
+  /// (a shard that keeps crashing would otherwise loop forever).
+  unsigned max_respawns = 8;
+};
+
+/// Fixed histogram geometry for the fleet aggregates (bucket i counts
+/// nodes with value in [i*width, (i+1)*width); the last bucket absorbs
+/// everything above).
+inline constexpr unsigned kFleetHistBuckets = 16;
+inline constexpr double kIpcBucketWidth = 0.5;      ///< node total IPC
+inline constexpr double kLatencyBucketWidth = 50.0; ///< avg read latency
+
+struct FleetResult {
+  std::vector<std::string> names;          ///< index = node id
+  std::vector<sim::RunResult> per_node;    ///< index = node id
+  unsigned respawns = 0;  ///< workers respawned after abnormal death
+
+  // Aggregates, derived from per_node in fixed node order (independent
+  // of worker count, scheduling, and crash history).
+  double total_ipc = 0.0;                      ///< sum over nodes
+  std::uint64_t instructions = 0;              ///< sum over nodes+cores
+  std::uint64_t llc_demand_misses = 0;
+  std::uint64_t dram_reads_completed = 0;
+  std::uint64_t dram_writes_completed = 0;
+  std::uint64_t engine_meta_reads = 0;
+  std::uint64_t engine_meta_writebacks = 0;
+  unsigned nodes_hit_cycle_limit = 0;
+  std::vector<std::uint64_t> ipc_hist;      ///< kFleetHistBuckets entries
+  std::vector<std::uint64_t> latency_hist;  ///< kFleetHistBuckets entries
+};
+
+/// Recomputes the aggregate fields from per_node (names/per_node must be
+/// fully populated).
+void finalize_aggregates(FleetResult& r);
+
+/// Canonical byte form of everything determinism guarantees: names,
+/// per-node RunResults, and the derived aggregates — but NOT the crash
+/// history (respawns), which legitimately differs between an interrupted
+/// and an undisturbed run. Byte equality here is the fleet's
+/// bit-identity gate.
+std::vector<std::uint8_t> encode_fleet(const FleetResult& r);
+
+/// Runs the whole fleet to completion (see file comment). Throws
+/// std::runtime_error on protocol corruption, worker setup failure, or
+/// an exhausted respawn budget.
+FleetResult run_fleet(const std::vector<NodeConfig>& nodes,
+                      const FleetOptions& options);
+
+}  // namespace secddr::fleet

@@ -1,0 +1,65 @@
+#include "fleet/node.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "fleet/checkpoint.h"
+#include "sim/stream_trace.h"
+#include "workloads/generator.h"
+#include "workloads/workload.h"
+
+namespace secddr::fleet {
+
+Node::Node(const NodeConfig& config) : config_(config) { rebuild(); }
+
+void Node::rebuild() {
+  system_.reset();  // drop trace references before the sources go away
+  traces_.clear();
+  const unsigned cores = config_.system.mem.cores;
+  if (!config_.trace_files.empty()) {
+    if (config_.trace_files.size() != cores)
+      throw std::runtime_error(config_.name +
+                               ": trace_files must supply one trace per core");
+    for (const std::string& path : config_.trace_files)
+      traces_.push_back(sim::open_trace(path, config_.loop_traces));
+  } else {
+    const workloads::WorkloadDesc* desc = workloads::find(config_.workload);
+    if (!desc)
+      throw std::runtime_error(config_.name + ": unknown workload '" +
+                               config_.workload + "'");
+    for (unsigned c = 0; c < cores; ++c)
+      traces_.push_back(std::make_unique<workloads::SyntheticTrace>(*desc, c));
+  }
+  std::vector<sim::TraceSource*> raw;
+  raw.reserve(traces_.size());
+  for (auto& t : traces_) raw.push_back(t.get());
+  system_ = std::make_unique<sim::System>(config_.system, std::move(raw));
+  system_->begin(config_.instructions, config_.max_cycles, config_.warmup);
+}
+
+std::vector<std::uint8_t> Node::checkpoint() const {
+  return checkpoint::encode_system(*system_);
+}
+
+void Node::checkpoint_to_file(const std::string& path) const {
+  serial::Sink s;
+  system_->save(s);
+  checkpoint::write_file(path, system_->config_hash(), s.take());
+}
+
+void Node::restore(const std::uint8_t* data, std::size_t n,
+                   const std::string& path_label) {
+  rebuild();
+  checkpoint::decode_system(*system_, data, n, path_label);
+}
+
+bool Node::restore_from_file(const std::string& path) {
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (!probe) return false;
+  std::fclose(probe);
+  rebuild();
+  checkpoint::restore_system_file(*system_, path);
+  return true;
+}
+
+}  // namespace secddr::fleet

@@ -1,0 +1,73 @@
+// One simulated node of the fleet: a System plus the trace sources that
+// feed it, buildable from a plain config in any process.
+//
+// A Node owns everything a restore needs to reconstruct: restore()
+// rebuilds the traces and the System from the config, then loads the
+// checkpoint payload — so a worker respawned after a crash (a fresh
+// process) resumes bit-identically from the last durable checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace secddr::fleet {
+
+/// Everything needed to (re)build one node. Traces come either from
+/// binary/text trace files (one per core, PR 5 wire format) or, when
+/// `trace_files` is empty, from the named synthetic workload of the
+/// evaluation suite (deterministic per (workload, core) — the same spec
+/// rebuilds the identical stream in any process).
+struct NodeConfig {
+  std::string name;
+  sim::SystemConfig system;
+  std::vector<std::string> trace_files;  ///< one per core when non-empty
+  bool loop_traces = false;
+  std::string workload;  ///< workloads::suite() name when trace_files empty
+  std::uint64_t instructions = 100'000;
+  std::uint64_t warmup = 0;
+  Cycle max_cycles = 2'000'000'000;
+};
+
+class Node {
+ public:
+  /// Builds the traces + System and arms the run (System::begin).
+  /// Throws std::runtime_error on an unknown workload or unreadable
+  /// trace file.
+  explicit Node(const NodeConfig& config);
+
+  /// Executes at most `budget` cycles; false once the run completed.
+  bool step(Cycle budget) { return system_->step(budget); }
+  bool finished() const { return !system_->running(); }
+  sim::RunResult result() const { return system_->result(); }
+  const NodeConfig& config() const { return config_; }
+  sim::System& system() { return *system_; }
+
+  /// Serialized checkpoint (container format, see fleet/checkpoint.h).
+  std::vector<std::uint8_t> checkpoint() const;
+  /// Atomically writes checkpoint() to `path`.
+  void checkpoint_to_file(const std::string& path) const;
+  /// Rebuilds traces + System from the config, then loads the
+  /// checkpoint. Valid at any point in the node's life (the rebuild
+  /// repositions every trace at its first record, which System::load
+  /// requires). Throws CheckpointFormatError on corruption or a config
+  /// mismatch.
+  void restore(const std::uint8_t* data, std::size_t n,
+               const std::string& path_label);
+  /// read + restore; returns false (leaving the node untouched) when the
+  /// file does not exist. Corrupt files still throw — a present but
+  /// unreadable checkpoint must never silently restart the node.
+  bool restore_from_file(const std::string& path);
+
+ private:
+  void rebuild();
+
+  NodeConfig config_;
+  std::vector<std::unique_ptr<sim::TraceSource>> traces_;
+  std::unique_ptr<sim::System> system_;
+};
+
+}  // namespace secddr::fleet

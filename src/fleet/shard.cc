@@ -1,0 +1,57 @@
+#include "fleet/shard.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace secddr::fleet {
+
+ShardDriver::ShardDriver(std::vector<NodeConfig> configs,
+                         std::vector<unsigned> ids, Cycle checkpoint_every,
+                         std::string state_dir)
+    : configs_(std::move(configs)),
+      ids_(std::move(ids)),
+      checkpoint_every_(checkpoint_every == 0 ? 1 : checkpoint_every),
+      state_dir_(std::move(state_dir)) {
+  assert(configs_.size() == ids_.size());
+}
+
+std::string ShardDriver::checkpoint_path(const std::string& state_dir,
+                                         unsigned node_id) {
+  return state_dir + "/node_" + std::to_string(node_id) + ".ckpt";
+}
+
+void ShardDriver::run(const ShardEvents& events) {
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(configs_.size());
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    auto node = std::make_unique<Node>(configs_[i]);
+    node->restore_from_file(checkpoint_path(state_dir_, ids_[i]));
+    nodes.push_back(std::move(node));
+  }
+
+  std::vector<bool> reported(nodes.size(), false);
+  bool any_running = true;
+  while (any_running) {
+    any_running = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (reported[i]) continue;
+      Node& node = *nodes[i];
+      const bool more = node.finished() ? false : node.step(checkpoint_every_);
+      if (more) {
+        // Durable first, then announce: a crash between the two only
+        // costs the announcement, never the state.
+        const std::string path = checkpoint_path(state_dir_, ids_[i]);
+        node.checkpoint_to_file(path);
+        if (events.on_checkpoint)
+          events.on_checkpoint(ids_[i], node.system().phase_cycle(), path);
+        any_running = true;
+      } else {
+        reported[i] = true;
+        if (events.on_result) events.on_result(ids_[i], node.result());
+      }
+    }
+  }
+}
+
+}  // namespace secddr::fleet

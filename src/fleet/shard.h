@@ -1,0 +1,55 @@
+// Shard driver: runs a set of nodes inside one worker process,
+// round-robin in bounded cycle slices, writing a durable checkpoint per
+// node at every slice boundary.
+//
+// Slicing is bit-identical to running each node to completion in one
+// call (System::step's guarantee), so a fleet's results do not depend on
+// how nodes are sharded, interleaved, or how often they checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fleet/node.h"
+
+namespace secddr::fleet {
+
+/// Callbacks the driver raises as it makes progress. `node` is the
+/// node's global fleet id.
+struct ShardEvents {
+  /// A durable checkpoint for `node` was just written to `path`
+  /// (phase-relative cycle `cycle`).
+  std::function<void(unsigned node, Cycle cycle, const std::string& path)>
+      on_checkpoint;
+  /// `node` finished; `result` is its final RunResult.
+  std::function<void(unsigned node, const sim::RunResult& result)> on_result;
+};
+
+class ShardDriver {
+ public:
+  /// `ids[i]` is the global fleet id of `configs[i]`. Checkpoints land
+  /// in `state_dir/node_<id>.ckpt` every `checkpoint_every` executed
+  /// cycles per node (also at the warmup boundary — System::step returns
+  /// there, capturing the exact warm-start state).
+  ShardDriver(std::vector<NodeConfig> configs, std::vector<unsigned> ids,
+              Cycle checkpoint_every, std::string state_dir);
+
+  /// Path of a node's durable checkpoint.
+  static std::string checkpoint_path(const std::string& state_dir,
+                                     unsigned node_id);
+
+  /// Builds every node, resuming any with an existing checkpoint file,
+  /// then drives all of them to completion. Events fire as progress is
+  /// made; results are reported exactly once per node.
+  void run(const ShardEvents& events);
+
+ private:
+  std::vector<NodeConfig> configs_;
+  std::vector<unsigned> ids_;
+  Cycle checkpoint_every_;
+  std::string state_dir_;
+};
+
+}  // namespace secddr::fleet

@@ -1,7 +1,10 @@
 #include "fuzz/executor.h"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
+#include "common/serial.h"
 #include "fuzz/injector.h"
 #include "secmem/params.h"
 #include "sim/system.h"
@@ -64,6 +67,81 @@ sim::SystemConfig timing_config(const ExecutorOptions& opts) {
   return cfg;
 }
 
+// ---- Master-snapshot wire form (sorted keys => process-stable bytes) ----
+
+void save_u64_map(serial::Sink& s,
+                  const std::unordered_map<std::uint64_t, std::uint64_t>& m) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> kv(m.begin(), m.end());
+  std::sort(kv.begin(), kv.end());
+  s.u64(kv.size());
+  for (const auto& [k, v] : kv) {
+    s.u64(k);
+    s.u64(v);
+  }
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t> load_u64_map(
+    serial::Source& src) {
+  std::unordered_map<std::uint64_t, std::uint64_t> m;
+  const std::size_t n = src.count(16);
+  m.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = src.u64();
+    m[k] = src.u64();
+  }
+  return m;
+}
+
+void save_line_map(serial::Sink& s,
+                   const std::unordered_map<std::uint64_t, CacheLine>& m) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  s.u64(keys.size());
+  for (const std::uint64_t k : keys) {
+    s.u64(k);
+    const CacheLine& l = m.at(k);
+    s.bytes(l.bytes.data(), l.bytes.size());
+  }
+}
+
+std::unordered_map<std::uint64_t, CacheLine> load_line_map(
+    serial::Source& src) {
+  std::unordered_map<std::uint64_t, CacheLine> m;
+  const std::size_t n = src.count(8 + kLineSize);
+  m.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = src.u64();
+    CacheLine l;
+    src.bytes(l.bytes.data(), l.bytes.size());
+    m[k] = l;
+  }
+  return m;
+}
+
+void save_u64_vec(serial::Sink& s, const std::vector<std::uint64_t>& v) {
+  s.u64(v.size());
+  for (const std::uint64_t x : v) s.u64(x);
+}
+
+std::vector<std::uint64_t> load_u64_vec(serial::Source& src) {
+  std::vector<std::uint64_t> v(src.count(8));
+  for (std::uint64_t& x : v) x = src.u64();
+  return v;
+}
+
+void save_i64_vec(serial::Sink& s, const std::vector<std::int64_t>& v) {
+  s.u64(v.size());
+  for (const std::int64_t x : v) s.i64(x);
+}
+
+std::vector<std::int64_t> load_i64_vec(serial::Source& src) {
+  std::vector<std::int64_t> v(src.count(8));
+  for (std::int64_t& x : v) x = src.i64();
+  return v;
+}
+
 }  // namespace
 
 const char* to_string(Verdict v) {
@@ -113,6 +191,80 @@ Executor::Master& Executor::master(unsigned profile_id) {
     slot->pristine_ecc = slot->session->dimm().ecc_corrections();
   }
   return *slot;
+}
+
+std::vector<std::uint8_t> Executor::master_snapshot(unsigned profile) {
+  Master& m = master(profile);
+  const core::SecureMemorySession::Snapshot& snap = m.pristine;
+  serial::Sink s;
+  s.u64(snap.dimm.data.size());
+  for (const auto& rank : snap.dimm.data) save_line_map(s, rank);
+  s.u64(snap.dimm.macs.size());
+  for (const auto& rank : snap.dimm.macs) save_u64_map(s, rank);
+  save_u64_vec(s, snap.dimm.counters);
+  save_u64_vec(s, snap.dimm.cmd_counters);
+  save_i64_vec(s, snap.dimm.open_rows);
+  s.u64(snap.dimm.ecc_corrections);
+  save_u64_vec(s, snap.controller.counters);
+  save_u64_vec(s, snap.controller.cmd_counters);
+  save_i64_vec(s, snap.controller.open_row_mirror);
+  save_u64_map(s, snap.controller.line_counters);
+  s.u64(snap.controller.stats.reads);
+  s.u64(snap.controller.stats.writes);
+  s.u64(snap.controller.stats.activates);
+  s.u64(snap.controller.stats.mac_mismatches);
+  s.u64(snap.controller.stats.write_alerts);
+  s.u64(snap.controller.stats.dropped_responses);
+  s.u64(m.pristine_ecc);
+  return s.take();
+}
+
+void Executor::set_master_snapshot(unsigned profile, const std::uint8_t* data,
+                                   std::size_t n) {
+  // Attest (or reuse) the session first: the snapshot carries only the
+  // mutable channel state, never the fused keys.
+  Master& m = master(profile);
+  const std::size_t ranks = m.pristine.dimm.data.size();
+
+  serial::Source src(data, n);
+  core::SecureMemorySession::Snapshot snap;
+  const std::size_t data_ranks = src.count(8);
+  for (std::size_t i = 0; i < data_ranks; ++i)
+    snap.dimm.data.push_back(load_line_map(src));
+  const std::size_t mac_ranks = src.count(8);
+  for (std::size_t i = 0; i < mac_ranks; ++i)
+    snap.dimm.macs.push_back(load_u64_map(src));
+  snap.dimm.counters = load_u64_vec(src);
+  snap.dimm.cmd_counters = load_u64_vec(src);
+  snap.dimm.open_rows = load_i64_vec(src);
+  snap.dimm.ecc_corrections = src.u64();
+  snap.controller.counters = load_u64_vec(src);
+  snap.controller.cmd_counters = load_u64_vec(src);
+  snap.controller.open_row_mirror = load_i64_vec(src);
+  snap.controller.line_counters = load_u64_map(src);
+  snap.controller.stats.reads = src.u64();
+  snap.controller.stats.writes = src.u64();
+  snap.controller.stats.activates = src.u64();
+  snap.controller.stats.mac_mismatches = src.u64();
+  snap.controller.stats.write_alerts = src.u64();
+  snap.controller.stats.dropped_responses = src.u64();
+  const std::uint64_t pristine_ecc = src.u64();
+  if (!src.done())
+    throw std::runtime_error("master snapshot: trailing bytes");
+  if (snap.dimm.data.size() != ranks || snap.dimm.macs.size() != ranks ||
+      snap.dimm.counters.size() != ranks ||
+      snap.dimm.cmd_counters.size() != ranks ||
+      snap.dimm.open_rows.size() != m.pristine.dimm.open_rows.size() ||
+      snap.controller.counters.size() !=
+          m.pristine.controller.counters.size() ||
+      snap.controller.cmd_counters.size() !=
+          m.pristine.controller.cmd_counters.size() ||
+      snap.controller.open_row_mirror.size() !=
+          m.pristine.controller.open_row_mirror.size())
+    throw std::runtime_error(
+        "master snapshot: geometry disagrees with the attested session");
+  m.pristine = std::move(snap);
+  m.pristine_ecc = pristine_ecc;
 }
 
 Outcome Executor::run(const FuzzInput& in) {

@@ -89,6 +89,20 @@ class Executor {
   /// are folded into this range.
   static std::uint64_t functional_capacity();
 
+  /// Serializes the master session's pristine (post-attestation) snapshot
+  /// for `profile` — the state every run() resets to. Map keys are sorted
+  /// before encoding, so the bytes are deterministic across processes and
+  /// round-trip through the fleet checkpoint codec bit-exactly. Attests
+  /// the profile first if this executor has not touched it yet.
+  std::vector<std::uint8_t> master_snapshot(unsigned profile);
+  /// Replaces the profile's pristine snapshot with a previously exported
+  /// one (same profile, possibly a different process). Subsequent run()
+  /// calls reset the session to the imported state, so campaign
+  /// signatures match the exporting executor's bit-for-bit. Throws
+  /// std::runtime_error on a malformed or geometry-mismatched payload.
+  void set_master_snapshot(unsigned profile, const std::uint8_t* data,
+                           std::size_t n);
+
   const ExecutorOptions& options() const { return opts_; }
 
  private:

@@ -38,6 +38,18 @@ class MetadataCache {
 
   bool probe(Addr addr) const { return cache_.probe(addr); }
 
+  /// Checkpoint hooks: cache contents + demand stats.
+  void save(serial::Sink& s) const {
+    cache_.save(s);
+    s.u64(stats_.accesses);
+    s.u64(stats_.misses);
+  }
+  void load(serial::Source& s) {
+    cache_.load(s);
+    stats_.accesses = s.u64();
+    stats_.misses = s.u64();
+  }
+
   double miss_rate() const {
     return stats_.accesses ? static_cast<double>(stats_.misses) /
                                  static_cast<double>(stats_.accesses)

@@ -365,4 +365,131 @@ Cycle SecurityEngine::ready_bound(Cycle now) const {
   return bound;
 }
 
+void SecurityEngine::save(serial::Sink& s) const {
+  meta_cache_.save(s);
+
+  std::vector<std::uint64_t> txn_ids;
+  txn_ids.reserve(txns_.size());
+  for (const auto& [id, txn] : txns_) txn_ids.push_back(id);
+  std::sort(txn_ids.begin(), txn_ids.end());
+  s.u64(txn_ids.size());
+  for (const std::uint64_t id : txn_ids) {
+    const Txn& t = txns_.at(id);
+    s.u64(id);
+    s.u64(t.tag);
+    s.u64(t.addr);
+    s.b(t.is_write);
+    s.u64(t.start);
+    s.b(t.data_pending);
+    s.u64(t.data_done);
+    s.u32(t.meta_outstanding);
+    s.u64(t.meta_done);
+    s.b(t.counter_pending);
+    s.u64(t.counter_done);
+    s.b(t.mac_line_pending);
+    s.u64(t.mac_line_done);
+    s.b(t.tree_walked);
+    s.b(t.write_data_issued);
+  }
+  s.u64(next_txn_id_);
+
+  std::vector<Addr> fetch_lines;
+  fetch_lines.reserve(meta_fetches_.size());
+  for (const auto& [line, f] : meta_fetches_) fetch_lines.push_back(line);
+  std::sort(fetch_lines.begin(), fetch_lines.end());
+  s.u64(fetch_lines.size());
+  for (const Addr line : fetch_lines) {
+    const MetaFetch& f = meta_fetches_.at(line);
+    s.u64(line);
+    s.u64(f.waiters.size());
+    for (const auto& [txn_id, role] : f.waiters) {
+      s.u64(txn_id);
+      s.u8(static_cast<std::uint8_t>(role));
+    }
+  }
+
+  s.u64(issue_q_.size());
+  for (const PendingIssue& p : issue_q_) {
+    s.u64(p.addr);
+    s.b(p.is_write);
+    s.u64(p.tag);
+  }
+  s.u64(ready_.size());
+  for (const ReadReady& r : ready_) {
+    s.u64(r.tag);
+    s.u64(r.at);
+  }
+  s.u64(stats_.data_reads);
+  s.u64(stats_.data_writes);
+  s.u64(stats_.counter_fetches);
+  s.u64(stats_.mac_line_fetches);
+  s.u64(stats_.tree_node_fetches);
+  s.u64(stats_.meta_writebacks);
+  s.u64(stats_.reads_with_tree_walk);
+}
+
+void SecurityEngine::load(serial::Source& s) {
+  meta_cache_.load(s);
+
+  txns_.clear();
+  const std::size_t ntxn = s.count(8);
+  for (std::size_t i = 0; i < ntxn; ++i) {
+    const std::uint64_t id = s.u64();
+    Txn& t = txns_[id];
+    t.tag = s.u64();
+    t.addr = s.u64();
+    t.is_write = s.b();
+    t.start = s.u64();
+    t.data_pending = s.b();
+    t.data_done = s.u64();
+    t.meta_outstanding = s.u32();
+    t.meta_done = s.u64();
+    t.counter_pending = s.b();
+    t.counter_done = s.u64();
+    t.mac_line_pending = s.b();
+    t.mac_line_done = s.u64();
+    t.tree_walked = s.b();
+    t.write_data_issued = s.b();
+  }
+  next_txn_id_ = s.u64();
+
+  meta_fetches_.clear();
+  const std::size_t nfetch = s.count(8);
+  for (std::size_t i = 0; i < nfetch; ++i) {
+    const Addr line = s.u64();
+    MetaFetch& f = meta_fetches_[line];
+    const std::size_t nwait = s.count(9);
+    f.waiters.reserve(nwait);
+    for (std::size_t w = 0; w < nwait; ++w) {
+      const std::uint64_t txn_id = s.u64();
+      f.waiters.emplace_back(txn_id, static_cast<Role>(s.u8()));
+    }
+  }
+
+  issue_q_.clear();
+  const std::size_t nissue = s.count(17);
+  for (std::size_t i = 0; i < nissue; ++i) {
+    PendingIssue p;
+    p.addr = s.u64();
+    p.is_write = s.b();
+    p.tag = s.u64();
+    issue_q_.push_back(p);
+  }
+  ready_.clear();
+  const std::size_t nready = s.count(16);
+  for (std::size_t i = 0; i < nready; ++i) {
+    ReadReady r;
+    r.tag = s.u64();
+    r.at = s.u64();
+    ready_.push_back(r);
+  }
+  stats_.data_reads = s.u64();
+  stats_.data_writes = s.u64();
+  stats_.counter_fetches = s.u64();
+  stats_.mac_line_fetches = s.u64();
+  stats_.tree_node_fetches = s.u64();
+  stats_.meta_writebacks = s.u64();
+  stats_.reads_with_tree_walk = s.u64();
+}
+
 }  // namespace secddr::secmem

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/types.h"
 #include "dram/system.h"
 #include "secmem/layout.h"
@@ -135,6 +136,15 @@ class SecurityEngine {
   std::size_t outstanding() const {
     return txns_.size() + issue_q_.size() + dram_.pending();
   }
+
+  /// Checkpoint hooks: metadata cache, open transactions, outstanding
+  /// metadata fetches, the deferred-issue queue, undrained ready reads,
+  /// and stats. The hash maps are emitted in sorted key order so the
+  /// checkpoint bytes are deterministic; both maps are only ever accessed
+  /// by key, so re-insertion order cannot affect behavior. Does NOT cover
+  /// the DRAM system (the owner serializes it separately).
+  void save(serial::Sink& s) const;
+  void load(serial::Source& s);
 
  private:
   enum class Role : std::uint8_t { kCounter, kMacLine, kTreeNode };

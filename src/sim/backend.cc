@@ -249,6 +249,42 @@ double MemoryBackend::metadata_miss_rate() const {
                   : 0.0;
 }
 
+void MemoryBackend::save(serial::Sink& s) const {
+  s.u32(channels());
+  for (const Channel& ch : channels_) {
+    ch.dram->save(s);
+    ch.engine->save(s);
+  }
+  s.u64(ready_.size());
+  for (const secmem::ReadReady& r : ready_) {
+    s.u64(r.tag);
+    s.u64(r.at);
+  }
+  s.u64(dispatch_epochs_);
+  s.u64(dispatch_cycles_);
+  s.u64(barrier_crossings_);
+}
+
+void MemoryBackend::load(serial::Source& s) {
+  if (s.u32() != channels())
+    throw std::runtime_error("backend channel count mismatch");
+  for (Channel& ch : channels_) {
+    ch.dram->load(s);
+    ch.engine->load(s);
+  }
+  ready_.clear();
+  const std::size_t n = s.count(16);
+  for (std::size_t i = 0; i < n; ++i) {
+    secmem::ReadReady r;
+    r.tag = s.u64();
+    r.at = s.u64();
+    ready_.push_back(r);
+  }
+  dispatch_epochs_ = s.u64();
+  dispatch_cycles_ = s.u64();
+  barrier_crossings_ = s.u64();
+}
+
 void MemoryBackend::reset_stats() {
   dispatch_epochs_ = 0;
   dispatch_cycles_ = 0;

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/serial.h"
 #include "dram/address.h"
 #include "dram/system.h"
 #include "secmem/layout.h"
@@ -135,6 +136,14 @@ class MemoryBackend {
   double metadata_miss_rate() const;
   /// Clears statistics after warmup; cache/queue state is preserved.
   void reset_stats();
+
+  /// Checkpoint hooks: every channel's DRAM system + security engine (in
+  /// channel order), the gathered ready list, and the epoch telemetry.
+  /// Safe to call between epochs only (workers are parked then; all
+  /// channel state is owned by the caller thread). load() requires a
+  /// backend built from the identical config.
+  void save(serial::Sink& s) const;
+  void load(serial::Source& s);
 
   // --- per-channel access (tests, analyses) ---------------------------
   const dram::ChannelSelector& selector() const { return selector_; }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/serial.h"
 #include "common/types.h"
 #include "sim/trace.h"
 
@@ -106,6 +107,24 @@ class Core {
   const CoreStats& stats() const { return stats_; }
   unsigned id() const { return id_; }
 
+  // --- checkpoint hooks -----------------------------------------------
+  /// Full architectural state: ROB contents (including done flags as
+  /// values), fetch/budget progress, the pending trace record, and stats.
+  void save(serial::Sink& s) const;
+  /// Restores the saved state. The bound trace source must be freshly
+  /// positioned at its first record: load() fast-forwards it by the
+  /// consumed-record count, re-deriving the identical stream position in
+  /// a fresh process (all trace sources are deterministic). Throws
+  /// std::runtime_error if the trace ends before the saved position.
+  void load(serial::Source& s);
+  /// Trace records successfully consumed so far (what load() replays).
+  std::uint64_t trace_records_consumed() const { return trace_records_; }
+  /// ROB index of the entry whose done flag is `flag`, or -1 when the
+  /// pointer is not into this core's ROB. The MemorySystem serializes its
+  /// MSHR waiter pointers as (core, index) pairs through these two hooks.
+  std::int64_t done_flag_index(const bool* flag) const;
+  bool* done_flag_at(std::uint64_t idx) { return &rob_[idx].done; }
+
  private:
   enum class Kind : std::uint8_t { kBatch, kLoad, kStore };
   struct RobEntry {
@@ -169,6 +188,7 @@ class Core {
   std::uint64_t rob_occupancy_ = 0;  ///< instructions currently in the ROB
   std::size_t mem_ops_in_rob_ = 0;   ///< load/store entries in the ROB
   std::uint64_t fetched_instructions_ = 0;
+  std::uint64_t trace_records_ = 0;  ///< successful trace_.next() calls
   std::uint64_t budget_ = 0;
   bool trace_exhausted_ = false;
   bool finished_ = false;

@@ -281,4 +281,92 @@ void MemorySystem::advance_idle(Cycle cycles) {
   backend_.advance_idle(cycles);
 }
 
+void MemorySystem::save(serial::Sink& s, const FlagEncoder& encode_flag) const {
+  for (const SetAssocCache& l1 : l1s_) l1.save(s);
+  llc_.save(s);
+  prefetcher_.save(s);
+
+  s.u64(mshrs_.size());
+  for (const Mshr& m : mshrs_) {
+    s.b(m.valid);
+    s.u64(m.line);
+    s.b(m.demand);
+    s.u64(m.waiters.size());
+    for (bool* w : m.waiters) s.u64(encode_flag(w));
+  }
+  s.u64(mshr_free_.size());
+  for (const unsigned idx : mshr_free_) s.u32(idx);
+  s.u64(fill_version_);
+
+  // Drain a copy of the priority queue: among equal maturity times the
+  // pop order only decides which independent flag is raised first within
+  // the same tick, so any heap-internal order is behaviorally identical.
+  auto q = done_q_;
+  s.u64(q.size());
+  while (!q.empty()) {
+    s.u64(q.top().at);
+    s.u64(encode_flag(q.top().flag));
+    q.pop();
+  }
+
+  s.u64(now_);
+  s.u64(stats_.l1_accesses);
+  s.u64(stats_.l1_misses);
+  s.u64(stats_.llc_demand_accesses);
+  s.u64(stats_.llc_demand_misses);
+  s.u64(stats_.llc_writebacks);
+  s.u64(stats_.prefetch_fills);
+  s.u64(stats_.llc_demand_misses_per_core.size());
+  for (const std::uint64_t v : stats_.llc_demand_misses_per_core) s.u64(v);
+}
+
+void MemorySystem::load(serial::Source& s, const FlagDecoder& decode_flag) {
+  for (SetAssocCache& l1 : l1s_) l1.load(s);
+  llc_.load(s);
+  prefetcher_.load(s);
+
+  if (s.u64() != mshrs_.size())
+    throw std::runtime_error("MSHR count mismatch");
+  mshr_map_.init(static_cast<unsigned>(mshrs_.size()));
+  for (std::size_t i = 0; i < mshrs_.size(); ++i) {
+    Mshr& m = mshrs_[i];
+    m.valid = s.b();
+    m.line = s.u64();
+    m.demand = s.b();
+    m.waiters.clear();
+    const std::size_t nw = s.count(8);
+    for (std::size_t w = 0; w < nw; ++w)
+      m.waiters.push_back(decode_flag(s.u64()));
+    if (m.valid) mshr_map_.insert(m.line, static_cast<unsigned>(i));
+  }
+  mshr_free_.clear();
+  const std::size_t nfree = s.count(4);
+  for (std::size_t i = 0; i < nfree; ++i) mshr_free_.push_back(s.u32());
+  fill_version_ = s.u64();
+
+  while (!done_q_.empty()) done_q_.pop();
+  const std::size_t nq = s.count(16);
+  for (std::size_t i = 0; i < nq; ++i) {
+    const Cycle at = s.u64();
+    done_q_.push({at, decode_flag(s.u64())});
+  }
+
+  now_ = s.u64();
+  stats_.l1_accesses = s.u64();
+  stats_.l1_misses = s.u64();
+  stats_.llc_demand_accesses = s.u64();
+  stats_.llc_demand_misses = s.u64();
+  stats_.llc_writebacks = s.u64();
+  stats_.prefetch_fills = s.u64();
+  stats_.llc_demand_misses_per_core.clear();
+  const std::size_t npc = s.count(8);
+  for (std::size_t i = 0; i < npc; ++i)
+    stats_.llc_demand_misses_per_core.push_back(s.u64());
+
+  // The memo is a pure accelerator: a fresh (empty) memo recomputes the
+  // predicate on first query and records the identical statistics a hit
+  // would have, so resetting it cannot change results.
+  blocked_memo_.assign(config_.cores, BlockedMemo{});
+}
+
 }  // namespace secddr::sim

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <vector>
 
 #include "common/cache.h"
+#include "common/serial.h"
 #include "common/types.h"
 #include "sim/backend.h"
 #include "sim/core.h"
@@ -108,6 +110,20 @@ class MemorySystem final : public MemoryPort {
   std::size_t outstanding_fills() const {
     return mshrs_.size() - mshr_free_.size();
   }
+
+  // --- checkpoint hooks -----------------------------------------------
+  // MSHR waiter pointers and pending-done flags point into the cores'
+  // ROBs, so the owner supplies the codec: the encoder maps a live flag
+  // pointer to a stable (core, rob-index) token, the decoder maps the
+  // token back into the restored ROBs. Does NOT cover the backend (the
+  // owner serializes it separately). The lookup-acceleration structures
+  // (MSHR hash table, blocked-issue memo) are re-derived on load; the
+  // memo reset is exact because hit and recompute paths record identical
+  // statistics.
+  using FlagEncoder = std::function<std::uint64_t(bool*)>;
+  using FlagDecoder = std::function<bool*(std::uint64_t)>;
+  void save(serial::Sink& s, const FlagEncoder& encode_flag) const;
+  void load(serial::Source& s, const FlagDecoder& decode_flag);
 
  private:
   struct Mshr {

@@ -56,4 +56,33 @@ void StreamPrefetcher::train(Addr line_addr, std::vector<Addr>& out) {
   }
 }
 
+void StreamPrefetcher::save(serial::Sink& s) const {
+  s.u64(streams_.size());
+  for (const Stream& st : streams_) {
+    s.b(st.valid);
+    s.u64(st.page);
+    s.u64(st.last_line);
+    s.i64(st.direction);
+    s.u32(st.confidence);
+    s.u64(st.lru);
+  }
+  s.u64(lru_clock_);
+  s.u64(issued_);
+}
+
+void StreamPrefetcher::load(serial::Source& s) {
+  if (s.u64() != streams_.size())
+    throw std::runtime_error("prefetcher stream count mismatch");
+  for (Stream& st : streams_) {
+    st.valid = s.b();
+    st.page = s.u64();
+    st.last_line = s.u64();
+    st.direction = static_cast<int>(s.i64());
+    st.confidence = s.u32();
+    st.lru = s.u64();
+  }
+  lru_clock_ = s.u64();
+  issued_ = s.u64();
+}
+
 }  // namespace secddr::sim

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/types.h"
 
 namespace secddr::sim {
@@ -29,6 +30,10 @@ class StreamPrefetcher {
   void train(Addr line_addr, std::vector<Addr>& out);
 
   std::uint64_t prefetches_issued() const { return issued_; }
+
+  /// Checkpoint hooks: tracked streams + LRU clock + issue counter.
+  void save(serial::Sink& s) const;
+  void load(serial::Source& s);
 
  private:
   struct Stream {

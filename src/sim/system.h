@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/serial.h"
 #include "sim/backend.h"
 #include "sim/core.h"
 #include "sim/memory_system.h"
@@ -56,6 +57,16 @@ struct RunResult {
 };
 
 /// Owns every component and runs the simulation loop.
+///
+/// The loop is exposed two ways: `run()` drives a whole experiment in one
+/// call, and the `begin()` / `step()` / `result()` stepper executes the
+/// identical loop in bounded slices so a driver can interleave many
+/// Systems, checkpoint between slices, or stop exactly at the
+/// warmup->measured boundary (warm-start). Slicing is bit-identical to an
+/// uninterrupted run: a slice boundary only clamps the event-driven skip
+/// window, and any window no larger than the components' safe horizon
+/// produces the same results as per-cycle ticking (the PR 7 epoch
+/// invariant) — `run()` itself is just begin + step-to-completion.
 class System {
  public:
   /// `traces` supplies one trace per core (config.mem.cores entries).
@@ -71,16 +82,73 @@ class System {
                 Cycle max_cycles = 2'000'000'000,
                 std::uint64_t warmup_instructions = 0);
 
+  // --- sliced execution -------------------------------------------------
+  /// Arms the run() loop without executing any cycles.
+  void begin(std::uint64_t instructions_per_core,
+             Cycle max_cycles = 2'000'000'000,
+             std::uint64_t warmup_instructions = 0);
+  /// Executes at most `budget` cycles of the armed run. Returns false
+  /// once the run is complete (then call result()). Additionally returns
+  /// early — with work remaining — right after the warmup->measured
+  /// transition, so the caller can checkpoint the exact post-warmup
+  /// state.
+  bool step(Cycle budget);
+  /// True between begin() and the step() that returned false.
+  bool running() const { return st_.active; }
+  /// Cycle index within the current phase (what result().cycles reports
+  /// once the measured phase ends).
+  Cycle phase_cycle() const { return st_.cycle; }
+  /// Assembles the RunResult exactly as run() returns it.
+  RunResult result() const;
+
+  // --- checkpoint hooks -------------------------------------------------
+  /// Serializes the complete simulation state: backend (DRAM + engines
+  /// per channel), cores (ROBs, trace positions), memory hierarchy
+  /// (caches, MSHRs — waiter pointers encoded as (core, rob-index)
+  /// tokens), and the stepper's RunState. Call between step() slices
+  /// only (never mid-cycle).
+  void save(serial::Sink& s) const;
+  /// Restores state saved by save() into a System built from the
+  /// identical config whose traces are freshly positioned at their first
+  /// record. Throws std::runtime_error on any structural mismatch.
+  void load(serial::Source& s);
+  /// FNV-1a hash over every result-affecting config field. Excludes
+  /// event_driven / mem_threads (bit-identical execution strategies) and
+  /// cosmetic names, so a checkpoint restores into any equivalent
+  /// configuration.
+  std::uint64_t config_hash() const;
+
   MemoryBackend& backend() { return *backend_; }
   /// Channel-0 conveniences (single-channel tests/analyses).
   secmem::SecurityEngine& engine() { return backend_->engine(0); }
   dram::DramSystem& dram() { return backend_->dram(0); }
 
  private:
+  /// Progress of an armed run: which phase is executing and where the
+  /// per-phase loop stands (the per-phase locals of the pre-stepper
+  /// run(), hoisted so slices can resume them).
+  struct RunState {
+    bool active = false;
+    std::uint64_t instructions = 0;  ///< measured instructions per core
+    std::uint64_t warmup = 0;
+    Cycle max_cycles = 0;
+    unsigned phase = 1;  ///< 0 = warmup, 1 = measured
+    Cycle cycle = 0;     ///< within the current phase
+    unsigned deny_streak = 0;
+    unsigned attempt_pause = 0;
+    bool hit_limit = false;
+  };
+
+  /// Closes the current phase (at the cycle limit or with every core
+  /// finished). Performs the warmup->measured transition (stat resets +
+  /// raised budgets); returns false when the measured phase just ended.
+  bool finish_phase(bool at_limit);
+
   SystemConfig config_;
   std::unique_ptr<MemoryBackend> backend_;
   std::unique_ptr<MemorySystem> memory_;
   std::vector<std::unique_ptr<Core>> cores_;
+  RunState st_;
 };
 
 }  // namespace secddr::sim

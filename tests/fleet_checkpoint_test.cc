@@ -1,0 +1,340 @@
+// Fleet checkpoint container + System save/restore (`fleet` label):
+//
+//  * corruption battery mirroring trace_codec's: every structural
+//    violation of the container format must throw CheckpointFormatError
+//    with the right path and byte offset — bad magic, version skew,
+//    truncations at each structure, flipped CRCs and payload bytes,
+//    oversized/reordered blocks, footer damage, trailing bytes, and a
+//    config-hash mismatch;
+//  * round-trip property: run a System partway, checkpoint, restore into
+//    a FRESH System (freshly positioned traces), run both to completion
+//    — the RunResults must be byte-identical to each other and to an
+//    uninterrupted run, across channels x mem_threads x both loop modes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/checkpoint.h"
+#include "secmem/params.h"
+#include "sim/trace_codec.h"
+#include "workloads/generator.h"
+#include "workloads/workload.h"
+
+namespace secddr::fleet {
+namespace {
+
+namespace ck = checkpoint;
+
+std::vector<std::uint8_t> sample_payload(std::size_t n) {
+  std::vector<std::uint8_t> p(n);
+  for (std::size_t i = 0; i < n; ++i)
+    p[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  return p;
+}
+
+/// Asserts decode throws with the expected offset and message fragment.
+void expect_error(const std::vector<std::uint8_t>& bytes,
+                  std::uint64_t offset, const std::string& fragment) {
+  try {
+    ck::decode(bytes.data(), bytes.size(), "test.ckpt", nullptr);
+    FAIL() << "expected CheckpointFormatError(" << fragment << ")";
+  } catch (const CheckpointFormatError& e) {
+    EXPECT_EQ(e.path(), "test.ckpt") << e.what();
+    EXPECT_EQ(e.offset(), offset) << e.what();
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << e.what();
+  }
+}
+
+/// Recomputes the header CRC after a deliberate header patch, so the
+/// patched field (not the checksum) is what decode trips on.
+void refresh_header_crc(std::vector<std::uint8_t>& bytes) {
+  sim::trace_codec::put_u32(
+      bytes.data() + 28, sim::trace_codec::crc32(bytes.data(), 28));
+}
+
+TEST(FleetCheckpointFormat, RoundTripsPayloadAndConfigHash) {
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{4097},
+        ck::kBlockBytes + 177}) {
+    SCOPED_TRACE(n);
+    const std::vector<std::uint8_t> payload = sample_payload(n);
+    const std::vector<std::uint8_t> bytes = ck::encode(0xfeedbeefcafe, payload);
+    std::uint64_t hash = 0;
+    EXPECT_EQ(ck::decode(bytes.data(), bytes.size(), "test.ckpt", &hash),
+              payload);
+    EXPECT_EQ(hash, 0xfeedbeefcafeull);
+  }
+}
+
+TEST(FleetCheckpointFormat, CorruptionBattery) {
+  const std::vector<std::uint8_t> payload = sample_payload(100);
+  const std::vector<std::uint8_t> good = ck::encode(42, payload);
+  const std::size_t foot = ck::kHeaderBytes + ck::kBlockHeaderBytes + 100;
+
+  {  // control: the unmodified container decodes
+    std::uint64_t hash = 0;
+    EXPECT_EQ(ck::decode(good.data(), good.size(), "test.ckpt", &hash),
+              payload);
+    EXPECT_EQ(hash, 42u);
+  }
+  {  // truncated header
+    std::vector<std::uint8_t> b(good.begin(), good.begin() + 16);
+    expect_error(b, 0, "truncated header");
+  }
+  {  // bad magic
+    std::vector<std::uint8_t> b = good;
+    b[0] ^= 0xff;
+    expect_error(b, 0, "bad magic");
+  }
+  {  // damaged header field -> checksum mismatch
+    std::vector<std::uint8_t> b = good;
+    b[20] ^= 0x01;  // inside config_hash
+    expect_error(b, 28, "header checksum mismatch");
+  }
+  {  // version skew (header CRC re-fixed, so the version check fires)
+    std::vector<std::uint8_t> b = good;
+    sim::trace_codec::put_u32(b.data() + 8, ck::kVersion + 7);
+    refresh_header_crc(b);
+    expect_error(b, 8, "unsupported version 8");
+  }
+  {  // truncated block header
+    std::vector<std::uint8_t> b(good.begin(),
+                                good.begin() + ck::kHeaderBytes + 4);
+    expect_error(b, ck::kHeaderBytes, "truncated block header");
+  }
+  {  // oversized payload_bytes (allocation guard)
+    std::vector<std::uint8_t> b = good;
+    sim::trace_codec::put_u32(b.data() + ck::kHeaderBytes,
+                              ck::kMaxPayloadBytes + 1);
+    expect_error(b, ck::kHeaderBytes, "oversized block");
+  }
+  {  // block index mismatch (reordered / replayed block)
+    std::vector<std::uint8_t> b = good;
+    sim::trace_codec::put_u32(b.data() + ck::kHeaderBytes + 4, 1);
+    expect_error(b, ck::kHeaderBytes + 4, "block index mismatch");
+  }
+  {  // payload_bytes larger than what is actually present
+    std::vector<std::uint8_t> b = good;
+    sim::trace_codec::put_u32(b.data() + ck::kHeaderBytes, 100000);
+    expect_error(b, ck::kHeaderBytes, "truncated block payload");
+  }
+  {  // flipped CRC byte
+    std::vector<std::uint8_t> b = good;
+    b[ck::kHeaderBytes + 8] ^= 0x10;
+    expect_error(b, ck::kHeaderBytes + 8, "block checksum mismatch");
+  }
+  {  // flipped payload byte
+    std::vector<std::uint8_t> b = good;
+    b[ck::kHeaderBytes + ck::kBlockHeaderBytes + 33] ^= 0x40;
+    expect_error(b, ck::kHeaderBytes + 8, "block checksum mismatch");
+  }
+  {  // malformed footer (second word nonzero)
+    std::vector<std::uint8_t> b = good;
+    sim::trace_codec::put_u32(b.data() + foot + 4, 9);
+    expect_error(b, foot + 4, "malformed footer");
+  }
+  {  // truncated footer (total field missing)
+    std::vector<std::uint8_t> b(good.begin(),
+                                good.begin() + static_cast<std::ptrdiff_t>(
+                                                   foot + ck::kBlockHeaderBytes));
+    expect_error(b, foot, "truncated footer");
+  }
+  {  // footer checksum mismatch
+    std::vector<std::uint8_t> b = good;
+    b[foot + ck::kBlockHeaderBytes] ^= 0x02;  // inside the total field
+    expect_error(b, foot + 8, "footer checksum mismatch");
+  }
+  {  // footer total disagrees with the blocks (its own CRC re-fixed)
+    std::vector<std::uint8_t> b = good;
+    sim::trace_codec::put_u64(b.data() + foot + ck::kBlockHeaderBytes, 99);
+    sim::trace_codec::put_u32(
+        b.data() + foot + 8,
+        sim::trace_codec::crc32(b.data() + foot + ck::kBlockHeaderBytes,
+                                ck::kFooterTotalBytes));
+    expect_error(b, foot + ck::kBlockHeaderBytes,
+                 "footer total disagrees with blocks");
+  }
+  {  // trailing bytes after the footer
+    std::vector<std::uint8_t> b = good;
+    b.push_back(0);
+    expect_error(b, good.size(), "trailing bytes after footer");
+  }
+}
+
+TEST(FleetCheckpointFormat, WriteFileIsAtomicAndReadable) {
+  const std::string path = testing::TempDir() + "fleet_ckpt_atomic.ckpt";
+  const std::vector<std::uint8_t> payload = sample_payload(4096);
+  ck::write_file(path, 7, payload);
+  // No tmp residue from the atomic rename.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp) std::fclose(tmp);
+  std::uint64_t hash = 0;
+  EXPECT_EQ(ck::read_file(path, &hash), payload);
+  EXPECT_EQ(hash, 7u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// System-level checkpoint/restore.
+// ---------------------------------------------------------------------------
+
+sim::SystemConfig small_config(unsigned channels, unsigned mem_threads,
+                               bool event_driven) {
+  sim::SystemConfig cfg;
+  cfg.mem.cores = 2;
+  cfg.security = secmem::SecurityParams::secddr_ctr();
+  cfg.geometry.channels = channels;
+  cfg.data_bytes = 4ull << 30;  // two cores at 2GB trace stride
+  cfg.event_driven = event_driven;
+  cfg.mem_threads = mem_threads;
+  return cfg;
+}
+
+struct LiveSystem {
+  std::vector<std::unique_ptr<workloads::SyntheticTrace>> traces;
+  std::unique_ptr<sim::System> sys;
+};
+
+LiveSystem make_system(const workloads::WorkloadDesc& desc,
+                       const sim::SystemConfig& cfg) {
+  LiveSystem s;
+  std::vector<sim::TraceSource*> ptrs;
+  for (unsigned c = 0; c < cfg.mem.cores; ++c) {
+    s.traces.push_back(std::make_unique<workloads::SyntheticTrace>(desc, c));
+    ptrs.push_back(s.traces.back().get());
+  }
+  s.sys = std::make_unique<sim::System>(cfg, ptrs);
+  return s;
+}
+
+TEST(FleetSystemCheckpoint, MidRunRestoreIsBitIdenticalAcrossConfigs) {
+  const auto* desc = workloads::find("mcf");
+  ASSERT_NE(desc, nullptr);
+  for (const unsigned channels : {1u, 2u, 4u}) {
+    for (const unsigned mem_threads : {1u, 4u}) {
+      for (const bool event_driven : {false, true}) {
+        SCOPED_TRACE(std::to_string(channels) + "ch/mem_threads=" +
+                     std::to_string(mem_threads) + "/event_driven=" +
+                     std::to_string(event_driven));
+        const sim::SystemConfig cfg =
+            small_config(channels, mem_threads, event_driven);
+
+        // Uninterrupted reference.
+        LiveSystem ref = make_system(*desc, cfg);
+        const std::vector<std::uint8_t> ref_bytes = ck::encode_result(
+            ref.sys->run(1200, 2'000'000'000, /*warmup=*/400));
+
+        // Interrupted run: checkpoint mid-flight (a budget that lands
+        // inside the warmup or early measured phase), restore into a
+        // FRESH System, finish both, compare all three byte-for-byte.
+        LiveSystem a = make_system(*desc, cfg);
+        a.sys->begin(1200, 2'000'000'000, /*warmup=*/400);
+        ASSERT_TRUE(a.sys->step(1500)) << "budget larger than the whole run";
+        const std::vector<std::uint8_t> image = ck::encode_system(*a.sys);
+
+        LiveSystem b = make_system(*desc, cfg);
+        b.sys->begin(1200, 2'000'000'000, /*warmup=*/400);
+        ck::decode_system(*b.sys, image.data(), image.size(), "mid.ckpt");
+
+        while (a.sys->step(kNoEvent)) {
+        }
+        while (b.sys->step(kNoEvent)) {
+        }
+        EXPECT_EQ(ck::encode_result(a.sys->result()), ref_bytes);
+        EXPECT_EQ(ck::encode_result(b.sys->result()), ref_bytes);
+      }
+    }
+  }
+}
+
+TEST(FleetSystemCheckpoint, RestoreCrossesLoopModeAndThreadCount) {
+  // config_hash() excludes the execution knobs, so a checkpoint written
+  // by the serial per-cycle loop must restore into an event-driven
+  // epoch-threaded System — and still finish bit-identically.
+  const auto* desc = workloads::find("lbm");
+  ASSERT_NE(desc, nullptr);
+  LiveSystem writer =
+      make_system(*desc, small_config(2, 1, /*event_driven=*/false));
+  writer.sys->begin(1000, 2'000'000'000, /*warmup=*/300);
+  ASSERT_TRUE(writer.sys->step(900));
+  const std::vector<std::uint8_t> image = ck::encode_system(*writer.sys);
+  while (writer.sys->step(kNoEvent)) {
+  }
+
+  LiveSystem reader =
+      make_system(*desc, small_config(2, 2, /*event_driven=*/true));
+  reader.sys->begin(1000, 2'000'000'000, /*warmup=*/300);
+  ck::decode_system(*reader.sys, image.data(), image.size(), "cross.ckpt");
+  while (reader.sys->step(kNoEvent)) {
+  }
+  EXPECT_EQ(ck::encode_result(reader.sys->result()),
+            ck::encode_result(writer.sys->result()));
+}
+
+TEST(FleetSystemCheckpoint, ConfigHashMismatchIsRejectedAtOffset16) {
+  const auto* desc = workloads::find("mcf");
+  ASSERT_NE(desc, nullptr);
+  LiveSystem writer =
+      make_system(*desc, small_config(1, 1, /*event_driven=*/true));
+  writer.sys->begin(600, 2'000'000'000, /*warmup=*/200);
+  ASSERT_TRUE(writer.sys->step(500));
+  const std::vector<std::uint8_t> image = ck::encode_system(*writer.sys);
+
+  // A different security configuration is a different config hash.
+  sim::SystemConfig other = small_config(1, 1, /*event_driven=*/true);
+  other.security = secmem::SecurityParams::baseline_tree_ctr();
+  LiveSystem reader = make_system(*desc, other);
+  reader.sys->begin(600, 2'000'000'000, /*warmup=*/200);
+  try {
+    ck::decode_system(*reader.sys, image.data(), image.size(), "wrong.ckpt");
+    FAIL() << "config-hash mismatch must throw";
+  } catch (const CheckpointFormatError& e) {
+    EXPECT_EQ(e.offset(), 16u) << e.what();
+    EXPECT_NE(std::string(e.what()).find("different simulation configuration"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Execution-equivalent knobs (loop mode, threads) hash identically.
+  EXPECT_EQ(writer.sys->config_hash(),
+            make_system(*desc, small_config(1, 4, /*event_driven=*/false))
+                .sys->config_hash());
+  EXPECT_NE(writer.sys->config_hash(), reader.sys->config_hash());
+}
+
+TEST(FleetSystemCheckpoint, TruncatedSystemPayloadReportsOffset) {
+  const auto* desc = workloads::find("mcf");
+  ASSERT_NE(desc, nullptr);
+  LiveSystem writer =
+      make_system(*desc, small_config(1, 1, /*event_driven=*/true));
+  writer.sys->begin(600, 2'000'000'000, /*warmup=*/200);
+  ASSERT_TRUE(writer.sys->step(500));
+  serial::Sink s;
+  writer.sys->save(s);
+  std::vector<std::uint8_t> payload = s.take();
+  payload.resize(payload.size() / 2);  // cut the state mid-stream
+  const std::vector<std::uint8_t> image =
+      ck::encode(writer.sys->config_hash(), payload);
+
+  LiveSystem reader =
+      make_system(*desc, small_config(1, 1, /*event_driven=*/true));
+  reader.sys->begin(600, 2'000'000'000, /*warmup=*/200);
+  try {
+    ck::decode_system(*reader.sys, image.data(), image.size(), "cut.ckpt");
+    FAIL() << "truncated system payload must throw";
+  } catch (const CheckpointFormatError& e) {
+    EXPECT_EQ(e.path(), "cut.ckpt");
+    // The offset points into the (container-framed) payload, past the
+    // header and at or before the truncation point.
+    EXPECT_GE(e.offset(), ck::kHeaderBytes);
+    EXPECT_LE(e.offset(), ck::kHeaderBytes + payload.size());
+  }
+}
+
+}  // namespace
+}  // namespace secddr::fleet

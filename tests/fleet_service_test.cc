@@ -1,0 +1,174 @@
+// Fleet service integration (`fleet` label): the sharded multi-process
+// node farm must produce aggregates byte-identical to a single
+// undisturbed worker at any worker count, including across a forced
+// mid-run worker kill (respawn + resume from durable checkpoints), and
+// the bench harness's SECDDR_WARM_CHECKPOINT warm-start must reproduce a
+// cold run's measured statistics bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "../bench/harness.h"
+#include "fleet/checkpoint.h"
+#include "fleet/coordinator.h"
+#include "fleet/shard.h"
+#include "secmem/params.h"
+#include "workloads/workload.h"
+
+namespace secddr::fleet {
+namespace {
+
+NodeConfig make_node(const char* workload, const secmem::SecurityParams& sec,
+                     std::uint64_t instructions = 800,
+                     std::uint64_t warmup = 200) {
+  NodeConfig n;
+  n.name = std::string(workload) + "+node";
+  n.system.mem.cores = 2;
+  n.system.security = sec;
+  n.system.data_bytes = 4ull << 30;  // two cores at 2GB trace stride
+  n.workload = workload;
+  n.instructions = instructions;
+  n.warmup = warmup;
+  return n;
+}
+
+std::vector<NodeConfig> small_fleet() {
+  return {
+      make_node("mcf", secmem::SecurityParams::secddr_ctr()),
+      make_node("lbm", secmem::SecurityParams::baseline_tree_ctr()),
+      make_node("povray", secmem::SecurityParams::encrypt_only_xts()),
+  };
+}
+
+std::string fresh_state_dir(const std::string& tag, std::size_t nodes) {
+  const std::string dir = testing::TempDir() + "fleet_" + tag;
+  ::mkdir(dir.c_str(), 0777);
+  for (std::size_t i = 0; i < nodes; ++i)
+    std::remove(
+        ShardDriver::checkpoint_path(dir, static_cast<unsigned>(i)).c_str());
+  return dir;
+}
+
+TEST(FleetService, NodeCheckpointResumesBitIdentically) {
+  const NodeConfig cfg = make_node("mcf", secmem::SecurityParams::secddr_ctr());
+  const std::string path = testing::TempDir() + "fleet_node_smoke.ckpt";
+  std::remove(path.c_str());
+
+  // A missing checkpoint is a clean cold start, not an error.
+  Node probe(cfg);
+  EXPECT_FALSE(probe.restore_from_file(path));
+
+  Node a(cfg);
+  ASSERT_TRUE(a.step(1500)) << "budget larger than the whole run";
+  a.checkpoint_to_file(path);
+
+  Node b(cfg);
+  ASSERT_TRUE(b.restore_from_file(path));
+  while (!a.finished()) a.step(100000);
+  while (!b.finished()) b.step(100000);
+  EXPECT_EQ(checkpoint::encode_result(a.result()),
+            checkpoint::encode_result(b.result()));
+  std::remove(path.c_str());
+}
+
+TEST(FleetService, AggregatesBitIdenticalAcrossWorkerCounts) {
+  const std::vector<NodeConfig> nodes = small_fleet();
+  std::vector<std::uint8_t> reference;
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    FleetOptions opt;
+    opt.workers = workers;
+    opt.checkpoint_every = 1000;
+    std::string tag = "workers";
+    tag += std::to_string(workers);
+    opt.state_dir = fresh_state_dir(tag, nodes.size());
+    const FleetResult r = run_fleet(nodes, opt);
+    EXPECT_EQ(r.respawns, 0u);
+    ASSERT_EQ(r.per_node.size(), nodes.size());
+    // Every node ran its full measured budget on both cores.
+    EXPECT_EQ(r.instructions, nodes.size() * 2 * 800);
+    std::uint64_t hist_total = 0;
+    for (const std::uint64_t v : r.ipc_hist) hist_total += v;
+    EXPECT_EQ(hist_total, nodes.size());
+    const std::vector<std::uint8_t> bytes = encode_fleet(r);
+    if (reference.empty())
+      reference = bytes;
+    else
+      EXPECT_EQ(bytes, reference);
+  }
+}
+
+TEST(FleetService, RecoversBitIdenticallyFromWorkerKill) {
+  const std::vector<NodeConfig> nodes = small_fleet();
+
+  FleetOptions undisturbed;
+  undisturbed.workers = 1;
+  undisturbed.checkpoint_every = 400;
+  undisturbed.state_dir = fresh_state_dir("kill_ref", nodes.size());
+  const FleetResult ref = run_fleet(nodes, undisturbed);
+
+  FleetOptions killed;
+  killed.workers = 2;
+  killed.checkpoint_every = 400;  // several checkpoints per node
+  killed.state_dir = fresh_state_dir("kill_run", nodes.size());
+  killed.kill_after_first_checkpoint = true;
+  const FleetResult r = run_fleet(nodes, killed);
+
+  EXPECT_GE(r.respawns, 1u) << "kill hook never fired: recovery untested";
+  EXPECT_EQ(encode_fleet(r), encode_fleet(ref));
+}
+
+TEST(FleetService, WarmStartCheckpointMatchesColdBitForBit) {
+  // SECDDR_WARM_CHECKPOINT: the first run records the post-warmup state,
+  // every later run of the same (workload, config) restores it — and the
+  // measured statistics must be bit-identical to a cold run.
+  const auto* desc = workloads::find("mcf");
+  ASSERT_NE(desc, nullptr);
+  bench::BenchOptions opt;
+  opt.instructions = 800;
+  opt.warmup = 300;
+  opt.cores = 2;
+
+  const auto sec = secmem::SecurityParams::secddr_ctr();
+  ASSERT_EQ(std::getenv("SECDDR_WARM_CHECKPOINT"), nullptr);
+  const std::vector<std::uint8_t> cold =
+      checkpoint::encode_result(bench::run_workload(*desc, sec, opt));
+
+  const std::string dir = testing::TempDir() + "fleet_warm";
+  ::mkdir(dir.c_str(), 0777);
+  ::setenv("SECDDR_WARM_CHECKPOINT", dir.c_str(), 1);
+  // First warm-dir run records the checkpoint; the second restores it.
+  const std::vector<std::uint8_t> recording =
+      checkpoint::encode_result(bench::run_workload(*desc, sec, opt));
+  const std::vector<std::uint8_t> warm =
+      checkpoint::encode_result(bench::run_workload(*desc, sec, opt));
+  ::unsetenv("SECDDR_WARM_CHECKPOINT");
+
+  EXPECT_EQ(recording, cold);
+  EXPECT_EQ(warm, cold);
+
+  // The warm image landed under the knob's directory, keyed by workload
+  // name + config hash.
+  workloads::SyntheticTrace t0(*desc, 0, bench::kCoreStrideBytes);
+  workloads::SyntheticTrace t1(*desc, 1, bench::kCoreStrideBytes);
+  sim::System probe(
+      bench::make_system_config(opt, sec, dram::Timings::ddr4_3200()),
+      {&t0, &t1});
+  char hash[17];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(probe.config_hash()));
+  const std::string warm_path =
+      dir + "/" + desc->name + "_" + hash + ".warm";
+  std::FILE* f = std::fopen(warm_path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << warm_path << " was not recorded";
+  if (f) std::fclose(f);
+  std::remove(warm_path.c_str());
+}
+
+}  // namespace
+}  // namespace secddr::fleet

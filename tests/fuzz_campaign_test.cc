@@ -15,8 +15,13 @@
 //    under a verifying MAC.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <string>
 
+#include "fleet/checkpoint.h"
 #include "fuzz/campaign.h"
 
 namespace secddr::fuzz {
@@ -115,6 +120,104 @@ TEST(FuzzCampaign, ExecutorDeterministicAfterRestoreWithEpochTiming) {
   const Outcome ref_first = ref.run(first);
   EXPECT_EQ(ref_first.signature, before.signature);
   EXPECT_EQ(ref_first.verdict, before.verdict);
+}
+
+TEST(FuzzCampaign, MasterSnapshotRoundTripsThroughCheckpointInFreshProcess) {
+  // The master-session snapshot (the state every run() resets to) must
+  // survive serialization through the fleet checkpoint container into a
+  // FRESH PROCESS: the child imports the bytes the parent exported, re-
+  // exports them (byte identity proves the codec is lossless, including
+  // unordered_map content independent of per-process iteration order),
+  // and replays the same input — its campaign signature must match the
+  // parent's bit-for-bit even though the child runs the per-cycle serial
+  // timing leg against the parent's epoch-threaded one.
+  Mutator m(0xEB0C);
+  const FuzzInput input = m.random_input();
+
+  ExecutorOptions epoch;
+  epoch.timing_leg = true;
+  epoch.event_driven = true;
+  epoch.mem_threads = 2;
+  Executor ex(epoch);
+  const Outcome parent_out = ex.run(input);
+  const std::vector<std::uint8_t> payload = ex.master_snapshot(input.profile);
+  ASSERT_FALSE(payload.empty());
+
+  // A truncated payload must be rejected, never half-applied.
+  EXPECT_THROW(
+      ex.set_master_snapshot(input.profile, payload.data(),
+                             payload.size() / 2),
+      std::runtime_error);
+
+  const std::string path =
+      testing::TempDir() + "executor_master_snapshot.ckpt";
+  fleet::checkpoint::write_file(path, /*config_hash=*/input.profile, payload);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: everything before _exit; no gtest assertions propagate.
+    ::close(fds[0]);
+    std::uint8_t reply[15] = {0};
+    try {
+      std::uint64_t hash = 0;
+      const std::vector<std::uint8_t> restored =
+          fleet::checkpoint::read_file(path, &hash);
+      ExecutorOptions serial_ref;
+      serial_ref.timing_leg = true;
+      serial_ref.event_driven = false;
+      serial_ref.mem_threads = 1;
+      Executor fresh(serial_ref);
+      fresh.set_master_snapshot(input.profile, restored.data(),
+                                restored.size());
+      const bool reexport_identical =
+          fresh.master_snapshot(input.profile) == restored;
+      const Outcome out = fresh.run(input);
+      reply[0] = hash == input.profile ? 1 : 0;
+      store_le64(reply + 1, out.signature);
+      reply[9] = static_cast<std::uint8_t>(out.verdict);
+      reply[10] = static_cast<std::uint8_t>(out.violations);
+      reply[11] = static_cast<std::uint8_t>(out.mismatches);
+      reply[12] = static_cast<std::uint8_t>(out.silent_mismatches);
+      reply[13] = static_cast<std::uint8_t>(out.faults_fired);
+      reply[14] = reexport_identical ? 1 : 0;
+    } catch (const std::exception&) {
+      // reply stays zeroed; the parent's assertions report the failure.
+    }
+    std::size_t off = 0;
+    while (off < sizeof reply) {
+      const ssize_t n = ::write(fds[1], reply + off, sizeof reply - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  std::uint8_t reply[15] = {0};
+  std::size_t off = 0;
+  while (off < sizeof reply) {
+    const ssize_t n = ::read(fds[0], reply + off, sizeof reply - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fds[0]);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ASSERT_EQ(off, sizeof reply) << "child died before replying";
+
+  EXPECT_EQ(reply[0], 1) << "container config hash did not round-trip";
+  EXPECT_EQ(load_le64(reply + 1), parent_out.signature);
+  EXPECT_EQ(reply[9], static_cast<std::uint8_t>(parent_out.verdict));
+  EXPECT_EQ(reply[10], static_cast<std::uint8_t>(parent_out.violations));
+  EXPECT_EQ(reply[11], static_cast<std::uint8_t>(parent_out.mismatches));
+  EXPECT_EQ(reply[12],
+            static_cast<std::uint8_t>(parent_out.silent_mismatches));
+  EXPECT_EQ(reply[13], static_cast<std::uint8_t>(parent_out.faults_fired));
+  EXPECT_EQ(reply[14], 1) << "import -> re-export was not byte-identical";
+  std::remove(path.c_str());
 }
 
 TEST(FuzzCampaign, SameSeedSameLogAcrossRepeats) {
