@@ -72,15 +72,29 @@ for bdir in build-ci-debug build-ci-release; do
 done
 
 # Fleet-service step: the fleet label (checkpoint corruption battery +
-# mid-run restore properties, Node/coordinator integration incl. the
-# forced worker-SIGKILL recovery, the warm-start harness gate, and the
-# fleetd kill-recovery smoke, which exits non-zero unless the recovered
-# aggregates are byte-identical to an undisturbed single-worker run) in
-# both build types. Already covered by the full suites above; re-run
-# explicitly so a future CTEST_ARGS filter can never silently skip it.
+# generational-fallback cases, Node/coordinator integration incl. the
+# forced worker-SIGKILL recovery, the chaos battery, the warm-start
+# harness gate, and the fleetd kill-recovery + chaos smokes, which exit
+# non-zero unless the recovered aggregates are byte-identical to an
+# undisturbed single-worker run) in both build types. Already covered by
+# the full suites above; re-run explicitly so a future CTEST_ARGS filter
+# can never silently skip it.
 for bdir in build-ci-debug build-ci-release; do
   ctest --test-dir "$bdir" -L fleet --no-tests=error \
         --output-on-failure -j "$jobs"
+done
+
+# Chaos-hardening step: a bounded fleetd run with the seeded
+# fault-injection plan armed (crash-during-checkpoint, crash between tmp
+# and rename, corrupted + torn generations, a hung worker recovered by
+# the watchdog, a torn result frame), Debug and Release. fleetd exits
+# non-zero unless every fault is absorbed: recovered aggregates
+# bit-identical to the undisturbed reference, zero quarantined nodes.
+for bdir in build-ci-debug build-ci-release; do
+  SECDDR_INSTR=4000 SECDDR_WARMUP=1000 SECDDR_CORES=2 \
+  SECDDR_FLEET_NODES=3 SECDDR_FLEET_WORKERS=2 SECDDR_FLEET_CKPT=1000 \
+  SECDDR_FLEET_WATCHDOG_MS=2000 SECDDR_FLEET_STATE="$bdir/ci_chaos_state" \
+  SECDDR_FLEET_JSON='' "./$bdir/fleetd" --chaos=7
 done
 
 if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then

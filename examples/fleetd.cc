@@ -2,10 +2,20 @@
 //
 // Builds a heterogeneous fleet (workloads x security configurations from
 // the evaluation suite), runs it through the multi-process coordinator
-// (durable checkpoints + crash recovery), then re-runs the identical
-// fleet on a single undisturbed worker and requires the aggregated
-// results to be byte-identical. Exit status 1 on any divergence — this
-// is the fleet's determinism gate, wired into CTest.
+// (durable generational checkpoints + supervised crash recovery), then
+// re-runs the identical fleet on a single undisturbed worker and
+// requires the aggregated results to be byte-identical. Exit status 1 on
+// any divergence — this is the fleet's determinism gate, wired into
+// CTest.
+//
+//   fleetd [--chaos[=SEED]]
+//
+// --chaos arms a seeded fault-injection plan (fleet/chaos.h) covering
+// every fault class — kills during/around checkpoint publication, a
+// corrupted and a torn generation, a hung worker, a torn result frame —
+// and then requires the disturbed run to (a) actually exercise the
+// recovery machinery and (b) still match the undisturbed reference
+// byte for byte, with zero nodes quarantined.
 //
 // Environment knobs (all optional):
 //   SECDDR_FLEET_NODES    simulated nodes                 (default 4)
@@ -13,6 +23,9 @@
 //   SECDDR_FLEET_CKPT     cycles between checkpoints      (default 10000)
 //   SECDDR_FLEET_KILL=1   SIGKILL a worker after its first checkpoint,
 //                         forcing the respawn + resume path
+//   SECDDR_FLEET_CHAOS    chaos seed (same as --chaos=SEED)
+//   SECDDR_FLEET_WATCHDOG_MS  watchdog deadline for the chaos run
+//                             (default 2000; 0 disables)
 //   SECDDR_FLEET_STATE    state-directory prefix          (default fleet_state)
 //   SECDDR_FLEET_JSON     aggregate output ('' disables;  default BENCH_fleet.json)
 //   SECDDR_INSTR / SECDDR_WARMUP / SECDDR_CORES  as in bench/harness.h
@@ -22,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/chaos.h"
 #include "fleet/coordinator.h"
 #include "fleet/shard.h"
 #include "../bench/harness.h"
@@ -60,13 +74,6 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return s ? std::strtoull(s, nullptr, 10) : fallback;
 }
 
-void clean_state(const std::string& dir, std::size_t nodes) {
-  for (std::size_t i = 0; i < nodes; ++i)
-    std::remove(
-        fleet::ShardDriver::checkpoint_path(dir, static_cast<unsigned>(i))
-            .c_str());
-}
-
 std::string json_hist(const std::vector<std::uint64_t>& h) {
   std::string out = "[";
   for (std::size_t i = 0; i < h.size(); ++i) {
@@ -78,12 +85,30 @@ std::string json_hist(const std::vector<std::uint64_t>& h) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::BenchOptions opt = bench::BenchOptions::from_env();
   // Keep the no-knob invocation snappy (the full suite is a CI knob away).
   if (!std::getenv("SECDDR_INSTR")) opt.instructions = 20000;
   if (!std::getenv("SECDDR_WARMUP")) opt.warmup = 5000;
   if (!std::getenv("SECDDR_CORES")) opt.cores = 2;
+
+  bool chaos_mode = false;
+  std::uint64_t chaos_seed = 1;
+  if (const char* s = std::getenv("SECDDR_FLEET_CHAOS")) {
+    chaos_mode = true;
+    chaos_seed = std::strtoull(s, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos_mode = true;
+    } else if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
+      chaos_mode = true;
+      chaos_seed = std::strtoull(argv[i] + 8, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "fleetd: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
 
   const unsigned node_count =
       static_cast<unsigned>(env_u64("SECDDR_FLEET_NODES", 4));
@@ -99,17 +124,30 @@ int main() {
   for (unsigned i = 0; i < node_count; ++i)
     nodes.push_back(make_node(i, opt));
 
-  std::printf("fleetd: %u nodes, %u workers, checkpoint every %llu cycles%s\n",
+  std::printf("fleetd: %u nodes, %u workers, checkpoint every %llu cycles%s%s\n",
               node_count, workers,
               static_cast<unsigned long long>(ckpt_every),
-              kill_hook ? ", kill-a-worker enabled" : "");
+              kill_hook ? ", kill-a-worker enabled" : "",
+              chaos_mode ? ", chaos armed" : "");
 
   fleet::FleetOptions run_opts;
   run_opts.workers = workers;
   run_opts.checkpoint_every = ckpt_every;
   run_opts.state_dir = state_base + "_run";
   run_opts.kill_after_first_checkpoint = kill_hook;
-  clean_state(run_opts.state_dir, nodes.size());
+  if (chaos_mode) {
+    run_opts.chaos = fleet::ChaosPlan::seeded(chaos_seed, node_count);
+    run_opts.watchdog_deadline_ms =
+        static_cast<unsigned>(env_u64("SECDDR_FLEET_WATCHDOG_MS", 2'000));
+    // The seeded plan is built so full recovery (not quarantine) is the
+    // required outcome; give the supervisor headroom to prove it.
+    run_opts.node_failure_budget = 16;
+    run_opts.max_respawns = 64;
+    std::printf("chaos plan (seed %llu):\n%s",
+                static_cast<unsigned long long>(chaos_seed),
+                run_opts.chaos.describe().c_str());
+  }
+  fleet::reset_state_dir(run_opts.state_dir);
   const fleet::FleetResult res = fleet::run_fleet(nodes, run_opts);
 
   // Undisturbed single-worker reference over the identical fleet.
@@ -117,20 +155,28 @@ int main() {
   ref_opts.workers = 1;
   ref_opts.checkpoint_every = ckpt_every;
   ref_opts.state_dir = state_base + "_ref";
-  clean_state(ref_opts.state_dir, nodes.size());
+  fleet::reset_state_dir(ref_opts.state_dir);
   const fleet::FleetResult ref = fleet::run_fleet(nodes, ref_opts);
 
-  std::printf("\n%-22s %10s %14s %12s\n", "node", "total IPC",
-              "avg rd lat", "dram reads");
+  std::printf("\n%-22s %10s %14s %12s  %s\n", "node", "total IPC",
+              "avg rd lat", "dram reads", "status");
   for (std::size_t i = 0; i < res.per_node.size(); ++i) {
     const sim::RunResult& r = res.per_node[i];
-    std::printf("%-22s %10.4f %14.2f %12llu\n", res.names[i].c_str(),
+    std::printf("%-22s %10.4f %14.2f %12llu  %s\n", res.names[i].c_str(),
                 r.total_ipc, r.dram.avg_read_latency(),
-                static_cast<unsigned long long>(r.dram.reads_completed));
+                static_cast<unsigned long long>(r.dram.reads_completed),
+                fleet::node_status_name(res.status[i]));
   }
-  std::printf("\nfleet total IPC %.4f | instructions %llu | respawns %u\n",
-              res.total_ipc, static_cast<unsigned long long>(res.instructions),
-              res.respawns);
+  std::printf(
+      "\nfleet total IPC %.4f | instructions %llu | respawns %u | "
+      "hung kills %u | quarantined %u\n",
+      res.total_ipc, static_cast<unsigned long long>(res.instructions),
+      res.respawns, res.hung_kills, res.quarantined);
+  for (const fleet::FailureEvent& ev : res.failures)
+    std::printf("  failure: node %u (%s) lost %llu cycles, backoff %lld ms%s\n",
+                ev.node, res.names[ev.node].c_str(),
+                static_cast<unsigned long long>(ev.lost_cycles), ev.backoff_ms,
+                ev.hung ? " [watchdog]" : "");
 
   const bool identical =
       fleet::encode_fleet(res) == fleet::encode_fleet(ref);
@@ -146,7 +192,22 @@ int main() {
     body += "\"workers\":" + std::to_string(workers) + ",";
     body += "\"checkpoint_every\":" + std::to_string(ckpt_every) + ",";
     body += "\"kill_hook\":" + std::string(kill_hook ? "true" : "false") + ",";
+    body += "\"chaos\":" + std::string(chaos_mode ? "true" : "false") + ",";
+    if (chaos_mode)
+      body += "\"chaos_seed\":" + std::to_string(chaos_seed) + ",";
     body += "\"respawns\":" + std::to_string(res.respawns) + ",";
+    body += "\"hung_kills\":" + std::to_string(res.hung_kills) + ",";
+    body += "\"quarantined\":" + std::to_string(res.quarantined) + ",";
+    body += "\"failures\":[";
+    for (std::size_t i = 0; i < res.failures.size(); ++i) {
+      const fleet::FailureEvent& ev = res.failures[i];
+      if (i) body += ",";
+      body += "{\"node\":" + std::to_string(ev.node) +
+              ",\"lost_cycles\":" + std::to_string(ev.lost_cycles) +
+              ",\"backoff_ms\":" + std::to_string(ev.backoff_ms) +
+              ",\"hung\":" + (ev.hung ? "true" : "false") + "}";
+    }
+    body += "],";
     char num[64];
     std::snprintf(num, sizeof num, "%.6f", res.total_ipc);
     body += "\"total_ipc\":" + std::string(num) + ",";
@@ -162,7 +223,9 @@ int main() {
     for (std::size_t i = 0; i < res.per_node.size(); ++i) {
       if (i) body += ",";
       std::snprintf(num, sizeof num, "%.6f", res.per_node[i].total_ipc);
-      body += "{\"name\":\"" + res.names[i] + "\",\"total_ipc\":" + num + "}";
+      body += "{\"name\":\"" + res.names[i] + "\",\"total_ipc\":" + num +
+              ",\"status\":\"" +
+              fleet::node_status_name(res.status[i]) + "\"}";
     }
     body += "]}";
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
@@ -185,6 +248,19 @@ int main() {
                  "fleetd: FAIL — kill hook requested but no worker needed a "
                  "respawn (recovery path not exercised; lower "
                  "SECDDR_FLEET_CKPT or raise SECDDR_INSTR)\n");
+    return 1;
+  }
+  if (chaos_mode && res.respawns == 0) {
+    std::fprintf(stderr,
+                 "fleetd: FAIL — chaos armed but no worker died (fault "
+                 "injection did not engage)\n");
+    return 1;
+  }
+  if (chaos_mode && res.quarantined != 0) {
+    std::fprintf(stderr,
+                 "fleetd: FAIL — seeded chaos plan must end in full "
+                 "recovery, but %u node(s) were quarantined\n",
+                 res.quarantined);
     return 1;
   }
   return 0;

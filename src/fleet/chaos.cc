@@ -1,0 +1,282 @@
+#include "fleet/chaos.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace secddr::fleet {
+
+const char* chaos_point_name(ChaosPoint p) {
+  switch (p) {
+    case ChaosPoint::kKillDuringCheckpointWrite:
+      return "kill-during-checkpoint-write";
+    case ChaosPoint::kKillBeforeRename:
+      return "kill-before-rename";
+    case ChaosPoint::kCorruptPublishedGeneration:
+      return "corrupt-published-generation";
+    case ChaosPoint::kPublishTornGeneration:
+      return "publish-torn-generation";
+    case ChaosPoint::kHangAtSlice:
+      return "hang-at-slice";
+    case ChaosPoint::kTornResultFrame:
+      return "torn-result-frame";
+    case ChaosPoint::kDropCheckpointAnnounce:
+      return "drop-checkpoint-announce";
+    case ChaosPoint::kKillAtSlice:
+      return "kill-at-slice";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// splitmix64: tiny, seed-stable, good enough to permute a fault list.
+std::uint64_t mix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ChaosPlan ChaosPlan::seeded(std::uint64_t seed, unsigned nodes) {
+  if (nodes == 0) nodes = 1;
+  std::vector<ChaosPoint> points = {
+      ChaosPoint::kKillDuringCheckpointWrite,
+      ChaosPoint::kKillBeforeRename,
+      ChaosPoint::kCorruptPublishedGeneration,
+      ChaosPoint::kPublishTornGeneration,
+      ChaosPoint::kHangAtSlice,
+      ChaosPoint::kTornResultFrame,
+      ChaosPoint::kDropCheckpointAnnounce,
+      ChaosPoint::kKillAtSlice,
+  };
+  std::uint64_t s = seed ? seed : 1;
+  // Fisher-Yates permutation of the fault classes, seed-derived.
+  for (std::size_t i = points.size(); i > 1; --i)
+    std::swap(points[i - 1], points[mix64(s) % i]);
+  const unsigned first = static_cast<unsigned>(mix64(s) % nodes);
+  ChaosPlan plan;
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    ChaosFault f;
+    f.point = points[j];
+    f.node = (first + static_cast<unsigned>(j)) % nodes;
+    // Checkpoint-file faults fire at the second write so a previous
+    // good generation exists and the required outcome is recovery.
+    const bool ckpt_fault =
+        f.point == ChaosPoint::kCorruptPublishedGeneration ||
+        f.point == ChaosPoint::kPublishTornGeneration;
+    f.occurrence = ckpt_fault ? 2 : 1;
+    f.flip_offset = 40 + static_cast<std::uint32_t>(mix64(s) % 64);
+    plan.faults.push_back(f);
+  }
+  return plan;
+}
+
+std::string ChaosPlan::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const ChaosFault& f = faults[i];
+    out += "  fault " + std::to_string(i) + ": " +
+           chaos_point_name(f.point) + " node=" + std::to_string(f.node) +
+           " occurrence=" + std::to_string(f.occurrence) + "\n";
+  }
+  return out;
+}
+
+namespace chaos {
+namespace {
+
+struct State {
+  ChaosPlan plan;
+  std::string dir;
+  /// In-process reach counters, indexed [point][node-hash-free]: the
+  /// fleet's node ids are small and dense, a flat map keyed by
+  /// (point, node) packed into one u32 is plenty.
+  std::vector<std::pair<std::uint32_t, unsigned>> reach;
+  bool armed = false;
+};
+
+State g_state;
+
+std::uint32_t reach_key(ChaosPoint p, unsigned node) {
+  return static_cast<std::uint32_t>(p) << 24 | (node & 0xffffffu);
+}
+
+unsigned bump_reach(ChaosPoint p, unsigned node) {
+  const std::uint32_t key = reach_key(p, node);
+  for (auto& kv : g_state.reach)
+    if (kv.first == key) return ++kv.second;
+  g_state.reach.push_back({key, 1});
+  return 1;
+}
+
+std::string sentinel_path(std::size_t fault_idx) {
+  return g_state.dir + "/chaos_" + std::to_string(fault_idx) + ".fired";
+}
+
+bool fired(std::size_t fault_idx) {
+  return ::access(sentinel_path(fault_idx).c_str(), F_OK) == 0;
+}
+
+/// Durably records that fault `idx` is about to execute, so a respawned
+/// worker (which re-arms the same inherited plan) never re-fires it.
+void mark_fired(std::size_t fault_idx) {
+  const std::string path = sentinel_path(fault_idx);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// The fault due at this reach of (point, node), marked fired — or
+/// nullptr. At most one fault fires per reach.
+const ChaosFault* take(ChaosPoint p, unsigned node) {
+  if (!g_state.armed) return nullptr;
+  const unsigned count = bump_reach(p, node);
+  for (std::size_t i = 0; i < g_state.plan.faults.size(); ++i) {
+    const ChaosFault& f = g_state.plan.faults[i];
+    if (f.point != p || f.node != node || f.occurrence != count) continue;
+    if (fired(i)) continue;
+    mark_fired(i);
+    return &f;
+  }
+  return nullptr;
+}
+
+[[noreturn]] void die() {
+  ::raise(SIGKILL);
+  ::_exit(137);  // unreachable; placates [[noreturn]]
+}
+
+[[noreturn]] void hang() {
+  // Livelock, not exit: the pipe stays open, poll() never reports EOF,
+  // and only the coordinator's watchdog can end this worker.
+  for (;;) ::usleep(100'000);
+}
+
+/// XORs one byte of `path` at `offset` (mod file size).
+void flip_byte(const std::string& path, std::uint32_t offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (!f) return;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size > 0) {
+    const long pos = static_cast<long>(offset % static_cast<std::uint64_t>(size));
+    std::fseek(f, pos, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, pos, SEEK_SET);
+    std::fputc((c == EOF ? 0 : c) ^ 0x40, f);
+    std::fflush(f);
+    ::fsync(::fileno(f));
+  }
+  std::fclose(f);
+}
+
+/// WriteObserver wiring the four checkpoint-write fault points into one
+/// durable write of `node`'s checkpoint.
+class CheckpointChaos final : public checkpoint::WriteObserver {
+ public:
+  void set_node(unsigned node) {
+    node_ = node;
+    die_at_publish_ = false;
+  }
+
+  void on_tmp_partial(const std::string&) override {
+    if (take(ChaosPoint::kKillDuringCheckpointWrite, node_)) die();
+  }
+
+  void on_tmp_written(const std::string& tmp) override {
+    if (take(ChaosPoint::kPublishTornGeneration, node_)) {
+      // Model the data a crash-before-fsync would lose: the tail of
+      // the file never reaches disk, yet the rename still publishes it.
+      std::FILE* f = std::fopen(tmp.c_str(), "r+b");
+      if (f) {
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        std::fclose(f);
+        if (size > 1) (void)::truncate(tmp.c_str(), size / 2);
+      }
+      die_at_publish_ = true;
+    }
+  }
+
+  void on_before_rename(const std::string&) override {
+    if (take(ChaosPoint::kKillBeforeRename, node_)) die();
+  }
+
+  void on_published(const std::string& path) override {
+    if (die_at_publish_) die();
+    if (const ChaosFault* f =
+            take(ChaosPoint::kCorruptPublishedGeneration, node_)) {
+      flip_byte(path, f->flip_offset);
+      die();
+    }
+  }
+
+ private:
+  unsigned node_ = 0;
+  bool die_at_publish_ = false;
+};
+
+CheckpointChaos g_ckpt_chaos;
+
+}  // namespace
+
+void arm(const ChaosPlan& plan, std::string state_dir) {
+  g_state.plan = plan;
+  g_state.dir = std::move(state_dir);
+  g_state.reach.clear();
+  g_state.armed = !plan.empty();
+}
+
+void disarm() {
+  g_state = State{};
+}
+
+bool armed() { return g_state.armed; }
+
+void at_slice(unsigned node) {
+  if (!g_state.armed) return;
+  if (take(ChaosPoint::kHangAtSlice, node)) hang();
+  if (take(ChaosPoint::kKillAtSlice, node)) die();
+}
+
+bool drop_checkpoint_announce(unsigned node) {
+  return g_state.armed &&
+         take(ChaosPoint::kDropCheckpointAnnounce, node) != nullptr;
+}
+
+void maybe_tear_result_frame(unsigned node, int fd, const std::uint8_t* frame,
+                             std::size_t n) {
+  if (!g_state.armed) return;
+  if (!take(ChaosPoint::kTornResultFrame, node)) return;
+  // A strict prefix — the coordinator must discard this tail at EOF.
+  std::size_t torn = n / 2;
+  if (torn == 0 && n > 0) torn = n - 1;
+  std::size_t off = 0;
+  while (off < torn) {
+    const ssize_t w = ::write(fd, frame + off, torn - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  die();
+}
+
+checkpoint::WriteObserver* write_observer(unsigned node) {
+  if (!g_state.armed) return nullptr;
+  g_ckpt_chaos.set_node(node);
+  return &g_ckpt_chaos;
+}
+
+}  // namespace chaos
+}  // namespace secddr::fleet

@@ -1,0 +1,113 @@
+// Deterministic fault-injection harness for the fleet service.
+//
+// A ChaosPlan is a list of named faults — kill during a checkpoint
+// write, kill between tmp and rename, corrupt a published generation,
+// publish a torn generation (simulating a crash before fsync), hang a
+// worker, tear a result frame mid-pipe, drop a checkpoint announcement,
+// or plain-kill at a slice boundary. Each fault fires at the Nth time
+// its (point, node) is reached inside a worker process, exactly once
+// per fleet run: before executing, the fault durably marks a sentinel
+// file (`chaos_<idx>.fired` in the state directory) so a worker
+// respawned after the fault does not re-fire it. That makes every
+// chaos schedule deterministic and every scenario terminating.
+//
+// Workers inherit the armed plan through fork() (run_fleet arms it in
+// the child from FleetOptions::chaos), so the plan needs no wire
+// format. The hooks are called from the shard driver (slice points),
+// the worker pipe writer (frame points), and — via the
+// checkpoint::WriteObserver seam — from the durable checkpoint writer
+// (tmp/rename/publish points). tests/fleet_chaos_test.cc asserts every
+// scenario ends in either bit-identical recovery or clean quarantine;
+// `fleetd --chaos` runs a seeded plan as a self-checking smoke.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/checkpoint.h"
+
+namespace secddr::fleet {
+
+enum class ChaosPoint : std::uint8_t {
+  /// SIGKILL after the checkpoint tmp file is only partially written
+  /// (torn tmp; nothing published).
+  kKillDuringCheckpointWrite = 0,
+  /// SIGKILL after the tmp file is complete and fsync'd, before the
+  /// rename publishes it.
+  kKillBeforeRename = 1,
+  /// Flip one byte of the just-published generation file, then SIGKILL
+  /// (recovery must fall back to the previous generation).
+  kCorruptPublishedGeneration = 2,
+  /// Truncate the tmp file after it was fully written but before the
+  /// fsync+rename publish it, then SIGKILL after the rename — the
+  /// published generation is torn, exactly what a power cut before
+  /// fsync could leave behind on the pre-fsync writer.
+  kPublishTornGeneration = 3,
+  /// Stop making progress at a slice boundary (sleep forever); the
+  /// coordinator watchdog must detect and SIGKILL the worker.
+  kHangAtSlice = 4,
+  /// Write only a prefix of the node's result frame to the pipe, then
+  /// SIGKILL (torn tail must be discarded, result re-earned).
+  kTornResultFrame = 5,
+  /// Suppress one checkpoint-announcement frame (the durable file is
+  /// still written; the coordinator must not depend on announcements).
+  kDropCheckpointAnnounce = 6,
+  /// Plain SIGKILL at a slice boundary (failure-budget fuel).
+  kKillAtSlice = 7,
+};
+
+const char* chaos_point_name(ChaosPoint p);
+
+struct ChaosFault {
+  ChaosPoint point = ChaosPoint::kKillAtSlice;
+  unsigned node = 0;       ///< global fleet node id the fault targets
+  unsigned occurrence = 1; ///< fire at the Nth in-process reach of (point, node)
+  /// kCorruptPublishedGeneration: byte offset to XOR (mod file size).
+  std::uint32_t flip_offset = 48;
+};
+
+struct ChaosPlan {
+  std::vector<ChaosFault> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  /// Deterministic plan exercising every fault class once, spread over
+  /// `nodes` round-robin from a seed-derived starting node, in a
+  /// seed-permuted order. Checkpoint-file faults fire at their second
+  /// reach so a previous good generation exists and recovery (not
+  /// quarantine) is the required outcome.
+  static ChaosPlan seeded(std::uint64_t seed, unsigned nodes);
+
+  /// One line per fault, for logs.
+  std::string describe() const;
+};
+
+namespace chaos {
+
+/// Arms the process-global plan; sentinel files land in `state_dir`.
+/// Single-threaded use only (each fleet worker is single-threaded).
+void arm(const ChaosPlan& plan, std::string state_dir);
+void disarm();
+bool armed();
+
+/// Slice-boundary hook (kHangAtSlice / kKillAtSlice). Does not return
+/// when a fault fires.
+void at_slice(unsigned node);
+
+/// True when a due kDropCheckpointAnnounce fault fired (the caller must
+/// suppress the announcement frame).
+bool drop_checkpoint_announce(unsigned node);
+
+/// kTornResultFrame: when due, writes a strict prefix of `frame` to
+/// `fd` and SIGKILLs the process. Returns normally otherwise.
+void maybe_tear_result_frame(unsigned node, int fd, const std::uint8_t* frame,
+                             std::size_t n);
+
+/// Checkpoint-write fault driver for `node`'s next durable write, or
+/// nullptr when no checkpoint-point fault is armed. The pointer aliases
+/// a process-global and is valid until the next call.
+checkpoint::WriteObserver* write_observer(unsigned node);
+
+}  // namespace chaos
+}  // namespace secddr::fleet

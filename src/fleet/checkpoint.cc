@@ -1,6 +1,13 @@
 #include "fleet/checkpoint.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "sim/trace_codec.h"
@@ -110,24 +117,123 @@ std::vector<std::uint8_t> decode(const std::uint8_t* data, std::size_t n,
   return payload;
 }
 
+namespace {
+
+/// Full write with EINTR/short-write handling.
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// fsync of the directory containing `path`, so the rename that put the
+/// file there is itself durable (a rename only lives in the directory).
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                          : slash == 0               ? std::string("/")
+                                                     : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return false;
+  const bool ok = ::fsync(dfd) == 0;
+  ::close(dfd);
+  return ok;
+}
+
+}  // namespace
+
 void write_file(const std::string& path, std::uint64_t config_hash,
-                const std::vector<std::uint8_t>& payload) {
+                const std::vector<std::uint8_t>& payload,
+                WriteObserver* observer) {
   const std::vector<std::uint8_t> bytes = encode(config_hash, payload);
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) throw std::runtime_error(tmp + ": cannot create checkpoint");
-  const bool ok =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  const bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (!ok || !flushed) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) throw std::runtime_error(tmp + ": cannot create checkpoint");
+  auto fail = [&](const std::string& what) {
+    ::close(fd);
     std::remove(tmp.c_str());
-    throw std::runtime_error(tmp + ": checkpoint write failed");
+    throw std::runtime_error(what);
+  };
+  // Two bounded writes so the torn-tmp observation point sits between
+  // real write() calls — the file genuinely holds a strict prefix there.
+  const std::size_t half = bytes.size() / 2;
+  if (!write_all(fd, bytes.data(), half))
+    fail(tmp + ": checkpoint write failed");
+  if (observer) observer->on_tmp_partial(tmp);
+  if (!write_all(fd, bytes.data() + half, bytes.size() - half))
+    fail(tmp + ": checkpoint write failed");
+  if (observer) observer->on_tmp_written(tmp);
+  // Durability, step 1: the bytes must be on disk before the rename can
+  // publish them — otherwise a power cut after the rename leaves a
+  // torn file under the committed name.
+  if (::fsync(fd) != 0) fail(tmp + ": checkpoint fsync failed");
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error(tmp + ": checkpoint close failed");
   }
+  if (observer) observer->on_before_rename(tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error(path + ": checkpoint rename failed");
   }
+  // Durability, step 2: the rename lives in the directory entry.
+  if (!fsync_parent_dir(path))
+    throw std::runtime_error(path + ": checkpoint directory fsync failed");
+  if (observer) observer->on_published(path);
+}
+
+std::string generation_path(const std::string& base, std::uint64_t gen) {
+  return base + "." + std::to_string(gen);
+}
+
+std::vector<GenerationFile> list_generations(const std::string& base) {
+  const std::size_t slash = base.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : base.substr(0, slash);
+  const std::string prefix =
+      (slash == std::string::npos ? base : base.substr(slash + 1)) + ".";
+  std::vector<GenerationFile> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return out;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0)
+      continue;
+    const std::string tail = name.substr(prefix.size());
+    if (tail.find_first_not_of("0123456789") != std::string::npos)
+      continue;  // .tmp residue etc.
+    GenerationFile g;
+    g.gen = std::strtoull(tail.c_str(), nullptr, 10);
+    g.path = dir + "/" + name;
+    out.push_back(std::move(g));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const GenerationFile& a, const GenerationFile& b) {
+              return a.gen < b.gen;
+            });
+  return out;
+}
+
+std::uint64_t next_generation(const std::string& base) {
+  const std::vector<GenerationFile> gens = list_generations(base);
+  return gens.empty() ? 1 : gens.back().gen + 1;
+}
+
+void gc_generations(const std::string& base, unsigned keep) {
+  const std::vector<GenerationFile> gens = list_generations(base);
+  if (keep == 0) keep = 1;
+  if (gens.size() <= keep) return;
+  for (std::size_t i = 0; i + keep < gens.size(); ++i)
+    std::remove(gens[i].path.c_str());
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path,

@@ -26,8 +26,14 @@
 // Same discipline as sim/trace_codec (whose CRC-32 this reuses): every
 // structural violation throws CheckpointFormatError carrying the file
 // path and byte offset; tests/fleet_checkpoint_test.cc is the battery.
-// Files are written atomically (tmp + rename), so a crash mid-write
-// never leaves a half-checkpoint under the final name.
+// Files are written atomically AND durably: the payload is written to a
+// tmp file, fsync'd, renamed over the final name, and the parent
+// directory is fsync'd — so a crash (or power cut) at any point leaves
+// either the old file or the complete new one, never a torn
+// "committed" checkpoint. The fleet keeps N generations per node
+// (`<base>.<gen>`); restore walks them newest-first, skipping any that
+// fails to decode, so a corrupt newest generation falls back to the
+// previous good state instead of aborting.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +65,29 @@ class CheckpointFormatError : public std::runtime_error {
   std::uint64_t offset_;
 };
 
+/// Every present generation of a node's checkpoint failed to decode:
+/// there is state on disk but none of it restores. The fleet treats
+/// this as grounds for quarantine (restarting from zero would silently
+/// discard the node's history), distinct from the clean cold start a
+/// missing checkpoint means.
+class CheckpointUnrecoverableError : public std::runtime_error {
+ public:
+  CheckpointUnrecoverableError(std::string base, std::size_t generations,
+                               const std::string& detail)
+      : std::runtime_error(base + ": all " + std::to_string(generations) +
+                           " checkpoint generation(s) unrecoverable — " +
+                           detail),
+        base_(std::move(base)),
+        generations_(generations) {}
+
+  const std::string& base() const { return base_; }
+  std::size_t generations() const { return generations_; }
+
+ private:
+  std::string base_;
+  std::size_t generations_;
+};
+
 namespace checkpoint {
 
 inline constexpr std::uint8_t kMagic[8] = {'S', 'E', 'C', 'D',
@@ -83,10 +112,52 @@ std::vector<std::uint8_t> decode(const std::uint8_t* data, std::size_t n,
                                  const std::string& path,
                                  std::uint64_t* config_hash);
 
-/// Atomically writes `path` (tmp file + rename). Throws
-/// std::runtime_error on I/O failure.
+/// Observation points inside write_file, in call order. The production
+/// writer passes nullptr; the chaos harness injects crashes and
+/// corruption here (fleet/chaos.h). A callback may not return (SIGKILL)
+/// or may mutate the named file — write_file re-reads nothing, so a
+/// truncation at on_tmp_written survives into the published file,
+/// exactly modeling data lost to a crash before fsync.
+struct WriteObserver {
+  virtual ~WriteObserver() = default;
+  /// The tmp file holds a strict prefix of the bytes.
+  virtual void on_tmp_partial(const std::string& tmp) { (void)tmp; }
+  /// All bytes written to the tmp file, before fsync.
+  virtual void on_tmp_written(const std::string& tmp) { (void)tmp; }
+  /// Tmp file fsync'd, before the rename publishes it.
+  virtual void on_before_rename(const std::string& tmp) { (void)tmp; }
+  /// Renamed into place and the parent directory fsync'd.
+  virtual void on_published(const std::string& path) { (void)path; }
+};
+
+/// Atomically and durably writes `path`: tmp file, fsync(file), rename,
+/// fsync(parent directory). Throws std::runtime_error on I/O failure.
 void write_file(const std::string& path, std::uint64_t config_hash,
-                const std::vector<std::uint8_t>& payload);
+                const std::vector<std::uint8_t>& payload,
+                WriteObserver* observer = nullptr);
+
+// --- Generational checkpoints ------------------------------------------
+// A node's durable state is a family `<base>.<gen>` with gen = 1, 2, ...
+// The writer publishes the next generation, then garbage-collects so at
+// most `keep` generations remain; restore walks newest-first.
+
+/// Path of generation `gen` of `base`.
+std::string generation_path(const std::string& base, std::uint64_t gen);
+
+struct GenerationFile {
+  std::uint64_t gen = 0;
+  std::string path;
+};
+
+/// Every `<base>.<gen>` present on disk, ascending by generation.
+/// Missing directory or no matches -> empty (a clean cold start).
+std::vector<GenerationFile> list_generations(const std::string& base);
+
+/// Generation the next write should use (newest present + 1, else 1).
+std::uint64_t next_generation(const std::string& base);
+
+/// Deletes all but the newest `keep` generations of `base`.
+void gc_generations(const std::string& base, unsigned keep);
 
 /// Reads and validates a checkpoint file. Throws CheckpointFormatError
 /// on structural violations, std::runtime_error when unreadable.

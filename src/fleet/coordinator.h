@@ -1,22 +1,37 @@
 // Fleet coordinator: forks worker processes, assigns each a shard of
 // nodes, collects per-node results over pipes, and aggregates fleet
-// statistics — with crash recovery.
+// statistics — with supervised crash recovery.
 //
-// Workers checkpoint every node durably (ShardDriver) and report
-// progress over a private pipe in CRC-framed messages. When a worker
-// dies (crash or kill -9), the coordinator reaps it and respawns a
-// replacement for the nodes whose results are still missing; the
-// replacement resumes each from its last checkpoint file. Because
-// slicing and checkpoint/restore are bit-identical to uninterrupted
-// execution, the final aggregates match an undisturbed run at any
-// worker count — the fleetd smoke test asserts exactly that, including
-// across a forced mid-run SIGKILL.
+// Supervision discipline:
+//  * Liveness. Workers stream CRC-framed heartbeats (per-node cycle
+//    progress) on their result pipe; the coordinator's watchdog
+//    declares a worker hung after `watchdog_deadline_ms` without a
+//    frame, SIGKILLs it, and recovers it like any other abnormal death
+//    — run_fleet never blocks unboundedly in poll()/read().
+//  * Durability. Workers keep `keep_generations` fsync'd checkpoint
+//    generations per node; a respawned worker resumes each node from
+//    the newest generation that decodes, so a crash *during*
+//    checkpointing falls back to the previous good state.
+//  * Failure policy. Abnormal deaths respawn on a deterministic
+//    (jitterless) exponential backoff schedule. Every death is
+//    attributed to the node the worker last reported driving; a node
+//    that exhausts `node_failure_budget` — or whose on-disk state is
+//    entirely corrupt — is quarantined, and the fleet run finishes
+//    with an explicit partial result (per-node ok|recovered|quarantined
+//    status) instead of dying.
+//
+// Because slicing and checkpoint/restore are bit-identical to
+// uninterrupted execution, the aggregates over non-quarantined nodes
+// match an undisturbed run at any worker count and under any crash
+// schedule — the fleetd smoke and tests/fleet_chaos_test.cc assert
+// exactly that across the whole chaos battery.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "fleet/chaos.h"
 #include "fleet/node.h"
 
 namespace secddr::fleet {
@@ -26,16 +41,33 @@ struct FleetOptions {
   unsigned workers = 1;
   /// Cycles each node executes between durable checkpoints.
   Cycle checkpoint_every = 25'000;
-  /// Directory for node_<i>.ckpt files (created if missing). Stale
+  /// Checkpoint generations retained per node (node_<i>.ckpt.<gen>).
+  unsigned keep_generations = 3;
+  /// Directory for checkpoint generations (created if missing). Stale
   /// checkpoints from a previous fleet are resumed, so point different
-  /// experiments at different directories (or clean between runs).
+  /// experiments at different directories (or reset_state_dir between
+  /// runs).
   std::string state_dir = "fleet_state";
   /// Crash-recovery test hook: SIGKILL the first worker that reports a
   /// checkpoint (once), forcing the respawn + resume path mid-run.
   bool kill_after_first_checkpoint = false;
-  /// Abnormal-death respawn budget; exceeding it aborts the fleet run
-  /// (a shard that keeps crashing would otherwise loop forever).
-  unsigned max_respawns = 8;
+  /// Abnormal-death respawn budget across the whole run; exceeding it
+  /// aborts the fleet (a crash storm the per-node budget somehow does
+  /// not contain would otherwise loop forever).
+  unsigned max_respawns = 32;
+  /// Watchdog: a worker producing no frame for this long is declared
+  /// hung, SIGKILLed, and recovered. 0 disables (poll blocks forever).
+  unsigned watchdog_deadline_ms = 30'000;
+  /// Deterministic respawn backoff: the k-th consecutive failure of a
+  /// worker slot delays its respawn by backoff_ms << (k-1), capped at
+  /// backoff_max_ms. 0 respawns immediately.
+  unsigned respawn_backoff_ms = 50;
+  unsigned respawn_backoff_max_ms = 2'000;
+  /// Abnormal deaths attributed to one node before it is quarantined.
+  unsigned node_failure_budget = 3;
+  /// Fault-injection plan, armed inside every worker (fleet/chaos.h).
+  /// Empty = no chaos.
+  ChaosPlan chaos;
 };
 
 /// Fixed histogram geometry for the fleet aggregates (bucket i counts
@@ -45,13 +77,44 @@ inline constexpr unsigned kFleetHistBuckets = 16;
 inline constexpr double kIpcBucketWidth = 0.5;      ///< node total IPC
 inline constexpr double kLatencyBucketWidth = 50.0; ///< avg read latency
 
+/// Terminal per-node status of a fleet run.
+enum class NodeStatus : std::uint8_t {
+  kOk = 0,         ///< finished without its worker ever dying under it
+  kRecovered = 1,  ///< finished after >= 1 resume from a durable checkpoint
+  kQuarantined = 2 ///< failure budget exhausted or state unrecoverable;
+                   ///< excluded from aggregates, RunResult left default
+};
+const char* node_status_name(NodeStatus s);
+
+/// One abnormal worker death, attributed to a node (telemetry).
+struct FailureEvent {
+  unsigned node = 0;
+  /// Progress beyond the node's last announced durable checkpoint at
+  /// the time of death — the cycles the respawn had to re-execute.
+  std::uint64_t lost_cycles = 0;
+  /// Backoff delay applied before the replacement worker was spawned
+  /// (the deterministic part of the recovery latency); 0 when the death
+  /// needed no respawn.
+  long long backoff_ms = 0;
+  bool hung = false;  ///< death came from the watchdog, not a crash
+};
+
 struct FleetResult {
   std::vector<std::string> names;          ///< index = node id
   std::vector<sim::RunResult> per_node;    ///< index = node id
-  unsigned respawns = 0;  ///< workers respawned after abnormal death
+  std::vector<NodeStatus> status;          ///< index = node id
+  std::vector<std::string> quarantine_reasons;  ///< "" unless quarantined
+
+  // Recovery telemetry (legitimately differs between an interrupted and
+  // an undisturbed run; excluded from encode_fleet).
+  unsigned respawns = 0;   ///< workers respawned after abnormal death
+  unsigned hung_kills = 0; ///< watchdog-initiated SIGKILLs
+  std::vector<FailureEvent> failures;  ///< one per abnormal death
 
   // Aggregates, derived from per_node in fixed node order (independent
-  // of worker count, scheduling, and crash history).
+  // of worker count, scheduling, and crash history). Quarantined nodes
+  // are excluded — a partial result is explicit, never wrong.
+  unsigned quarantined = 0;                    ///< quarantined node count
   double total_ipc = 0.0;                      ///< sum over nodes
   std::uint64_t instructions = 0;              ///< sum over nodes+cores
   std::uint64_t llc_demand_misses = 0;
@@ -64,21 +127,60 @@ struct FleetResult {
   std::vector<std::uint64_t> latency_hist;  ///< kFleetHistBuckets entries
 };
 
-/// Recomputes the aggregate fields from per_node (names/per_node must be
-/// fully populated).
+/// Recomputes the aggregate fields from per_node/status (names/per_node
+/// must be fully populated; an empty status vector means all kOk).
 void finalize_aggregates(FleetResult& r);
 
 /// Canonical byte form of everything determinism guarantees: names,
-/// per-node RunResults, and the derived aggregates — but NOT the crash
-/// history (respawns), which legitimately differs between an interrupted
-/// and an undisturbed run. Byte equality here is the fleet's
-/// bit-identity gate.
+/// per-node RunResults, which nodes were quarantined, and the derived
+/// aggregates — but NOT the crash history (respawns, hung kills,
+/// failure events, ok-vs-recovered), which legitimately differs between
+/// an interrupted and an undisturbed run. Byte equality here is the
+/// fleet's bit-identity gate.
 std::vector<std::uint8_t> encode_fleet(const FleetResult& r);
 
 /// Runs the whole fleet to completion (see file comment). Throws
 /// std::runtime_error on protocol corruption, worker setup failure, or
-/// an exhausted respawn budget.
+/// an exhausted global respawn budget.
 FleetResult run_fleet(const std::vector<NodeConfig>& nodes,
                       const FleetOptions& options);
+
+/// Creates `dir` if missing and deletes every fleet artifact in it
+/// (checkpoint generations, tmp residue, chaos sentinels) so a fresh
+/// run cannot resume a previous experiment's state.
+void reset_state_dir(const std::string& dir);
+
+// --- Pipe wire format ---------------------------------------------------
+// Every worker->coordinator message travels as one frame: u32 body
+// length, u32 CRC-32 of the body, body. Each worker owns a private pipe
+// (single writer), so frames never interleave; the CRC guards the torn
+// tail a SIGKILL mid-write can leave.
+
+/// Allocation/starvation guard: a frame length above this is protocol
+/// corruption (a torn length field would otherwise make the reassembler
+/// wait forever for bytes that never come).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28;
+
+/// Wire form of one frame (header + body), ready to write.
+std::vector<std::uint8_t> encode_frame(const std::vector<std::uint8_t>& body);
+
+/// Reassembles frames from an arbitrarily chunked byte stream — pipes
+/// and sockets deliver short reads at any boundary, including inside
+/// the 8-byte header (regression: tests/fleet_chaos_test.cc feeds a
+/// socketpair one byte at a time). Incomplete tails stay buffered; a
+/// CRC mismatch or oversized length throws std::runtime_error.
+class FrameBuffer {
+ public:
+  void append(const std::uint8_t* data, std::size_t n);
+  /// Extracts the next complete frame body; false when none is fully
+  /// buffered yet.
+  bool next(std::vector<std::uint8_t>& body);
+  /// Unconsumed bytes (a non-zero value at EOF is a torn tail).
+  std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;  ///< parse position; compacted lazily
+};
 
 }  // namespace secddr::fleet

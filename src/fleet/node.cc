@@ -41,10 +41,11 @@ std::vector<std::uint8_t> Node::checkpoint() const {
   return checkpoint::encode_system(*system_);
 }
 
-void Node::checkpoint_to_file(const std::string& path) const {
+void Node::checkpoint_to_file(const std::string& path,
+                              checkpoint::WriteObserver* observer) const {
   serial::Sink s;
   system_->save(s);
-  checkpoint::write_file(path, system_->config_hash(), s.take());
+  checkpoint::write_file(path, system_->config_hash(), s.take(), observer);
 }
 
 void Node::restore(const std::uint8_t* data, std::size_t n,
@@ -60,6 +61,25 @@ bool Node::restore_from_file(const std::string& path) {
   rebuild();
   checkpoint::restore_system_file(*system_, path);
   return true;
+}
+
+std::uint64_t Node::restore_latest(const std::string& base) {
+  const std::vector<checkpoint::GenerationFile> gens =
+      checkpoint::list_generations(base);
+  std::string detail;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    try {
+      rebuild();  // a failed decode leaves partial state; start clean
+      checkpoint::restore_system_file(*system_, it->path);
+      return it->gen;
+    } catch (const CheckpointFormatError& e) {
+      if (!detail.empty()) detail += "; ";
+      detail += e.what();
+    }
+  }
+  if (!gens.empty())
+    throw CheckpointUnrecoverableError(base, gens.size(), detail);
+  return 0;
 }
 
 }  // namespace secddr::fleet

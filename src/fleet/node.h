@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/checkpoint.h"
 #include "sim/system.h"
 
 namespace secddr::fleet {
@@ -48,8 +49,11 @@ class Node {
 
   /// Serialized checkpoint (container format, see fleet/checkpoint.h).
   std::vector<std::uint8_t> checkpoint() const;
-  /// Atomically writes checkpoint() to `path`.
-  void checkpoint_to_file(const std::string& path) const;
+  /// Atomically + durably writes checkpoint() to `path`. The observer
+  /// (normally nullptr) is the chaos harness's crash-injection seam.
+  void checkpoint_to_file(
+      const std::string& path,
+      fleet::checkpoint::WriteObserver* observer = nullptr) const;
   /// Rebuilds traces + System from the config, then loads the
   /// checkpoint. Valid at any point in the node's life (the rebuild
   /// repositions every trace at its first record, which System::load
@@ -61,6 +65,15 @@ class Node {
   /// file does not exist. Corrupt files still throw — a present but
   /// unreadable checkpoint must never silently restart the node.
   bool restore_from_file(const std::string& path);
+  /// Restores the newest decodable generation of `base` (see
+  /// checkpoint::list_generations): generations are walked newest-first
+  /// and any that throws CheckpointFormatError is skipped, so a crash
+  /// during checkpointing (torn tmp published, corrupt current) falls
+  /// back to the previous good state. Returns the restored generation,
+  /// or 0 for a clean cold start (no generation present). Throws
+  /// CheckpointUnrecoverableError when generations exist but none
+  /// restores — the caller must quarantine, never silently restart.
+  std::uint64_t restore_latest(const std::string& base);
 
  private:
   void rebuild();

@@ -4,16 +4,19 @@
 #include <memory>
 #include <utility>
 
+#include "fleet/chaos.h"
+#include "fleet/checkpoint.h"
+
 namespace secddr::fleet {
 
 ShardDriver::ShardDriver(std::vector<NodeConfig> configs,
-                         std::vector<unsigned> ids, Cycle checkpoint_every,
-                         std::string state_dir)
+                         std::vector<unsigned> ids, ShardOptions options)
     : configs_(std::move(configs)),
       ids_(std::move(ids)),
-      checkpoint_every_(checkpoint_every == 0 ? 1 : checkpoint_every),
-      state_dir_(std::move(state_dir)) {
+      options_(std::move(options)) {
   assert(configs_.size() == ids_.size());
+  if (options_.checkpoint_every == 0) options_.checkpoint_every = 1;
+  if (options_.keep_generations == 0) options_.keep_generations = 1;
 }
 
 std::string ShardDriver::checkpoint_path(const std::string& state_dir,
@@ -22,29 +25,51 @@ std::string ShardDriver::checkpoint_path(const std::string& state_dir,
 }
 
 void ShardDriver::run(const ShardEvents& events) {
-  std::vector<std::unique_ptr<Node>> nodes;
-  nodes.reserve(configs_.size());
+  std::vector<std::unique_ptr<Node>> nodes(configs_.size());
+  std::vector<bool> reported(configs_.size(), false);
   for (std::size_t i = 0; i < configs_.size(); ++i) {
+    const std::string base = checkpoint_path(options_.state_dir, ids_[i]);
     auto node = std::make_unique<Node>(configs_[i]);
-    node->restore_from_file(checkpoint_path(state_dir_, ids_[i]));
-    nodes.push_back(std::move(node));
+    try {
+      node->restore_latest(base);
+    } catch (const CheckpointUnrecoverableError& e) {
+      // State exists but none of it decodes: silently restarting from
+      // zero would fabricate history, so hand the node back as
+      // quarantined and keep the rest of the shard alive.
+      reported[i] = true;
+      if (events.on_quarantine) events.on_quarantine(ids_[i], e.what());
+      continue;
+    }
+    nodes[i] = std::move(node);
   }
 
-  std::vector<bool> reported(nodes.size(), false);
   bool any_running = true;
   while (any_running) {
     any_running = false;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       if (reported[i]) continue;
       Node& node = *nodes[i];
-      const bool more = node.finished() ? false : node.step(checkpoint_every_);
+      // Liveness first: the heartbeat names the node this worker is
+      // about to drive, so a crash anywhere in the slice is attributed
+      // to the right node by the coordinator.
+      if (events.on_heartbeat)
+        events.on_heartbeat(ids_[i], node.system().phase_cycle());
+      chaos::at_slice(ids_[i]);
+      const bool more =
+          node.finished() ? false : node.step(options_.checkpoint_every);
+      if (events.on_heartbeat)
+        events.on_heartbeat(ids_[i], node.system().phase_cycle());
       if (more) {
         // Durable first, then announce: a crash between the two only
         // costs the announcement, never the state.
-        const std::string path = checkpoint_path(state_dir_, ids_[i]);
-        node.checkpoint_to_file(path);
+        const std::string base = checkpoint_path(options_.state_dir, ids_[i]);
+        const std::uint64_t gen = checkpoint::next_generation(base);
+        const std::string path = checkpoint::generation_path(base, gen);
+        node.checkpoint_to_file(path, chaos::write_observer(ids_[i]));
+        checkpoint::gc_generations(base, options_.keep_generations);
         if (events.on_checkpoint)
-          events.on_checkpoint(ids_[i], node.system().phase_cycle(), path);
+          events.on_checkpoint(ids_[i], node.system().phase_cycle(), gen,
+                               path);
         any_running = true;
       } else {
         reported[i] = true;

@@ -1,10 +1,15 @@
 // Shard driver: runs a set of nodes inside one worker process,
-// round-robin in bounded cycle slices, writing a durable checkpoint per
-// node at every slice boundary.
+// round-robin in bounded cycle slices, writing a durable generational
+// checkpoint per node at every slice boundary.
 //
 // Slicing is bit-identical to running each node to completion in one
 // call (System::step's guarantee), so a fleet's results do not depend on
 // how nodes are sharded, interleaved, or how often they checkpoint.
+//
+// Failure discipline: a node whose on-disk checkpoint generations all
+// fail to decode is reported through on_quarantine and skipped — the
+// rest of the shard still runs. Chaos faults (fleet/chaos.h), when
+// armed, fire at the slice boundary and inside the checkpoint writer.
 #pragma once
 
 #include <cstdint>
@@ -19,37 +24,55 @@ namespace secddr::fleet {
 /// Callbacks the driver raises as it makes progress. `node` is the
 /// node's global fleet id.
 struct ShardEvents {
-  /// A durable checkpoint for `node` was just written to `path`
-  /// (phase-relative cycle `cycle`).
-  std::function<void(unsigned node, Cycle cycle, const std::string& path)>
+  /// Liveness + progress: raised at the start of each slice (before any
+  /// work) and again after the slice executed, with the node's current
+  /// phase-relative cycle. The coordinator's watchdog feeds on these.
+  std::function<void(unsigned node, Cycle cycle)> on_heartbeat;
+  /// A durable checkpoint generation for `node` was just published at
+  /// `path` (phase-relative cycle `cycle`, generation `gen`).
+  std::function<void(unsigned node, Cycle cycle, std::uint64_t gen,
+                     const std::string& path)>
       on_checkpoint;
   /// `node` finished; `result` is its final RunResult.
   std::function<void(unsigned node, const sim::RunResult& result)> on_result;
+  /// `node` cannot run: every checkpoint generation on disk failed to
+  /// decode. The node is skipped; the shard continues.
+  std::function<void(unsigned node, const std::string& reason)> on_quarantine;
+};
+
+struct ShardOptions {
+  /// Cycles each node executes between durable checkpoints.
+  Cycle checkpoint_every = 25'000;
+  /// Checkpoint generations retained per node (older ones are GC'd).
+  unsigned keep_generations = 3;
+  /// Directory holding node_<i>.ckpt.<gen> files.
+  std::string state_dir = "fleet_state";
 };
 
 class ShardDriver {
  public:
   /// `ids[i]` is the global fleet id of `configs[i]`. Checkpoints land
-  /// in `state_dir/node_<id>.ckpt` every `checkpoint_every` executed
-  /// cycles per node (also at the warmup boundary — System::step returns
-  /// there, capturing the exact warm-start state).
+  /// in `state_dir/node_<id>.ckpt.<gen>` every `checkpoint_every`
+  /// executed cycles per node (also at the warmup boundary —
+  /// System::step returns there, capturing the exact warm-start state).
   ShardDriver(std::vector<NodeConfig> configs, std::vector<unsigned> ids,
-              Cycle checkpoint_every, std::string state_dir);
+              ShardOptions options);
 
-  /// Path of a node's durable checkpoint.
+  /// Base path of a node's durable checkpoint family; generation g
+  /// lives at checkpoint::generation_path(base, g).
   static std::string checkpoint_path(const std::string& state_dir,
                                      unsigned node_id);
 
-  /// Builds every node, resuming any with an existing checkpoint file,
-  /// then drives all of them to completion. Events fire as progress is
+  /// Builds every node, resuming each from its newest decodable
+  /// checkpoint generation (quarantining nodes with only corrupt state),
+  /// then drives the rest to completion. Events fire as progress is
   /// made; results are reported exactly once per node.
   void run(const ShardEvents& events);
 
  private:
   std::vector<NodeConfig> configs_;
   std::vector<unsigned> ids_;
-  Cycle checkpoint_every_;
-  std::string state_dir_;
+  ShardOptions options_;
 };
 
 }  // namespace secddr::fleet

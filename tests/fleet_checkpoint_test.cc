@@ -12,12 +12,16 @@
 //    uninterrupted run, across channels x mem_threads x both loop modes.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "fleet/checkpoint.h"
+#include "fleet/node.h"
 #include "secmem/params.h"
 #include "sim/trace_codec.h"
 #include "workloads/generator.h"
@@ -177,6 +181,170 @@ TEST(FleetCheckpointFormat, WriteFileIsAtomicAndReadable) {
   EXPECT_EQ(ck::read_file(path, &hash), payload);
   EXPECT_EQ(hash, 7u);
   std::remove(path.c_str());
+}
+
+TEST(FleetCheckpointFormat, WriteFileObserverSeesOrderedDurabilityPoints) {
+  // The WriteObserver seam must expose the real write pipeline: a torn
+  // tmp prefix, the complete tmp before fsync, the fsync'd tmp before
+  // rename, and the published path — in that order. The chaos harness
+  // (fleet/chaos.h) injects crashes exactly here.
+  struct Recorder : ck::WriteObserver {
+    std::vector<std::string> calls;
+    std::vector<long> sizes;
+    static long file_size(const std::string& p) {
+      std::FILE* f = std::fopen(p.c_str(), "rb");
+      if (!f) return -1;
+      std::fseek(f, 0, SEEK_END);
+      const long n = std::ftell(f);
+      std::fclose(f);
+      return n;
+    }
+    void on_tmp_partial(const std::string& tmp) override {
+      calls.push_back("partial");
+      sizes.push_back(file_size(tmp));
+    }
+    void on_tmp_written(const std::string& tmp) override {
+      calls.push_back("written");
+      sizes.push_back(file_size(tmp));
+    }
+    void on_before_rename(const std::string& tmp) override {
+      calls.push_back("rename");
+      sizes.push_back(file_size(tmp));
+    }
+    void on_published(const std::string& path) override {
+      calls.push_back("published");
+      sizes.push_back(file_size(path));
+    }
+  };
+  const std::string path = testing::TempDir() + "fleet_ckpt_observed.ckpt";
+  std::remove(path.c_str());
+  Recorder rec;
+  ck::write_file(path, 3, sample_payload(5000), &rec);
+  ASSERT_EQ(rec.calls, (std::vector<std::string>{"partial", "written",
+                                                 "rename", "published"}));
+  EXPECT_GT(rec.sizes[0], 0);
+  EXPECT_LT(rec.sizes[0], rec.sizes[1]) << "on_tmp_partial saw a full file";
+  EXPECT_EQ(rec.sizes[1], rec.sizes[2]);
+  EXPECT_EQ(rec.sizes[2], rec.sizes[3]);
+  std::uint64_t hash = 0;
+  EXPECT_EQ(ck::read_file(path, &hash), sample_payload(5000));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Generational checkpoints.
+// ---------------------------------------------------------------------------
+
+TEST(FleetCheckpointGenerations, ListNextAndGcTrackTheFamily) {
+  const std::string dir = testing::TempDir() + "fleet_gens";
+  const std::string base = dir + "/n0.ckpt";
+  const std::vector<const char*> names = {
+      "n0.ckpt.1", "n0.ckpt.2",  "n0.ckpt.3", "n0.ckpt.7",
+      "n0.ckpt.tmp", "n0.ckpt.7x", "n1.ckpt.9", "n0.ckpt"};
+  for (const char* n : names) std::remove((dir + "/" + n).c_str());
+
+  // Missing directory / no generations -> clean cold start.
+  EXPECT_TRUE(ck::list_generations(base).empty());
+  EXPECT_EQ(ck::next_generation(base), 1u);
+
+  ASSERT_TRUE(::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST);
+  for (const char* junk : names) {
+    std::FILE* f = std::fopen((dir + "/" + junk).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputc('x', f);
+    std::fclose(f);
+  }
+
+  // Only all-digit suffixes of THIS base count, ascending.
+  std::vector<std::uint64_t> gens;
+  for (const auto& g : ck::list_generations(base)) gens.push_back(g.gen);
+  EXPECT_EQ(gens, (std::vector<std::uint64_t>{1, 2, 3, 7}));
+  EXPECT_EQ(ck::next_generation(base), 8u);
+
+  // GC keeps the newest `keep`, never touching neighbors.
+  ck::gc_generations(base, 2);
+  gens.clear();
+  for (const auto& g : ck::list_generations(base)) gens.push_back(g.gen);
+  EXPECT_EQ(gens, (std::vector<std::uint64_t>{3, 7}));
+  EXPECT_TRUE(ck::list_generations(dir + "/n1.ckpt").size() == 1);
+  std::FILE* f = std::fopen((dir + "/n0.ckpt.tmp").c_str(), "rb");
+  EXPECT_NE(f, nullptr) << "gc deleted a non-generation file";
+  if (f) std::fclose(f);
+
+  ck::gc_generations(base, 1);
+  ASSERT_EQ(ck::list_generations(base).size(), 1u);
+  EXPECT_EQ(ck::list_generations(base)[0].gen, 7u);
+  EXPECT_EQ(ck::generation_path(base, 7), base + ".7");
+}
+
+NodeConfig gen_node_config() {
+  NodeConfig n;
+  n.name = "mcf+gen";
+  n.system.mem.cores = 2;
+  n.system.security = secmem::SecurityParams::secddr_ctr();
+  n.system.data_bytes = 4ull << 30;
+  n.workload = "mcf";
+  n.instructions = 800;
+  n.warmup = 200;
+  return n;
+}
+
+TEST(FleetCheckpointGenerations, RestoreFallsBackPastCorruptNewest) {
+  const std::string dir = testing::TempDir() + "fleet_gen_fallback";
+  ::mkdir(dir.c_str(), 0777);
+  const std::string base = dir + "/node.ckpt";
+  for (const auto& g : ck::list_generations(base))
+    std::remove(g.path.c_str());
+
+  const NodeConfig cfg = gen_node_config();
+  Node a(cfg);
+  ASSERT_TRUE(a.step(600));
+  a.checkpoint_to_file(ck::generation_path(base, 1));
+  ASSERT_TRUE(a.step(600));
+  a.checkpoint_to_file(ck::generation_path(base, 2));
+
+  // Newest generation corrupted: restore must fall back to gen 1 and
+  // the completed run must still be bit-identical to the uninterrupted
+  // one.
+  {
+    std::FILE* f = std::fopen(ck::generation_path(base, 2).c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 48, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, 48, SEEK_SET);
+    std::fputc((c == EOF ? 0 : c) ^ 0x40, f);
+    std::fclose(f);
+  }
+  Node b(cfg);
+  EXPECT_EQ(b.restore_latest(base), 1u);
+  while (!a.finished()) a.step(100000);
+  while (!b.finished()) b.step(100000);
+  EXPECT_EQ(ck::encode_result(b.result()), ck::encode_result(a.result()));
+
+  // Both generations corrupt: a distinct, attributable error — silently
+  // restarting from zero would fabricate history.
+  {
+    std::FILE* f = std::fopen(ck::generation_path(base, 1).c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 48, SEEK_SET);
+    std::fputc(0x5a, f);
+    std::fclose(f);
+  }
+  Node c(cfg);
+  try {
+    c.restore_latest(base);
+    FAIL() << "all-corrupt generations must throw";
+  } catch (const CheckpointUnrecoverableError& e) {
+    EXPECT_EQ(e.base(), base);
+    EXPECT_EQ(e.generations(), 2u);
+    EXPECT_NE(std::string(e.what()).find("unrecoverable"), std::string::npos);
+  }
+
+  // An empty family is a cold start, not an error.
+  for (const auto& g : ck::list_generations(base))
+    std::remove(g.path.c_str());
+  Node d(cfg);
+  EXPECT_EQ(d.restore_latest(base), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -45,12 +45,9 @@ std::vector<NodeConfig> small_fleet() {
   };
 }
 
-std::string fresh_state_dir(const std::string& tag, std::size_t nodes) {
+std::string fresh_state_dir(const std::string& tag, std::size_t) {
   const std::string dir = testing::TempDir() + "fleet_" + tag;
-  ::mkdir(dir.c_str(), 0777);
-  for (std::size_t i = 0; i < nodes; ++i)
-    std::remove(
-        ShardDriver::checkpoint_path(dir, static_cast<unsigned>(i)).c_str());
+  reset_state_dir(dir);  // drops every checkpoint generation + sentinel
   return dir;
 }
 
@@ -120,6 +117,13 @@ TEST(FleetService, RecoversBitIdenticallyFromWorkerKill) {
   const FleetResult r = run_fleet(nodes, killed);
 
   EXPECT_GE(r.respawns, 1u) << "kill hook never fired: recovery untested";
+  EXPECT_EQ(r.quarantined, 0u);
+  ASSERT_EQ(r.failures.size(), r.respawns);
+  for (const FailureEvent& ev : r.failures) EXPECT_FALSE(ev.hung);
+  bool any_recovered = false;
+  for (const NodeStatus s : r.status)
+    any_recovered = any_recovered || s == NodeStatus::kRecovered;
+  EXPECT_TRUE(any_recovered) << "no node reports a resume after the kill";
   EXPECT_EQ(encode_fleet(r), encode_fleet(ref));
 }
 
