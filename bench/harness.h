@@ -17,6 +17,19 @@
 //                       has one, the sweep streams those instead of the
 //                       synthetic generator
 //
+// Power/thermal knobs (all optional; see README "Power & thermal"):
+//   SECDDR_THERMAL            1 enables per-channel energy + RC thermal
+//                             accounting (0/unset = off, the default)
+//   SECDDR_THERMAL_WINDOW     accounting window, memory cycles (1024)
+//   SECDDR_THERMAL_R_MK       junction->ambient resistance, mK/W (4000)
+//   SECDDR_THERMAL_C_NJ       node capacitance, nJ/K (100000000)
+//   SECDDR_THERMAL_AMBIENT_MC ambient temperature, milli-C (45000)
+//   SECDDR_THERMAL_THROTTLE   1 enables the thermal throttle policy
+//   SECDDR_THERMAL_TRIP_MC    throttle trip point, milli-C (85000)
+//   SECDDR_THERMAL_RELEASE_MC throttle release point, milli-C (83000)
+//   SECDDR_THERMAL_PERIOD     throttled issue period, cycles (4)
+//   SECDDR_THERMAL_REMAP      1 enables temperature-aware bank remapping
+//
 // Thread-knob interplay: SECDDR_JOBS parallelizes across sweep points
 // (one System per worker) while SECDDR_MEM_THREADS parallelizes the
 // channels inside each System, so a sweep can run jobs x mem_threads
@@ -177,6 +190,36 @@ struct BenchOptions {
   }
 };
 
+/// Power/thermal config from the SECDDR_THERMAL* environment knobs (see
+/// the header comment). Disabled (all-default PowerConfig) unless
+/// SECDDR_THERMAL is set to something other than "0".
+inline dram::PowerConfig thermal_config_from_env() {
+  dram::PowerConfig p;
+  const char* on = std::getenv("SECDDR_THERMAL");
+  if (on == nullptr || std::strcmp(on, "0") == 0) return p;
+  const auto env_u64 = [](const char* name, std::uint64_t fallback) {
+    const char* s = std::getenv(name);
+    return s ? std::strtoull(s, nullptr, 10) : fallback;
+  };
+  const auto env_i64 = [](const char* name, std::int64_t fallback) {
+    const char* s = std::getenv(name);
+    return s ? std::strtoll(s, nullptr, 10) : fallback;
+  };
+  p.enabled = true;
+  p.window_cycles = env_u64("SECDDR_THERMAL_WINDOW", p.window_cycles);
+  p.thermal.r_mk_per_w = static_cast<std::uint32_t>(
+      env_u64("SECDDR_THERMAL_R_MK", p.thermal.r_mk_per_w));
+  p.thermal.c_nj_per_k = env_u64("SECDDR_THERMAL_C_NJ", p.thermal.c_nj_per_k);
+  p.thermal.ambient_mc =
+      env_i64("SECDDR_THERMAL_AMBIENT_MC", p.thermal.ambient_mc);
+  p.throttle = env_u64("SECDDR_THERMAL_THROTTLE", 0) != 0;
+  p.trip_mc = env_i64("SECDDR_THERMAL_TRIP_MC", p.trip_mc);
+  p.release_mc = env_i64("SECDDR_THERMAL_RELEASE_MC", p.release_mc);
+  p.throttle_period = env_u64("SECDDR_THERMAL_PERIOD", p.throttle_period);
+  p.remap = env_u64("SECDDR_THERMAL_REMAP", 0) != 0;
+  return p;
+}
+
 /// Address-space stride between cores' synthetic traces.
 inline constexpr std::uint64_t kCoreStrideBytes = 2ull << 30;
 
@@ -237,6 +280,7 @@ inline sim::SystemConfig make_system_config(const BenchOptions& opt,
   cfg.data_bytes = data_bytes_for(opt.cores);
   cfg.geometry.channels = opt.channels;
   cfg.mem_threads = opt.mem_threads;
+  cfg.power = thermal_config_from_env();
   // Total capacity scales with channels, so shrink the per-channel rows
   // first, then grow until the 2:1 headroom holds again.
   while (cfg.geometry.rows_per_bank > 1 &&

@@ -1,4 +1,13 @@
 // Table II: AES engine power overhead of SecDDR's on-DIMM logic (§V-B).
+//
+// Exit-gated against the paper's published numbers: each row's engine
+// count must match exactly, engine power must land within 0.5% of the
+// paper's mW figure, and the per-rank overhead within 0.05 percentage
+// points (the paper prints one decimal; DDR5 is only bounded "< 5%").
+// The area estimate must stay under the paper's 1.5 mm^2 bound. Any
+// deviation returns 1, so the `table2_power` CTest smoke pins the
+// analytical model, not just its ability to print.
+#include <cmath>
 #include <cstdio>
 
 #include "analysis/power.h"
@@ -7,13 +16,53 @@
 
 using namespace secddr;
 
+namespace {
+
+/// Paper-published expectations for one Table II row.
+struct Expected {
+  unsigned aes_units;
+  double aes_power_mw;
+  double overhead;  ///< fraction; < 0 means "bounded by |value|" (DDR5)
+};
+
+bool check_row(const analysis::PowerRow& row, const Expected& e) {
+  bool ok = true;
+  if (row.aes_units != e.aes_units) {
+    std::fprintf(stderr, "FAIL: %s: %u AES units, paper says %u\n",
+                 row.config.c_str(), row.aes_units, e.aes_units);
+    ok = false;
+  }
+  if (std::fabs(row.aes_power_mw - e.aes_power_mw) >
+      0.005 * e.aes_power_mw) {
+    std::fprintf(stderr, "FAIL: %s: %.3f mW, paper says %.1f (0.5%% tol)\n",
+                 row.config.c_str(), row.aes_power_mw, e.aes_power_mw);
+    ok = false;
+  }
+  if (e.overhead >= 0) {
+    if (std::fabs(row.overhead_per_rank - e.overhead) > 0.0005) {
+      std::fprintf(stderr,
+                   "FAIL: %s: overhead %.4f, paper says %.3f (+-0.0005)\n",
+                   row.config.c_str(), row.overhead_per_rank, e.overhead);
+      ok = false;
+    }
+  } else if (row.overhead_per_rank >= -e.overhead) {
+    std::fprintf(stderr, "FAIL: %s: overhead %.4f exceeds paper bound %.2f\n",
+                 row.config.c_str(), row.overhead_per_rank, -e.overhead);
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
 int main() {
   std::printf("=== Table II: AES engine power overhead ===\n\n");
   const analysis::AesPowerModel model;
 
   TablePrinter table({"Config", "AES units/ECC chip", "AES power (mW)",
                       "DRAM chip (mW)", "ECC chips/rank", "Overhead/rank"});
-  for (const auto& row : model.table2()) {
+  const auto rows = model.table2();
+  for (const auto& row : rows) {
     table.add_row({row.config, std::to_string(row.aes_units),
                    TablePrinter::num(row.aes_power_mw, 1),
                    TablePrinter::num(row.dram_chip_power_mw, 1),
@@ -33,5 +82,28 @@ int main() {
               att.sha_mw_at_500mhz);
   std::printf("\nPaper reference: x4 = 2 units, 70.8mW, 2.1%%/rank; "
               "x8 = 3 units, 106.3mW, 2.3%%/rank; DDR5 x4 = 89.3mW, <5%%.\n");
+
+  // --- paper gate -------------------------------------------------------
+  const Expected expected[] = {
+      {2, 70.8, 0.021},   // x4 DDR4-3200
+      {3, 106.3, 0.023},  // x8 DDR4-3200
+      {3, 89.3, -0.05},   // x4 DDR5 (overhead only bounded "< 5%")
+  };
+  bool ok = true;
+  if (rows.size() != 3) {
+    std::fprintf(stderr, "FAIL: table2() returned %zu rows, expected 3\n",
+                 rows.size());
+    ok = false;
+  } else {
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      ok = check_row(rows[i], expected[i]) && ok;
+  }
+  if (model.total_area_mm2(3) >= 1.5) {
+    std::fprintf(stderr, "FAIL: area %.3f mm^2 >= paper bound 1.5\n",
+                 model.total_area_mm2(3));
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("\nall rows within paper tolerances\n");
   return 0;
 }

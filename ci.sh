@@ -84,6 +84,17 @@ for bdir in build-ci-debug build-ci-release; do
         --output-on-failure -j "$jobs"
 done
 
+# Power/thermal step: the power label (Table II golden hash + paper gate,
+# the integer energy/thermal property tests, accounting-neutrality and
+# policy-determinism runs, throttle/remap engagement, checkpointed
+# thermal state, and the bounded bench/thermal smoke) in both build
+# types. Already covered by the full suites above; re-run explicitly so
+# a future CTEST_ARGS filter can never silently skip it.
+for bdir in build-ci-debug build-ci-release; do
+  ctest --test-dir "$bdir" -L power --no-tests=error \
+        --output-on-failure -j "$jobs"
+done
+
 # Chaos-hardening step: a bounded fleetd run with the seeded
 # fault-injection plan armed (crash-during-checkpoint, crash between tmp
 # and rename, corrupted + torn generations, a hung worker recovered by
@@ -102,7 +113,7 @@ if [[ "${SECDDR_CI_SANITIZE:-0}" == "1" ]]; then
   # single-byte-flip smoke) and the adversarial fault injector must be
   # clean under ASan/UBSan, not just throw nicely. The fuzz campaigns in
   # that label are already CI-bounded (well under the 10k bench run).
-  CTEST_ARGS=(-L 'unit|trace|fuzz')
+  CTEST_ARGS=(-L 'unit|trace|fuzz|power')
   run_matrix Debug build-ci-asan -DSECDDR_SANITIZE=address,undefined
   # ThreadSanitizer over the threaded-backend paths (backend-level
   # thread tests plus the threaded determinism tests, with the backend

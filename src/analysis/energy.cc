@@ -1,0 +1,17 @@
+#include "analysis/energy.h"
+
+namespace secddr::analysis {
+
+EnergyBreakdown EnergyModel::window_energy(const CommandCounts& counts,
+                                           std::uint64_t cycles) const {
+  EnergyBreakdown e;
+  e.act_fj = counts.act * params_.act_fj;
+  e.pre_fj = counts.pre * params_.pre_fj;
+  e.rd_fj = counts.rd * params_.rd_fj;
+  e.wr_fj = counts.wr * params_.wr_fj;
+  e.ref_fj = counts.ref * params_.ref_fj;
+  e.background_fj = cycles * params_.background_fj_per_cycle;
+  return e;
+}
+
+}  // namespace secddr::analysis

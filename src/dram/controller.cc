@@ -7,7 +7,7 @@ namespace secddr::dram {
 
 Controller::Controller(const Geometry& geometry, const Timings& timings,
                        unsigned read_queue_size, unsigned write_queue_size,
-                       SchedulingPolicy policy)
+                       SchedulingPolicy policy, const PowerConfig& power)
     : geometry_(geometry),
       timings_(timings),
       mapping_(geometry),
@@ -17,7 +17,8 @@ Controller::Controller(const Geometry& geometry, const Timings& timings,
       drain_low_(write_queue_size / 4),
       drain_high_(write_queue_size * 3 / 4),
       banks_(geometry.total_banks()),
-      ranks_(geometry.ranks) {
+      ranks_(geometry.ranks),
+      power_cfg_(power) {
   for (unsigned r = 0; r < geometry_.ranks; ++r) {
     // Stagger refresh across ranks so they do not lock the channel together.
     ranks_[r].next_refresh_due =
@@ -33,6 +34,42 @@ Controller::Controller(const Geometry& geometry, const Timings& timings,
   }
   col_bus_floor_.assign(geometry_.ranks, 0);
   act_floor_.assign(geometry_.ranks, ActFloor{});
+
+  if (power_cfg_.window_cycles == 0) power_cfg_.window_cycles = 1;
+  if (power_cfg_.throttle_period == 0) power_cfg_.throttle_period = 1;
+  power_on_ = power_cfg_.enabled;
+  any_policy_ = power_cfg_.any_policy();
+  remap_active_ = power_cfg_.enabled && power_cfg_.remap;
+  throttle_period_ = power_cfg_.throttle_period;
+  energy_model_ = analysis::EnergyModel(power_cfg_.energy);
+  if (power_on_) {
+    window_counts_.assign(geometry_.ranks, analysis::CommandCounts{});
+    bank_activity_.assign(geometry_.total_banks(), 0);
+    rank_energy_fj_.assign(geometry_.ranks, 0);
+    const std::uint64_t period_fs =
+        static_cast<std::uint64_t>(1e9 / timings_.clock_mhz + 0.5);
+    thermal_.assign(geometry_.ranks,
+                    analysis::ThermalNode(power_cfg_.thermal,
+                                          power_cfg_.window_cycles, period_fs));
+    if (remap_active_) {
+      remap_.resize(geometry_.total_banks());
+      remap_inv_.resize(geometry_.total_banks());
+      for (unsigned i = 0; i < geometry_.total_banks(); ++i)
+        remap_[i] = remap_inv_[i] = i;
+    }
+  }
+}
+
+DecodedAddr Controller::map_addr(Addr addr) const {
+  DecodedAddr d = mapping_.decode(addr);
+  if (remap_active_) {
+    const unsigned phys = remap_[d.flat_bank(geometry_)];
+    const unsigned in_rank = phys % geometry_.banks_per_rank();
+    d.rank = phys / geometry_.banks_per_rank();
+    d.bank_group = in_rank / geometry_.banks_per_group;
+    d.bank = in_rank % geometry_.banks_per_group;
+  }
+  return d;
 }
 
 void Controller::prime_col_floors(bool is_write) const {
@@ -82,6 +119,10 @@ void Controller::sync_indexes(unsigned dir, unsigned flat) {
 void Controller::close_bank(unsigned flat, Cycle now) {
   banks_[flat].precharge(now, timings_.tRP);
   ++stats_.precharges;
+  if (power_on_) {
+    ++window_counts_[flat / geometry_.banks_per_rank()].pre;
+    ++bank_activity_[flat];
+  }
   if (observer_) {
     const unsigned in_rank = flat % geometry_.banks_per_rank();
     observer_->on_precharge(flat / geometry_.banks_per_rank(),
@@ -115,7 +156,13 @@ void Controller::recount_bank(unsigned flat) {
 
 bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
                          Cycle now) {
-  Request e{addr, mapping_.decode(addr), tag, now, next_seq_, false};
+  // Close elapsed accounting windows before any bookkeeping so commands
+  // recorded this cycle land in the window that contains `now`. With
+  // policies enabled, window boundaries are event candidates and the
+  // boundary tick has already run, making this a no-op; with policies
+  // off it is pure (lazily caught-up) accounting either way.
+  if (power_on_) power_advance(now);
+  Request e{addr, map_addr(addr), tag, now, next_seq_, false};
   const unsigned flat = e.d.flat_bank(geometry_);
   if (is_write) {
     if (q_size_[1] >= wq_size_) return false;
@@ -180,7 +227,7 @@ bool Controller::enqueue(Addr addr, bool is_write, std::uint64_t tag,
 bool Controller::has_queued_write_to_line(Addr addr) const {
   // Same line => same bank FIFO (the invariant enqueue() relies on for
   // merge/forward scans), so one FIFO scan decides.
-  const unsigned flat = mapping_.decode(addr).flat_bank(geometry_);
+  const unsigned flat = map_addr(addr).flat_bank(geometry_);
   for (const auto& w : queues_[1][flat].q)
     if (line_base(w.addr) == line_base(addr)) return true;
   return false;
@@ -253,6 +300,14 @@ void Controller::issue_column(unsigned flat, std::size_t pos, bool is_write,
     ++stats_.row_misses;
   else
     ++stats_.row_hits;
+  if (power_on_) {
+    analysis::CommandCounts& wc = window_counts_[e.d.rank];
+    if (is_write)
+      ++wc.wr;
+    else
+      ++wc.rd;
+    ++bank_activity_[flat];
+  }
   if (observer_) observer_->on_column(e.d, is_write, now);
 
   const unsigned burst = is_write ? timings_.write_burst_cycles
@@ -359,6 +414,10 @@ bool Controller::try_issue_bank_prep(bool is_write, Cycle now) {
     rank.last_act_bg = e.d.bank_group;
     e.activated_for = true;
     ++stats_.activates;
+    if (power_on_) {
+      ++window_counts_[e.d.rank].act;
+      ++bank_activity_[flat];
+    }
     if (observer_) observer_->on_activate(e.d, now);
     recount_bank(flat);
     ++scan_stats_.commands_issued;
@@ -476,6 +535,7 @@ bool Controller::handle_refresh(Cycle now) {
         rank.refresh_pending = false;
         rank.next_refresh_due += timings_.tREFI;
         ++stats_.refreshes;
+        if (power_on_) ++window_counts_[r].ref;
         if (observer_) observer_->on_refresh(r, now);
         return true;
       }
@@ -528,11 +588,31 @@ Cycle Controller::compute_next_event_cycle(Cycle now) const {
   // nothing can lower it further — the remaining scans are skipped. The
   // returned value is identical either way.
 
+  // Command-bound variant: while the thermal throttle is engaged, tick()
+  // only issues on cycles divisible by the throttle period, so command
+  // bounds round up to the next allowed cycle. Retirement, refresh, and
+  // the window-boundary candidates stay unrounded (never throttled), and
+  // the boundary candidate below covers the disengagement case where a
+  // command becomes issuable before its rounded bound.
+  const auto consider_cmd = [&](Cycle at) {
+    at = std::max(at, now);
+    if (throttle_engaged_)
+      at = (at + throttle_period_ - 1) / throttle_period_ * throttle_period_;
+    next = std::min(next, at);
+  };
+
   // The write-drain hysteresis flip is itself a state change the next
   // tick performs (even though no command issues that cycle), and it
   // changes which columns are servable right after.
   if (draining_writes_ ? q_size_[1] <= drain_low_ : q_size_[1] >= drain_high_)
     return now;
+
+  // With a policy enabled, the accounting-window boundary is a state
+  // change in its own right (throttle trip/release, remap swap), so the
+  // event loop must tick it. With policies off, boundaries are lazy pure
+  // accounting and schedule nothing.
+  if (any_policy_)
+    consider(power_window_start_ + power_cfg_.window_cycles);
 
   if (inflight_min_finish_ != kNoEvent) {
     consider(inflight_min_finish_);
@@ -570,7 +650,7 @@ Cycle Controller::compute_next_event_cycle(Cycle now) const {
       if (flat < 0) continue;
       const Cycle at = entry_event_bound(
           queues_[dir][static_cast<unsigned>(flat)].q.front(), dir == 1);
-      if (at != kNoEvent) consider(at);
+      if (at != kNoEvent) consider_cmd(at);
     }
     return next;
   }
@@ -593,12 +673,12 @@ Cycle Controller::compute_next_event_cycle(Cycle now) const {
       // act_ready_primed would report per bank.
       if (act_floor_[r].gated) continue;
       for (const unsigned flat : closed_idx_[dir][r].items)
-        consider(act_ready_primed(banks_[flat],
-                                  queues_[dir][flat].q.front().d));
+        consider_cmd(act_ready_primed(banks_[flat],
+                                      queues_[dir][flat].q.front().d));
       if (next == now) return now;
     }
     for (const unsigned flat : pre_idx_[dir].items)
-      consider(banks_[flat].next_precharge);
+      consider_cmd(banks_[flat].next_precharge);
     if (next == now) return now;
     // Column candidates live in their own index (write hits schedule
     // nothing while writes are not being served; the transitions into
@@ -607,13 +687,18 @@ Cycle Controller::compute_next_event_cycle(Cycle now) const {
     if (col_idx_[dir].items.empty()) continue;
     prime_col_floors(is_write);
     for (const unsigned flat : col_idx_[dir].items)
-      consider(column_ready_primed(banks_[flat],
-                                   queues_[dir][flat].q.front().d, is_write));
+      consider_cmd(column_ready_primed(
+          banks_[flat], queues_[dir][flat].q.front().d, is_write));
   }
   return next;
 }
 
 void Controller::tick(Cycle now) {
+  // Close elapsed accounting windows first: command taps below must land
+  // in the window containing `now`, and the boundary's policy decisions
+  // (throttle trip/release, remap swap) must precede this cycle's issue.
+  if (power_on_) power_advance(now);
+
   // Retire reads whose data has arrived. The pass visits every entry, so
   // the surviving minimum finish is recomputed for free.
   if (inflight_min_finish_ <= now) {
@@ -642,6 +727,10 @@ void Controller::tick(Cycle now) {
 
   // One command slot per cycle: refresh first, then columns, then prep.
   if (handle_refresh(now)) return;
+  // Thermal throttle: while engaged, command issue is gated to one cycle
+  // in `throttle_period` (refresh above is exempt — retention is not
+  // negotiable). Retirement and drain bookkeeping already ran.
+  if (throttle_engaged_ && now % throttle_period_ != 0) return;
   if (serve_writes) {
     if (try_issue_column(true, now)) return;
     if (try_issue_column(false, now)) return;  // opportunistic reads
@@ -655,6 +744,125 @@ void Controller::tick(Cycle now) {
   }
 }
 
+void Controller::power_advance(Cycle now) {
+  // `power_window_start_` never exceeds the last boundary <= every
+  // processed cycle, so the subtraction cannot underflow.
+  while (now - power_window_start_ >= power_cfg_.window_cycles)
+    close_power_window();
+}
+
+void Controller::close_power_window() {
+  const std::uint64_t w = power_cfg_.window_cycles;
+  for (unsigned r = 0; r < geometry_.ranks; ++r) {
+    const analysis::EnergyBreakdown eb =
+        energy_model_.window_energy(window_counts_[r], w);
+    const std::uint64_t fj = eb.total_fj();
+    thermal_[r].apply_window(fj);
+    rank_energy_fj_[r] += fj;
+    energy_total_ += eb;
+    counts_total_ += window_counts_[r];
+    window_counts_[r] = analysis::CommandCounts{};
+  }
+  ++power_windows_;
+  if (power_cfg_.throttle) {
+    std::int64_t hottest = thermal_[0].temp_mc();
+    for (unsigned r = 1; r < geometry_.ranks; ++r)
+      hottest = std::max(hottest, thermal_[r].temp_mc());
+    if (!throttle_engaged_ && hottest >= power_cfg_.trip_mc)
+      throttle_engaged_ = true;
+    else if (throttle_engaged_ && hottest <= power_cfg_.release_mc)
+      throttle_engaged_ = false;
+    if (throttle_engaged_) ++throttled_windows_;
+  }
+  if (remap_active_) {
+    ++windows_since_swap_;
+    maybe_remap();
+  }
+  std::fill(bank_activity_.begin(), bank_activity_.end(), 0);
+  power_window_start_ += w;
+}
+
+void Controller::maybe_remap() {
+  if (windows_since_swap_ < power_cfg_.remap_min_windows) return;
+  if (geometry_.ranks < 2) return;
+  // Hottest and coolest rank by full-precision Q16 temperature; ties go
+  // to the lowest rank index (deterministic).
+  unsigned hot = 0, cold = 0;
+  for (unsigned r = 1; r < geometry_.ranks; ++r) {
+    if (thermal_[r].temp_q16() > thermal_[hot].temp_q16()) hot = r;
+    if (thermal_[r].temp_q16() < thermal_[cold].temp_q16()) cold = r;
+  }
+  if (hot == cold) return;
+  if (thermal_[hot].temp_mc() - thermal_[cold].temp_mc() <
+      power_cfg_.remap_delta_mc)
+    return;
+  // Candidate banks must have empty FIFOs in both directions: queued
+  // entries were decoded under the old permutation, and the write
+  // merge/forward scans rely on "same line => same bank FIFO". Swapping
+  // only idle banks keeps every in-flight invariant untouched (bank
+  // timing state is physical and travels with the physical bank).
+  const unsigned bpr = geometry_.banks_per_rank();
+  const auto idle = [&](unsigned flat) {
+    return queues_[0][flat].q.empty() && queues_[1][flat].q.empty();
+  };
+  int src = -1;
+  std::uint64_t src_activity = 0;
+  for (unsigned b = 0; b < bpr; ++b) {
+    const unsigned flat = hot * bpr + b;
+    if (!idle(flat)) continue;
+    if (src < 0 || bank_activity_[flat] > src_activity) {
+      src = static_cast<int>(flat);
+      src_activity = bank_activity_[flat];
+    }
+  }
+  if (src < 0 || src_activity == 0) return;  // nothing hot worth moving
+  int dst = -1;
+  std::uint64_t dst_activity = 0;
+  for (unsigned b = 0; b < bpr; ++b) {
+    const unsigned flat = cold * bpr + b;
+    if (!idle(flat)) continue;
+    if (dst < 0 || bank_activity_[flat] < dst_activity) {
+      dst = static_cast<int>(flat);
+      dst_activity = bank_activity_[flat];
+    }
+  }
+  if (dst < 0) return;
+  const unsigned lsrc = remap_inv_[static_cast<unsigned>(src)];
+  const unsigned ldst = remap_inv_[static_cast<unsigned>(dst)];
+  std::swap(remap_[lsrc], remap_[ldst]);
+  remap_inv_[static_cast<unsigned>(src)] = ldst;
+  remap_inv_[static_cast<unsigned>(dst)] = lsrc;
+  ++remap_swaps_;
+  windows_since_swap_ = 0;
+}
+
+void Controller::reset_power_stats() {
+  energy_total_ = analysis::EnergyBreakdown{};
+  counts_total_ = analysis::CommandCounts{};
+  power_windows_ = 0;
+  throttled_windows_ = 0;
+  remap_swaps_ = 0;
+  std::fill(rank_energy_fj_.begin(), rank_energy_fj_.end(), 0);
+  for (analysis::ThermalNode& t : thermal_) t.reset_peak();
+}
+
+PowerReport Controller::power_report(Cycle now) {
+  PowerReport r;
+  r.enabled = power_on_;
+  if (!power_on_) return r;
+  power_advance(now);
+  r.energy = energy_total_;
+  r.counts = counts_total_;
+  r.windows = power_windows_;
+  r.throttled_windows = throttled_windows_;
+  r.remap_swaps = remap_swaps_;
+  r.ranks.reserve(geometry_.ranks);
+  for (unsigned i = 0; i < geometry_.ranks; ++i)
+    r.ranks.push_back(
+        {rank_energy_fj_[i], thermal_[i].temp_mc(), thermal_[i].peak_mc()});
+  return r;
+}
+
 namespace {
 
 void save_request(serial::Sink& s, const Request& e) {
@@ -666,10 +874,14 @@ void save_request(serial::Sink& s, const Request& e) {
   s.b(e.activated_for);
 }
 
-Request load_request(serial::Source& s, const AddressMapping& mapping) {
+}  // namespace
+
+Request Controller::load_request(serial::Source& s) const {
   Request e;
   e.addr = s.u64();
-  e.d = mapping.decode(e.addr);
+  // Re-decode through the (already restored) bank permutation, so `d`
+  // matches what enqueue() computed in the donor process.
+  e.d = map_addr(e.addr);
   e.tag = s.u64();
   e.arrival = s.u64();
   e.seq = s.u64();
@@ -677,9 +889,44 @@ Request load_request(serial::Source& s, const AddressMapping& mapping) {
   return e;
 }
 
-}  // namespace
-
 void Controller::save(serial::Sink& s) const {
+  // Power/thermal block first: load_request() re-decodes queued requests
+  // through the remap table, so the table must already be restored when
+  // the queues below are read back.
+  if (power_on_) {
+    s.u64(power_window_start_);
+    for (const analysis::CommandCounts& c : window_counts_) {
+      s.u64(c.act);
+      s.u64(c.pre);
+      s.u64(c.rd);
+      s.u64(c.wr);
+      s.u64(c.ref);
+    }
+    for (const std::uint64_t a : bank_activity_) s.u64(a);
+    for (unsigned r = 0; r < geometry_.ranks; ++r) {
+      s.i64(thermal_[r].temp_q16());
+      s.i64(thermal_[r].peak_q16());
+      s.u64(rank_energy_fj_[r]);
+    }
+    s.u64(energy_total_.act_fj);
+    s.u64(energy_total_.pre_fj);
+    s.u64(energy_total_.rd_fj);
+    s.u64(energy_total_.wr_fj);
+    s.u64(energy_total_.ref_fj);
+    s.u64(energy_total_.background_fj);
+    s.u64(counts_total_.act);
+    s.u64(counts_total_.pre);
+    s.u64(counts_total_.rd);
+    s.u64(counts_total_.wr);
+    s.u64(counts_total_.ref);
+    s.u64(power_windows_);
+    s.u64(throttled_windows_);
+    s.u64(remap_swaps_);
+    s.u64(windows_since_swap_);
+    s.b(throttle_engaged_);
+    if (remap_active_)
+      for (const std::uint32_t p : remap_) s.u32(p);
+  }
   s.u64(banks_.size());
   for (const Bank& b : banks_) {
     s.i64(b.open_row);
@@ -748,6 +995,48 @@ void Controller::save(serial::Sink& s) const {
 }
 
 void Controller::load(serial::Source& s) {
+  if (power_on_) {
+    power_window_start_ = s.u64();
+    for (analysis::CommandCounts& c : window_counts_) {
+      c.act = s.u64();
+      c.pre = s.u64();
+      c.rd = s.u64();
+      c.wr = s.u64();
+      c.ref = s.u64();
+    }
+    for (std::uint64_t& a : bank_activity_) a = s.u64();
+    for (unsigned r = 0; r < geometry_.ranks; ++r) {
+      const std::int64_t t_q16 = s.i64();
+      const std::int64_t peak_q16 = s.i64();
+      thermal_[r].set_state(t_q16, peak_q16);
+      rank_energy_fj_[r] = s.u64();
+    }
+    energy_total_.act_fj = s.u64();
+    energy_total_.pre_fj = s.u64();
+    energy_total_.rd_fj = s.u64();
+    energy_total_.wr_fj = s.u64();
+    energy_total_.ref_fj = s.u64();
+    energy_total_.background_fj = s.u64();
+    counts_total_.act = s.u64();
+    counts_total_.pre = s.u64();
+    counts_total_.rd = s.u64();
+    counts_total_.wr = s.u64();
+    counts_total_.ref = s.u64();
+    power_windows_ = s.u64();
+    throttled_windows_ = s.u64();
+    remap_swaps_ = s.u64();
+    windows_since_swap_ = s.u64();
+    throttle_engaged_ = s.b();
+    if (remap_active_) {
+      for (std::uint32_t& p : remap_) {
+        p = s.u32();
+        if (p >= geometry_.total_banks())
+          throw std::runtime_error("controller remap entry out of range");
+      }
+      for (unsigned i = 0; i < geometry_.total_banks(); ++i)
+        remap_inv_[remap_[i]] = i;
+    }
+  }
   if (s.u64() != banks_.size())
     throw std::runtime_error("controller bank count mismatch");
   for (Bank& b : banks_) {
@@ -774,7 +1063,7 @@ void Controller::load(serial::Source& s) {
       bq.q.clear();
       const std::size_t n = s.count(33);
       for (std::size_t i = 0; i < n; ++i)
-        bq.q.push_back(load_request(s, mapping_));
+        bq.q.push_back(load_request(s));
       bq.match_count = s.u32();
     }
     q_size_[dir] = s.u32();
@@ -785,7 +1074,7 @@ void Controller::load(serial::Source& s) {
   const std::size_t inflight = s.count(41);
   for (std::size_t i = 0; i < inflight; ++i) {
     InflightRead fr;
-    fr.entry = load_request(s, mapping_);
+    fr.entry = load_request(s);
     fr.finish = s.u64();
     inflight_reads_.push_back(fr);
   }

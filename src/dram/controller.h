@@ -25,6 +25,7 @@
 #include "common/types.h"
 #include "dram/address.h"
 #include "dram/bank.h"
+#include "dram/power.h"
 #include "dram/timings.h"
 
 namespace secddr::dram {
@@ -132,7 +133,8 @@ class Controller {
  public:
   Controller(const Geometry& geometry, const Timings& timings,
              unsigned read_queue_size = 64, unsigned write_queue_size = 64,
-             SchedulingPolicy policy = SchedulingPolicy::kFrFcfs);
+             SchedulingPolicy policy = SchedulingPolicy::kFrFcfs,
+             const PowerConfig& power = {});
 
   /// True if a read (write) can be enqueued this cycle.
   bool can_accept_read() const { return q_size_[0] < rq_size_; }
@@ -162,11 +164,29 @@ class Controller {
 
   const ControllerStats& stats() const { return stats_; }
   const ScanStats& scan_stats() const { return scan_stats_; }
-  /// Clears statistics after warmup; bank/queue state is preserved.
+  /// Clears statistics after warmup; bank/queue state is preserved. Power
+  /// accounting zeroes its cumulative totals but keeps physical state
+  /// (temperatures, in-window counts, throttle engagement, remap table).
   void reset_stats() {
     stats_ = ControllerStats{};
     scan_stats_ = ScanStats{};
+    if (power_on_) reset_power_stats();
   }
+
+  // --- dynamic power / thermal (inert unless PowerConfig::enabled) -----
+  const PowerConfig& power_config() const { return power_cfg_; }
+  /// Processes accounting windows that have fully elapsed by `now`. With
+  /// policies off the window bookkeeping is lazy (elided event-driven
+  /// ticks issue no commands, so late processing is arithmetic-identical);
+  /// owners must call this before reset_stats() so the cumulative totals
+  /// cut over at the same window in every loop mode.
+  void catch_up_power(Cycle now) {
+    if (power_on_) power_advance(now);
+  }
+  /// Cumulative energy/thermal report. Catches accounting up to `now`
+  /// first, which is behavior-neutral (the same window closes would run
+  /// at the next tick anyway, with identical arithmetic).
+  PowerReport power_report(Cycle now);
   const Timings& timings() const { return timings_; }
   const Geometry& geometry() const { return geometry_; }
   const AddressMapping& mapping() const { return mapping_; }
@@ -194,7 +214,10 @@ class Controller {
 
   /// Checkpoint hooks: the full scheduler state (bank timing, rank
   /// refresh/ACT windows, per-bank FIFOs, in-flight reads, undrained
-  /// completions, bus history, stats). The candidate indexes are rebuilt
+  /// completions, bus history, stats; when power accounting is enabled,
+  /// the power/thermal block — remap table, window counts, thermal nodes,
+  /// throttle state — is serialized first so queued requests re-decode
+  /// through the restored bank permutation). The candidate indexes are rebuilt
   /// on load (their order is behavior-neutral: every selection is a
   /// strict min over seq/bounds) and the next-event memo is invalidated;
   /// `Request::d` is recomputed from the address mapping. load() throws
@@ -290,6 +313,21 @@ class Controller {
   /// Recounts open-row matches for both of `flat`'s FIFOs (after ACT).
   void recount_bank(unsigned flat);
 
+  // --- dynamic power / thermal internals -------------------------------
+  /// Decodes `addr` and applies the logical->physical bank permutation
+  /// (identity unless the remap policy is enabled).
+  DecodedAddr map_addr(Addr addr) const;
+  /// Closes every accounting window that has fully elapsed by `now`.
+  void power_advance(Cycle now);
+  /// Converts the current window's counts to energy, steps the per-rank
+  /// thermal nodes, and evaluates the throttle/remap policies.
+  void close_power_window();
+  /// Swaps the busiest idle bank of the hottest rank with the least busy
+  /// idle bank of the coolest rank (window-close policy hook).
+  void maybe_remap();
+  void reset_power_stats();
+  Request load_request(serial::Source& s) const;
+
   Geometry geometry_;
   Timings timings_;
   AddressMapping mapping_;
@@ -378,6 +416,33 @@ class Controller {
   ControllerStats stats_;
   ScanStats scan_stats_;
   CommandObserver* observer_ = nullptr;
+
+  // --- dynamic power / thermal state (all inert when power_on_ false) --
+  PowerConfig power_cfg_;
+  bool power_on_ = false;      ///< power_cfg_.enabled
+  bool any_policy_ = false;    ///< power_cfg_.any_policy()
+  bool remap_active_ = false;  ///< enabled && remap
+  std::uint64_t throttle_period_ = 1;  ///< clamped >= 1
+  analysis::EnergyModel energy_model_;
+  Cycle power_window_start_ = 0;
+  /// Commands per rank in the (single) window currently accumulating.
+  /// Lazy processing cannot mix windows: every tick/enqueue closes all
+  /// elapsed windows *before* the command taps run, so nonzero counts
+  /// always belong to the oldest unprocessed window, and windows with no
+  /// ticks at all had no commands to record.
+  std::vector<analysis::CommandCounts> window_counts_;
+  std::vector<std::uint64_t> bank_activity_;  ///< per flat bank, this window
+  std::vector<analysis::ThermalNode> thermal_;      ///< per rank
+  std::vector<std::uint64_t> rank_energy_fj_;       ///< since stats reset
+  analysis::EnergyBreakdown energy_total_;          ///< since stats reset
+  analysis::CommandCounts counts_total_;            ///< since stats reset
+  std::uint64_t power_windows_ = 0;
+  std::uint64_t throttled_windows_ = 0;
+  std::uint64_t remap_swaps_ = 0;
+  std::uint64_t windows_since_swap_ = 0;
+  bool throttle_engaged_ = false;
+  std::vector<std::uint32_t> remap_;      ///< logical flat -> physical flat
+  std::vector<std::uint32_t> remap_inv_;  ///< physical flat -> logical flat
 };
 
 }  // namespace secddr::dram

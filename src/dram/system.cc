@@ -6,8 +6,9 @@
 namespace secddr::dram {
 
 DramSystem::DramSystem(const Geometry& geometry, const Timings& timings,
-                       double core_clock_mhz, SchedulingPolicy policy)
-    : controller_(geometry, timings, 64, 64, policy),
+                       double core_clock_mhz, SchedulingPolicy policy,
+                       const PowerConfig& power)
+    : controller_(geometry, timings, 64, 64, policy, power),
       core_clock_mhz_(core_clock_mhz),
       mem_khz_(static_cast<std::uint64_t>(timings.clock_mhz * 1000.0)),
       core_khz_(static_cast<std::uint64_t>(core_clock_mhz * 1000.0)) {}

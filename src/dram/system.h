@@ -16,7 +16,8 @@ class DramSystem {
  public:
   DramSystem(const Geometry& geometry, const Timings& timings,
              double core_clock_mhz,
-             SchedulingPolicy policy = SchedulingPolicy::kFrFcfs);
+             SchedulingPolicy policy = SchedulingPolicy::kFrFcfs,
+             const PowerConfig& power = {});
 
   /// Enqueue a line transaction. Returns false when the queue is full.
   bool enqueue(Addr addr, bool is_write, std::uint64_t tag);
@@ -56,7 +57,17 @@ class DramSystem {
   Cycle memory_cycle() const { return mem_cycle_; }
   const ControllerStats& stats() const { return controller_.stats(); }
   const ScanStats& scan_stats() const { return controller_.scan_stats(); }
-  void reset_stats() { controller_.reset_stats(); }
+  /// Stats cut over after warmup. Power accounting first catches up to
+  /// the current memory cycle so the cumulative energy totals start at
+  /// the same window boundary in every loop mode (lazy event-driven
+  /// processing would otherwise shift pre-warmup windows past the reset).
+  void reset_stats() {
+    controller_.catch_up_power(mem_cycle_);
+    controller_.reset_stats();
+  }
+  /// Cumulative power/thermal report as of the current memory cycle
+  /// (`enabled == false` and empty when power accounting is off).
+  PowerReport power_report() { return controller_.power_report(mem_cycle_); }
   const Timings& timings() const { return controller_.timings(); }
   const Geometry& geometry() const { return controller_.geometry(); }
   std::size_t pending() const { return controller_.pending(); }

@@ -376,6 +376,58 @@ dram::ControllerStats load_dram_stats(serial::Source& s) {
   return d;
 }
 
+void save_power_report(serial::Sink& s, const dram::PowerReport& p) {
+  s.b(p.enabled);
+  s.u64(p.energy.act_fj);
+  s.u64(p.energy.pre_fj);
+  s.u64(p.energy.rd_fj);
+  s.u64(p.energy.wr_fj);
+  s.u64(p.energy.ref_fj);
+  s.u64(p.energy.background_fj);
+  s.u64(p.counts.act);
+  s.u64(p.counts.pre);
+  s.u64(p.counts.rd);
+  s.u64(p.counts.wr);
+  s.u64(p.counts.ref);
+  s.u64(p.windows);
+  s.u64(p.throttled_windows);
+  s.u64(p.remap_swaps);
+  s.u64(p.ranks.size());
+  for (const dram::RankPowerReport& rk : p.ranks) {
+    s.u64(rk.energy_fj);
+    s.i64(rk.temp_mc);
+    s.i64(rk.peak_mc);
+  }
+}
+
+dram::PowerReport load_power_report(serial::Source& s) {
+  dram::PowerReport p;
+  p.enabled = s.b();
+  p.energy.act_fj = s.u64();
+  p.energy.pre_fj = s.u64();
+  p.energy.rd_fj = s.u64();
+  p.energy.wr_fj = s.u64();
+  p.energy.ref_fj = s.u64();
+  p.energy.background_fj = s.u64();
+  p.counts.act = s.u64();
+  p.counts.pre = s.u64();
+  p.counts.rd = s.u64();
+  p.counts.wr = s.u64();
+  p.counts.ref = s.u64();
+  p.windows = s.u64();
+  p.throttled_windows = s.u64();
+  p.remap_swaps = s.u64();
+  const std::size_t ranks = s.count(24);
+  for (std::size_t i = 0; i < ranks; ++i) {
+    dram::RankPowerReport rk;
+    rk.energy_fj = s.u64();
+    rk.temp_mc = s.i64();
+    rk.peak_mc = s.i64();
+    p.ranks.push_back(rk);
+  }
+  return p;
+}
+
 }  // namespace
 
 void save_result(serial::Sink& s, const sim::RunResult& r) {
@@ -402,6 +454,9 @@ void save_result(serial::Sink& s, const sim::RunResult& r) {
   s.u64(r.dram_per_channel.size());
   for (const dram::ControllerStats& d : r.dram_per_channel)
     save_dram_stats(s, d);
+  s.u64(r.power_per_channel.size());
+  for (const dram::PowerReport& p : r.power_per_channel)
+    save_power_report(s, p);
   s.b(r.hit_cycle_limit);
 }
 
@@ -432,6 +487,9 @@ sim::RunResult load_result(serial::Source& s) {
   const std::size_t drams = s.count(96);
   for (std::size_t i = 0; i < drams; ++i)
     r.dram_per_channel.push_back(load_dram_stats(s));
+  const std::size_t powers = s.count(121);
+  for (std::size_t i = 0; i < powers; ++i)
+    r.power_per_channel.push_back(load_power_report(s));
   r.hit_cycle_limit = s.b();
   return r;
 }

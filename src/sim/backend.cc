@@ -42,7 +42,8 @@ MemoryBackend::MemoryBackend(const BackendConfig& config)
                config.geometry.channel_capacity_bytes() &&
            "per-channel data slice + metadata must fit in the channel");
     ch.dram = std::make_unique<dram::DramSystem>(
-        config.geometry, timings, config.core_mhz, config.scheduling);
+        config.geometry, timings, config.core_mhz, config.scheduling,
+        config.power);
     ch.dram->set_event_driven(config.event_driven);
     ch.engine = std::make_unique<secmem::SecurityEngine>(
         config.security, *ch.layout, *ch.dram);
@@ -228,6 +229,13 @@ std::vector<dram::ControllerStats> MemoryBackend::dram_stats_per_channel()
   std::vector<dram::ControllerStats> v;
   v.reserve(channels_.size());
   for (const Channel& ch : channels_) v.push_back(ch.dram->stats());
+  return v;
+}
+
+std::vector<dram::PowerReport> MemoryBackend::power_reports() {
+  std::vector<dram::PowerReport> v;
+  v.reserve(channels_.size());
+  for (Channel& ch : channels_) v.push_back(ch.dram->power_report());
   return v;
 }
 

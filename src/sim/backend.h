@@ -43,6 +43,9 @@ struct BackendConfig {
   /// above its `data_bytes / channels` local slice.
   std::uint64_t data_bytes = 8ull << 30;
   bool event_driven = true;
+  /// Per-channel dynamic power/thermal accounting + policies (off by
+  /// default; accounting alone never perturbs timing).
+  dram::PowerConfig power;
   /// Opt-in per-channel tick parallelism: > 1 spreads the channels'
   /// controller + security-engine tick loops across that many persistent
   /// worker threads (clamped to the channel count; 1 = serial). Channels
@@ -131,6 +134,10 @@ class MemoryBackend {
   dram::ControllerStats dram_stats() const;
   std::vector<secmem::EngineStats> engine_stats_per_channel() const;
   std::vector<dram::ControllerStats> dram_stats_per_channel() const;
+  /// Per-channel power/thermal reports (empty-report entries when power
+  /// accounting is disabled). Non-const: catches lazy window accounting
+  /// up to each channel's current memory cycle (behavior-neutral).
+  std::vector<dram::PowerReport> power_reports();
   /// Metadata-cache traffic summed over the per-channel caches.
   std::uint64_t metadata_accesses() const;
   double metadata_miss_rate() const;

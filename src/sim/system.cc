@@ -18,6 +18,7 @@ System::System(const SystemConfig& config, std::vector<TraceSource*> traces)
   bc.data_bytes = config.data_bytes;
   bc.event_driven = config.event_driven;
   bc.mem_threads = config.mem_threads;
+  bc.power = config.power;
   backend_ = std::make_unique<MemoryBackend>(bc);
   memory_ = std::make_unique<MemorySystem>(config.mem, *backend_);
   cores_.reserve(traces.size());
@@ -160,6 +161,7 @@ RunResult System::result() const {
   r.dram = backend_->dram_stats();
   r.engine_per_channel = backend_->engine_stats_per_channel();
   r.dram_per_channel = backend_->dram_stats_per_channel();
+  r.power_per_channel = backend_->power_reports();
   r.llc_mpki = total_instr ? 1000.0 *
                                  static_cast<double>(r.mem.llc_demand_misses) /
                                  static_cast<double>(total_instr)
@@ -282,6 +284,26 @@ std::uint64_t System::config_hash() const {
   s.u32(config_.security.auth_channel_macs);
   s.b(config_.security.ewcrc);
   s.u64(config_.data_bytes);
+  // Power/thermal block: accounting changes RunResult bytes and the
+  // policies change timing, so every field is result-affecting.
+  s.b(config_.power.enabled);
+  s.u64(config_.power.window_cycles);
+  s.u64(config_.power.energy.act_fj);
+  s.u64(config_.power.energy.pre_fj);
+  s.u64(config_.power.energy.rd_fj);
+  s.u64(config_.power.energy.wr_fj);
+  s.u64(config_.power.energy.ref_fj);
+  s.u64(config_.power.energy.background_fj_per_cycle);
+  s.u32(config_.power.thermal.r_mk_per_w);
+  s.u64(config_.power.thermal.c_nj_per_k);
+  s.i64(config_.power.thermal.ambient_mc);
+  s.b(config_.power.throttle);
+  s.i64(config_.power.trip_mc);
+  s.i64(config_.power.release_mc);
+  s.u64(config_.power.throttle_period);
+  s.b(config_.power.remap);
+  s.i64(config_.power.remap_delta_mc);
+  s.u64(config_.power.remap_min_windows);
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64-bit
   for (std::size_t i = 0; i < s.size(); ++i) {
     h ^= s.data()[i];

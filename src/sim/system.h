@@ -37,6 +37,11 @@ struct SystemConfig {
   /// > 1 ticks the channels on that many threads, clamped to the channel
   /// count. Threaded and serial runs are bit-identical.
   unsigned mem_threads = 1;
+  /// Per-channel dynamic power/thermal accounting + thermal-aware
+  /// policies (dram::PowerConfig; everything off by default). Enabling
+  /// accounting alone never changes timing; the throttle/remap policies
+  /// do (deterministically, identically in every loop mode).
+  dram::PowerConfig power;
 };
 
 struct RunResult {
@@ -52,6 +57,10 @@ struct RunResult {
   /// Per-channel breakdowns (one entry per channel; index = channel id).
   std::vector<secmem::EngineStats> engine_per_channel;
   std::vector<dram::ControllerStats> dram_per_channel;
+  /// Per-channel energy/thermal reports (entries carry `enabled = false`
+  /// when power accounting is off, keeping the default result bytes
+  /// stable).
+  std::vector<dram::PowerReport> power_per_channel;
   /// True when any phase (warmup or measured) ran into `max_cycles`.
   bool hit_cycle_limit = false;
 };

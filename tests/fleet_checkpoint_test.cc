@@ -420,6 +420,67 @@ TEST(FleetSystemCheckpoint, MidRunRestoreIsBitIdenticalAcrossConfigs) {
   }
 }
 
+TEST(FleetSystemCheckpoint, MidRunRestoreRoundTripsThermalState) {
+  // Power accounting + both thermal policies enabled: the checkpoint
+  // carries the remap table, in-window command counts, fixed-point rank
+  // temperatures, and throttle engagement. A mid-run restore must finish
+  // bit-identically to the uninterrupted run — across both loop modes
+  // and a threaded multi-channel backend (encode_result covers the power
+  // reports, so temperature trajectories are compared too).
+  const auto* desc = workloads::find("mcf");
+  ASSERT_NE(desc, nullptr);
+  dram::PowerConfig power;
+  power.enabled = true;
+  power.window_cycles = 256;
+  power.thermal.c_nj_per_k = 500;  // fast node: policies act inside the run
+  power.throttle = true;
+  power.trip_mc = 46'500;
+  power.release_mc = 46'200;
+  power.remap = true;
+  power.remap_delta_mc = 100;
+  power.remap_min_windows = 2;
+  for (const unsigned channels : {1u, 2u}) {
+    for (const unsigned mem_threads : {1u, 2u}) {
+      for (const bool event_driven : {false, true}) {
+        SCOPED_TRACE(std::to_string(channels) + "ch/mem_threads=" +
+                     std::to_string(mem_threads) + "/event_driven=" +
+                     std::to_string(event_driven));
+        sim::SystemConfig cfg =
+            small_config(channels, mem_threads, event_driven);
+        cfg.power = power;
+
+        LiveSystem ref = make_system(*desc, cfg);
+        const std::vector<std::uint8_t> ref_bytes = ck::encode_result(
+            ref.sys->run(1200, 2'000'000'000, /*warmup=*/400));
+
+        LiveSystem a = make_system(*desc, cfg);
+        a.sys->begin(1200, 2'000'000'000, /*warmup=*/400);
+        ASSERT_TRUE(a.sys->step(1500)) << "budget larger than the whole run";
+        const std::vector<std::uint8_t> image = ck::encode_system(*a.sys);
+
+        LiveSystem b = make_system(*desc, cfg);
+        b.sys->begin(1200, 2'000'000'000, /*warmup=*/400);
+        ck::decode_system(*b.sys, image.data(), image.size(), "thermal.ckpt");
+        while (a.sys->step(kNoEvent)) {
+        }
+        while (b.sys->step(kNoEvent)) {
+        }
+        EXPECT_EQ(ck::encode_result(a.sys->result()), ref_bytes);
+        EXPECT_EQ(ck::encode_result(b.sys->result()), ref_bytes);
+
+        // A power-enabled config hashes differently from the default, so
+        // this checkpoint cannot restore into a power-off System.
+        LiveSystem plain =
+            make_system(*desc, small_config(channels, 1, event_driven));
+        plain.sys->begin(1200, 2'000'000'000, /*warmup=*/400);
+        EXPECT_THROW(ck::decode_system(*plain.sys, image.data(), image.size(),
+                                       "thermal.ckpt"),
+                     CheckpointFormatError);
+      }
+    }
+  }
+}
+
 TEST(FleetSystemCheckpoint, RestoreCrossesLoopModeAndThreadCount) {
   // config_hash() excludes the execution knobs, so a checkpoint written
   // by the serial per-cycle loop must restore into an event-driven

@@ -172,6 +172,37 @@ void expect_identical(const RunResult& slow, const RunResult& fast) {
     EXPECT_EQ(sd.data_bus_busy_cycles, fd.data_bus_busy_cycles);
     EXPECT_EQ(sd.total_read_latency, fd.total_read_latency);
   }
+
+  // Power/thermal reports (all-default when accounting is off) are part
+  // of the bit-identity contract too: energy totals, command counts, and
+  // the fixed-point temperature trajectories.
+  ASSERT_EQ(slow.power_per_channel.size(), fast.power_per_channel.size());
+  for (std::size_t c = 0; c < slow.power_per_channel.size(); ++c) {
+    SCOPED_TRACE("power channel " + std::to_string(c));
+    const auto& sp = slow.power_per_channel[c];
+    const auto& fp = fast.power_per_channel[c];
+    EXPECT_EQ(sp.enabled, fp.enabled);
+    EXPECT_EQ(sp.energy.act_fj, fp.energy.act_fj);
+    EXPECT_EQ(sp.energy.pre_fj, fp.energy.pre_fj);
+    EXPECT_EQ(sp.energy.rd_fj, fp.energy.rd_fj);
+    EXPECT_EQ(sp.energy.wr_fj, fp.energy.wr_fj);
+    EXPECT_EQ(sp.energy.ref_fj, fp.energy.ref_fj);
+    EXPECT_EQ(sp.energy.background_fj, fp.energy.background_fj);
+    EXPECT_EQ(sp.counts.act, fp.counts.act);
+    EXPECT_EQ(sp.counts.pre, fp.counts.pre);
+    EXPECT_EQ(sp.counts.rd, fp.counts.rd);
+    EXPECT_EQ(sp.counts.wr, fp.counts.wr);
+    EXPECT_EQ(sp.counts.ref, fp.counts.ref);
+    EXPECT_EQ(sp.windows, fp.windows);
+    EXPECT_EQ(sp.throttled_windows, fp.throttled_windows);
+    EXPECT_EQ(sp.remap_swaps, fp.remap_swaps);
+    ASSERT_EQ(sp.ranks.size(), fp.ranks.size());
+    for (std::size_t r = 0; r < sp.ranks.size(); ++r) {
+      EXPECT_EQ(sp.ranks[r].energy_fj, fp.ranks[r].energy_fj);
+      EXPECT_EQ(sp.ranks[r].temp_mc, fp.ranks[r].temp_mc);
+      EXPECT_EQ(sp.ranks[r].peak_mc, fp.ranks[r].peak_mc);
+    }
+  }
 }
 
 TEST(SimFastPathDeterminism, BitIdenticalAcrossSweepConfigs) {
